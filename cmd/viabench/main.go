@@ -1,0 +1,54 @@
+// Command viabench regenerates the evaluation's tables and figures as
+// parameter sweeps over the simulated stack.
+//
+// Usage:
+//
+//	viabench -table=regcost|deregcost|survival|protocols|regcache|multireg|divergence|all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	table := flag.String("table", "all", "which table/figure to regenerate")
+	flag.Parse()
+
+	runners := map[string]func(io.Writer) error{
+		"regcost":    bench.RegCost,
+		"deregcost":  bench.DeregCost,
+		"survival":   bench.Survival,
+		"protocols":  bench.Protocols,
+		"regcache":   bench.RegCache,
+		"multireg":   bench.MultiReg,
+		"divergence": bench.Divergence,
+		"piodma":     bench.PIODMA,
+		"latency":    bench.Latency,
+		"ablation":   bench.Ablations,
+		"bigphys":    bench.Bigphys,
+	}
+	order := []string{"regcost", "deregcost", "survival", "protocols", "regcache", "multireg", "divergence", "piodma", "latency", "ablation", "bigphys"}
+
+	run := func(name string) {
+		if err := runners[name](os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "viabench %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+	if *table == "all" {
+		for _, name := range order {
+			run(name)
+		}
+		return
+	}
+	if _, ok := runners[*table]; !ok {
+		fmt.Fprintf(os.Stderr, "viabench: unknown table %q (choose from %v or all)\n", *table, order)
+		os.Exit(2)
+	}
+	run(*table)
+}

@@ -1,0 +1,97 @@
+// Quickstart: boot a two-node simulated cluster, register communication
+// memory through the kiobuf-backed kernel agent, and move a message with
+// a VIA send/receive pair.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/via"
+)
+
+func main() {
+	// Two nodes, kiobuf locking (the paper's proposal) in both kernel
+	// agents, default 16 MiB RAM each.
+	c := cluster.MustNew(cluster.Config{Nodes: 2, Strategy: core.StrategyKiobuf})
+	sender, receiver := c.Nodes[0], c.Nodes[1]
+
+	// One user process per node, each opening the local NIC.
+	ps := sender.NewProcess("sender", false)
+	pr := receiver.NewProcess("receiver", false)
+	nicS := sender.OpenNic(ps)
+	nicR := receiver.OpenNic(pr)
+
+	// Connect a VI pair across the fabric.
+	viS, err := nicS.CreateVi()
+	if err != nil {
+		log.Fatal(err)
+	}
+	viR, err := nicR.CreateVi()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := c.Network.Connect(viS, viR); err != nil {
+		log.Fatal(err)
+	}
+
+	// Allocate and register a buffer on each side.  Registration pages
+	// the buffer in, pins it reliably (map_user_kiobuf) and fills the
+	// NIC's translation and protection table.
+	src, err := ps.Malloc(4096)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dst, err := pr.Malloc(4096)
+	if err != nil {
+		log.Fatal(err)
+	}
+	regS, err := nicS.RegisterMem(src, via.MemAttrs{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	regR, err := nicR.RegisterMem(dst, via.MemAttrs{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	msgText := []byte("hello from the VIA/kiobuf stack")
+	if err := src.Write(0, msgText); err != nil {
+		log.Fatal(err)
+	}
+
+	// VIA rule: the receive descriptor must be posted first.
+	rd, err := nicR.PostRecv(viR, regR, 0, 4096)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sd, err := nicS.PostSend(viS, regS, 0, len(msgText))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if st := sd.Wait(); st != via.StatusSuccess {
+		log.Fatalf("send failed: %v", st)
+	}
+	if st := rd.Wait(); st != via.StatusSuccess {
+		log.Fatalf("recv failed: %v", st)
+	}
+
+	got := make([]byte, rd.Transferred)
+	if err := dst.Read(0, got); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("received %d bytes: %q\n", rd.Transferred, got)
+	fmt.Printf("virtual time elapsed: %v\n", c.Meter.Now())
+
+	// Deregistration releases the kiobuf pins; the pages are ordinary
+	// swappable memory again.
+	if err := nicS.DeregisterMem(regS); err != nil {
+		log.Fatal(err)
+	}
+	if err := nicR.DeregisterMem(regR); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("registrations released cleanly")
+}

@@ -1,0 +1,83 @@
+// Rawio: the kiobuf facility's original job — RAW device I/O straight
+// to and from user memory — and the flag-ownership hazard the paper
+// pins on the Giganet approach.  The example writes a file image to a
+// raw device zero-copy, reads it back, and then shows a pageflag-style
+// VIA deregistration clobbering the PG_locked bit of a page that a
+// kernel I/O still owns.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/phys"
+	"repro/internal/rawio"
+)
+
+func main() {
+	c := cluster.MustNew(cluster.Config{Nodes: 1, Strategy: core.StrategyKiobuf})
+	node := c.Nodes[0]
+	p := node.NewProcess("dbms", false)
+	dev := rawio.NewDevice(node.Kernel, 1<<20)
+
+	// Zero-copy raw write + read-back.
+	table, err := p.Malloc(16 * phys.PageSize)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := table.FillPattern(3); err != nil {
+		log.Fatal(err)
+	}
+	if err := dev.Write(p.AS(), table.Addr, 0, table.Bytes); err != nil {
+		log.Fatal(err)
+	}
+	check, err := p.Malloc(16 * phys.PageSize)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := dev.Read(p.AS(), check.Addr, 0, check.Bytes); err != nil {
+		log.Fatal(err)
+	}
+	bad, err := check.VerifyPattern(3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("raw round trip: %d pages, %d corrupted — kiobuf path, no bounce buffers\n",
+		check.Pages(), len(bad))
+	st := dev.Stats()
+	fmt.Printf("device: %d requests, %d sectors written, %d read\n\n",
+		st.Requests, st.SectorsWritten, st.SectorsRead)
+
+	// The hazard: kernel I/O holds PG_locked on a page; a Giganet-style
+	// registration of the same buffer is deregistered in between.
+	buf, err := p.Malloc(phys.PageSize)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := buf.Touch(); err != nil {
+		log.Fatal(err)
+	}
+	pfns, err := buf.ResidentPFNs()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := node.Kernel.LockPageIO(pfns[0]); err != nil {
+		log.Fatal(err)
+	}
+	locker := core.MustNew(core.StrategyPageFlag)
+	l, err := locker.Lock(node.Kernel, p.AS(), buf.Addr, phys.PageSize)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := l.Unlock(); err != nil { // ...clears PG_locked unconditionally
+		log.Fatal(err)
+	}
+	if err := node.Kernel.UnlockPageIO(pfns[0]); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pageflag deregistration during kernel I/O: %d PG_locked clobber(s) detected\n",
+		node.Kernel.IOClobberCount())
+	fmt.Println("(the kiobuf mechanism never touches the flag — see examples/multireg)")
+}

@@ -1,0 +1,85 @@
+// Zerocopy: the motivating workload — an MPI-style exchange where large
+// messages go out zero-copy via RDMA write, with user buffers registered
+// on the fly through the registration cache.  The example sends the same
+// buffers repeatedly and shows the cache turning the per-message
+// registration cost into a one-time cost.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/msg"
+	"repro/internal/proc"
+	"repro/internal/simtime"
+)
+
+const (
+	msgSize = 512 * 1024
+	rounds  = 8
+)
+
+func main() {
+	c := cluster.MustNew(cluster.Config{
+		Nodes:    2,
+		Strategy: core.StrategyKiobuf,
+		TPTSlots: 4096,
+	})
+	a, b, err := c.EndpointPair(0, 1, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	src, err := a.Process().Malloc(msgSize)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dst, err := b.Process().Malloc(msgSize)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("sending %d rounds of %d KiB, zero-copy rendezvous\n\n", rounds, msgSize/1024)
+	for i := 0; i < rounds; i++ {
+		if err := src.FillPattern(byte(i)); err != nil {
+			log.Fatal(err)
+		}
+		d, err := transfer(c.Meter, a, b, src, dst, msg.ZeroCopy)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bad, err := dst.VerifyPattern(byte(i))
+		if err != nil {
+			log.Fatal(err)
+		}
+		status := "ok"
+		if len(bad) != 0 {
+			status = fmt.Sprintf("CORRUPT (%d pages)", len(bad))
+		}
+		bw := float64(msgSize) / (float64(d) / float64(simtime.Second)) / 1e6
+		fmt.Printf("round %d: %8v  %6.1f MB/s  payload %s\n", i, d, bw, status)
+	}
+
+	st := a.Cache().Stats()
+	fmt.Printf("\nsender registration cache: %d misses, %d hits\n", st.Misses, st.Hits)
+	fmt.Println("round 0 pays the registration (cache miss); later rounds ride the cache")
+}
+
+// transfer runs one Send/Recv pair and returns the virtual duration.
+func transfer(meter *simtime.Meter, a, b *msg.Endpoint, src, dst *proc.Buffer, p msg.Protocol) (simtime.Duration, error) {
+	start := meter.Now()
+	errc := make(chan error, 1)
+	go func() {
+		_, err := a.Send(src, p)
+		errc <- err
+	}()
+	if _, err := b.Recv(dst); err != nil {
+		return 0, err
+	}
+	if err := <-errc; err != nil {
+		return 0, err
+	}
+	return meter.Now() - start, nil
+}

@@ -1,0 +1,268 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/regcache"
+)
+
+// sweepOutput runs a sweep into a buffer and returns the text.
+func sweepOutput(t *testing.T, f func(w *strings.Builder) error) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := f(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+func TestRegCostOutput(t *testing.T) {
+	out := sweepOutput(t, func(w *strings.Builder) error { return RegCost(w) })
+	for _, want := range []string{"E3", "kiobuf", "4KiB", "4MiB"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestDeregCostOutput(t *testing.T) {
+	out := sweepOutput(t, func(w *strings.Builder) error { return DeregCost(w) })
+	if !strings.Contains(out, "E4") {
+		t.Fatalf("missing E4 header:\n%s", out)
+	}
+}
+
+func TestSurvivalShape(t *testing.T) {
+	out := sweepOutput(t, func(w *strings.Builder) error { return Survival(w) })
+	// At pressure 2.00 refcount must be 0%, kiobuf 100%.
+	var line string
+	for _, l := range strings.Split(out, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(l), "2.00") {
+			line = l
+		}
+	}
+	if line == "" {
+		t.Fatalf("no 2.00 row in:\n%s", out)
+	}
+	fields := strings.Fields(line)
+	// pressure none refcount pageflag mlock kiobuf
+	if len(fields) != 6 {
+		t.Fatalf("row %q", line)
+	}
+	if fields[2] != "0.00" {
+		t.Fatalf("refcount at 2.00 = %s, want 0.00", fields[2])
+	}
+	if fields[5] != "100.00" {
+		t.Fatalf("kiobuf at 2.00 = %s, want 100.00", fields[5])
+	}
+}
+
+func TestMultiRegVerdicts(t *testing.T) {
+	out := sweepOutput(t, func(w *strings.Builder) error { return MultiReg(w) })
+	for _, want := range []string{"kiobuf", "CORRECT", "pageflag"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+	// pageflag must be BROKEN and kiobuf CORRECT.
+	for _, l := range strings.Split(out, "\n") {
+		f := strings.Fields(l)
+		if len(f) >= 4 && f[0] == "pageflag" && f[3] != "BROKEN" {
+			t.Fatalf("pageflag verdict %q", f[3])
+		}
+		if len(f) >= 4 && f[0] == "kiobuf" && f[3] != "CORRECT" {
+			t.Fatalf("kiobuf verdict %q", f[3])
+		}
+	}
+}
+
+func TestDivergenceShape(t *testing.T) {
+	out := sweepOutput(t, func(w *strings.Builder) error { return Divergence(w) })
+	if !strings.Contains(out, "E10") {
+		t.Fatalf("missing header:\n%s", out)
+	}
+	// The last row must show refcount < kiobuf.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	var last []string
+	for _, l := range lines {
+		f := strings.Fields(l)
+		if len(f) == 3 && strings.HasPrefix(f[0], "2.00") {
+			last = f
+		}
+	}
+	if len(last) != 3 {
+		t.Fatalf("no 2.00 row:\n%s", out)
+	}
+	if last[1] == last[2] {
+		t.Fatalf("refcount (%s) did not diverge from kiobuf (%s)", last[1], last[2])
+	}
+}
+
+func TestPIODMACrossover(t *testing.T) {
+	out := sweepOutput(t, func(w *strings.Builder) error { return PIODMA(w) })
+	// 64B must go to SHM, 1KiB to DMA — the companion's ~128B switch.
+	var shm64, dma1k bool
+	for _, l := range strings.Split(out, "\n") {
+		f := strings.Fields(l)
+		if len(f) >= 6 && f[0] == "64B" && f[5] == "SHM" {
+			shm64 = true
+		}
+		if len(f) >= 6 && f[0] == "1KiB" && f[5] == "DMA" {
+			dma1k = true
+		}
+	}
+	if !shm64 || !dma1k {
+		t.Fatalf("crossover missing (shm64=%v dma1k=%v):\n%s", shm64, dma1k, out)
+	}
+}
+
+func TestLatencyOrdering(t *testing.T) {
+	out := sweepOutput(t, func(w *strings.Builder) error { return Latency(w) })
+	if !strings.Contains(out, "E12") {
+		t.Fatalf("missing header:\n%s", out)
+	}
+	// For small transfers PIO must be the fastest column.
+	for _, l := range strings.Split(out, "\n") {
+		f := strings.Fields(l)
+		if len(f) == 4 && f[0] == "64" {
+			var pio, rdma, send float64
+			if _, err := fscan(f[1], &pio); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := fscan(f[2], &rdma); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := fscan(f[3], &send); err != nil {
+				t.Fatal(err)
+			}
+			if !(pio < rdma && rdma < send) {
+				t.Fatalf("ordering violated: pio=%v rdma=%v send=%v", pio, rdma, send)
+			}
+		}
+	}
+}
+
+func TestAblationEvictionPolicy(t *testing.T) {
+	classMisses, _, err := evictionWorkload(regcache.PolicyClassLRU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lruMisses, _, err := evictionWorkload(regcache.PolicyGlobalLRU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if classMisses >= lruMisses {
+		t.Fatalf("class policy (%d misses) not better than global LRU (%d)", classMisses, lruMisses)
+	}
+}
+
+func TestAblationSecondChance(t *testing.T) {
+	withMF, _, err := secondChanceWorkload(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withoutMF, _, err := secondChanceWorkload(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withMF >= withoutMF {
+		t.Fatalf("second chance (%d major faults) not better than none (%d)", withMF, withoutMF)
+	}
+}
+
+func TestAblationIgnoreLocks(t *testing.T) {
+	c, total, err := ignoreLocksRun("pageflag")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == total {
+		t.Fatal("pageflag survived a kernel that ignores PG_* flags")
+	}
+	c, total, err = ignoreLocksRun("kiobuf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != total {
+		t.Fatalf("kiobuf lost pages (%d/%d) — pins must hold", c, total)
+	}
+}
+
+// fscan parses a float in table cells.
+func fscan(s string, out *float64) (int, error) {
+	return fmt.Sscanf(s, "%f", out)
+}
+
+func TestBigphysSlowdownShape(t *testing.T) {
+	tb, err := bigphysTransfer(64 << 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk, err := kiobufTransfer(64 << 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb <= tk {
+		t.Fatalf("bigphys staging (%v) should cost more than registered transfer (%v)", tb, tk)
+	}
+}
+
+func TestRegCachePointShape(t *testing.T) {
+	cached, hit, err := regCachePoint(20, 4, 16<<10, 100, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uncached, _, err := regCachePoint(20, 4, 16<<10, 100, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached >= uncached {
+		t.Fatalf("cached (%v µs) not faster than uncached (%v µs)", cached, uncached)
+	}
+	if hit < 50 {
+		t.Fatalf("hit rate %v%% at full reuse", hit)
+	}
+}
+
+func TestProtocolPointShapes(t *testing.T) {
+	// Cold zero-copy must lose to eager at 4 KiB and win at 1 MiB (warm).
+	eagerSmall, err := protocolPoint(4<<10, "eager", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zcColdSmall, err := protocolPoint(4<<10, "zerocopy", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zcColdSmall >= eagerSmall {
+		t.Fatalf("cold zero-copy (%v MB/s) beat eager (%v MB/s) at 4KiB", zcColdSmall, eagerSmall)
+	}
+	eagerBig, err := protocolPoint(1<<20, "eager", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zcWarmBig, err := protocolPoint(1<<20, "zerocopy", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zcWarmBig <= eagerBig {
+		t.Fatalf("warm zero-copy (%v MB/s) lost to eager (%v MB/s) at 1MiB", zcWarmBig, eagerBig)
+	}
+}
+
+func TestAblationsRunClean(t *testing.T) {
+	out := sweepOutput(t, func(w *strings.Builder) error { return Ablations(w) })
+	for _, want := range []string{"A1", "A2", "A3", "A4", "immediate data", "RELIABLE"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBigphysOutput(t *testing.T) {
+	out := sweepOutput(t, func(w *strings.Builder) error { return Bigphys(w) })
+	if !strings.Contains(out, "E13") || !strings.Contains(out, "speedup") {
+		t.Fatalf("bad output:\n%s", out)
+	}
+}

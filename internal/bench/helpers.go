@@ -1,0 +1,20 @@
+package bench
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/kagent"
+	"repro/internal/mm"
+	"repro/internal/via"
+)
+
+// kagentFor builds a kernel agent on a cluster node but over a custom
+// NIC (ablations use deliberately tiny TPTs).
+func kagentFor(node *cluster.Node, nic *via.NIC) *kagent.Agent {
+	return kagent.New(node.Kernel, nic, core.MustNew(core.StrategyKiobuf))
+}
+
+// kagentNew builds a kernel agent from raw parts with the strategy.
+func kagentNew(k *mm.Kernel, nic *via.NIC, s core.Strategy) *kagent.Agent {
+	return kagent.New(k, nic, core.MustNew(s))
+}

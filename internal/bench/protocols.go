@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/mm"
+	"repro/internal/msg"
+	"repro/internal/proc"
+	"repro/internal/report"
+	"repro/internal/simtime"
+)
+
+// messageSizes is the sweep for the protocol bandwidth figure.
+var messageSizes = []int{1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20}
+
+// protocolClusterConfig sizes nodes so a 4 MiB message plus rings fit
+// comfortably (64 MiB RAM).
+func protocolClusterConfig() cluster.Config {
+	kcfg := mm.DefaultConfig()
+	kcfg.RAMPages = 16384
+	return cluster.Config{Nodes: 2, Strategy: core.StrategyKiobuf, Kernel: kcfg, TPTSlots: 8192}
+}
+
+// transferOnce runs one Send/Recv pair and returns the virtual duration.
+func transferOnce(meter *simtime.Meter, a, b *msg.Endpoint, src, dst *proc.Buffer, p msg.Protocol) (simtime.Duration, error) {
+	start := meter.Now()
+	errc := make(chan error, 1)
+	go func() {
+		_, err := a.Send(src, p)
+		errc <- err
+	}()
+	if _, err := b.Recv(dst); err != nil {
+		return 0, err
+	}
+	if err := <-errc; err != nil {
+		return 0, err
+	}
+	return meter.Now() - start, nil
+}
+
+// bandwidthMBs converts a size/duration pair to MB/s (decimal MB, the
+// unit the era's papers report).
+func bandwidthMBs(size int, d simtime.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(size) / (float64(d) / float64(simtime.Second)) / 1e6
+}
+
+// Protocols regenerates E6: protocol bandwidth vs message size — eager,
+// one-copy, zero-copy with cold registration cache, and zero-copy warm.
+func Protocols(w io.Writer) error {
+	s := report.Series{
+		Title:  "E6: protocol bandwidth vs message size (simulated MB/s)",
+		Note:   "zero-copy loses below the crossover when cold (registration on the critical path) and wins large once the cache is warm",
+		XLabel: "message",
+		Lines:  []string{"eager", "onecopy", "zerocopy-cold", "zerocopy-warm"},
+	}
+	for _, size := range messageSizes {
+		row := make([]any, 0, 4)
+		for _, variant := range []struct {
+			proto msg.Protocol
+			warm  bool
+		}{
+			{msg.Eager, true},
+			{msg.OneCopy, true},
+			{msg.ZeroCopy, false},
+			{msg.ZeroCopy, true},
+		} {
+			bw, err := protocolPoint(size, variant.proto, variant.warm)
+			if err != nil {
+				return fmt.Errorf("%s %s warm=%v: %w", variant.proto, report.Bytes(size), variant.warm, err)
+			}
+			row = append(row, bw)
+		}
+		s.AddPoint(report.Bytes(size), row...)
+	}
+	s.Fprint(w)
+	return nil
+}
+
+// protocolPoint measures one (size, protocol) bandwidth.  warm measures
+// the steady state (second transfer over the same buffers); cold the
+// first transfer, registration included.
+func protocolPoint(size int, p msg.Protocol, warm bool) (float64, error) {
+	c, err := cluster.New(protocolClusterConfig())
+	if err != nil {
+		return 0, err
+	}
+	a, b, err := c.EndpointPair(0, 1, 0)
+	if err != nil {
+		return 0, err
+	}
+	src, err := a.Process().Malloc(size)
+	if err != nil {
+		return 0, err
+	}
+	dst, err := b.Process().Malloc(size)
+	if err != nil {
+		return 0, err
+	}
+	// Touch buffers so demand-zero faults don't pollute the measurement
+	// (the paper's testbeds measured over warmed buffers too).
+	if err := src.Touch(); err != nil {
+		return 0, err
+	}
+	if err := dst.Touch(); err != nil {
+		return 0, err
+	}
+	d, err := transferOnce(c.Meter, a, b, src, dst, p)
+	if err != nil {
+		return 0, err
+	}
+	if warm {
+		if d, err = transferOnce(c.Meter, a, b, src, dst, p); err != nil {
+			return 0, err
+		}
+	}
+	return bandwidthMBs(size, d), nil
+}

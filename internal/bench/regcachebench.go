@@ -1,0 +1,114 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/cluster"
+	"repro/internal/msg"
+	"repro/internal/proc"
+	"repro/internal/report"
+)
+
+// RegCache regenerates E7: effectiveness of the registration cache as
+// the workload's buffer-reuse ratio varies.  For each reuse ratio the
+// sender transmits a fixed number of zero-copy messages; a reused
+// message goes out of a small hot buffer pool, a non-reused one out of a
+// fresh buffer.  "cached" keeps the cache across messages; "uncached"
+// flushes it after every message (the no-cache baseline).
+func RegCache(w io.Writer) error {
+	const (
+		messages = 120
+		hotBufs  = 4
+		msgSize  = 64 << 10
+	)
+	s := report.Series{
+		Title:  "E7: registration cache — mean transfer time (simulated µs) vs buffer reuse",
+		Note:   fmt.Sprintf("%d zero-copy messages of %s; hit-rate column shows the cache doing its work", messages, report.Bytes(msgSize)),
+		XLabel: "reuse",
+		Lines:  []string{"cached", "uncached", "hit-rate %"},
+	}
+	for _, reusePct := range []int{0, 25, 50, 75, 100} {
+		cached, hitRate, err := regCachePoint(messages, hotBufs, msgSize, reusePct, true)
+		if err != nil {
+			return fmt.Errorf("cached %d%%: %w", reusePct, err)
+		}
+		uncached, _, err := regCachePoint(messages, hotBufs, msgSize, reusePct, false)
+		if err != nil {
+			return fmt.Errorf("uncached %d%%: %w", reusePct, err)
+		}
+		s.AddPoint(fmt.Sprintf("%d%%", reusePct), cached, uncached, hitRate)
+	}
+	s.Fprint(w)
+	return nil
+}
+
+// regCachePoint returns (mean µs per message, sender hit rate %).
+func regCachePoint(messages, hotBufs, msgSize, reusePct int, keepCache bool) (float64, float64, error) {
+	c, err := cluster.New(protocolClusterConfig())
+	if err != nil {
+		return 0, 0, err
+	}
+	a, b, err := c.EndpointPair(0, 1, 0)
+	if err != nil {
+		return 0, 0, err
+	}
+	hot := make([]*proc.Buffer, hotBufs)
+	for i := range hot {
+		if hot[i], err = a.Process().Malloc(msgSize); err != nil {
+			return 0, 0, err
+		}
+		if err := hot[i].Touch(); err != nil {
+			return 0, 0, err
+		}
+	}
+	dst, err := b.Process().Malloc(msgSize)
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := dst.Touch(); err != nil {
+		return 0, 0, err
+	}
+
+	// Build the whole buffer schedule up front so allocation and first
+	// touch stay out of the timed loop.  Deterministic reuse: message i
+	// reuses a hot buffer iff its percentile position is below the ratio.
+	schedule := make([]*proc.Buffer, messages)
+	for i := range schedule {
+		if (i*100/messages)%100 < reusePct {
+			schedule[i] = hot[i%hotBufs]
+		} else {
+			fresh, err := a.Process().Malloc(msgSize)
+			if err != nil {
+				return 0, 0, err
+			}
+			if err := fresh.Touch(); err != nil {
+				return 0, 0, err
+			}
+			schedule[i] = fresh
+		}
+	}
+
+	start := c.Meter.Now()
+	for i := 0; i < messages; i++ {
+		if _, err := transferOnce(c.Meter, a, b, schedule[i], dst, msg.ZeroCopy); err != nil {
+			return 0, 0, err
+		}
+		if !keepCache {
+			if _, err := a.Cache().Flush(); err != nil {
+				return 0, 0, err
+			}
+			if _, err := b.Cache().Flush(); err != nil {
+				return 0, 0, err
+			}
+		}
+	}
+	elapsed := c.Meter.Now() - start
+	st := a.Cache().Stats()
+	total := st.Hits + st.Misses
+	hitRate := 0.0
+	if total > 0 {
+		hitRate = 100 * float64(st.Hits) / float64(total)
+	}
+	return elapsed.Micros() / float64(messages), hitRate, nil
+}

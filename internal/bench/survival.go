@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/locktest"
+	"repro/internal/report"
+)
+
+// pressureLevels is the sweep for the survival figure, in fractions of
+// physical RAM.
+var pressureLevels = []float64{0, 0.5, 0.9, 1.0, 1.1, 1.25, 1.5, 2.0}
+
+// Survival regenerates E5: fraction of registered pages that stay
+// TPT-consistent as memory pressure rises, per strategy.
+func Survival(w io.Writer) error {
+	s := report.Series{
+		Title:  "E5: TPT-consistent pages (%) vs memory pressure",
+		Note:   "refcount/none collapse once pressure exceeds free RAM; pageflag, mlock and kiobuf hold 100%",
+		XLabel: "pressure (xRAM)",
+		Lines:  strategyNames(),
+	}
+	for _, level := range pressureLevels {
+		ys := make([]any, 0, len(core.Strategies()))
+		for _, strat := range core.Strategies() {
+			cfg := locktest.DefaultConfig()
+			cfg.PressureFraction = level
+			r, err := locktest.Run(strat, cfg)
+			if err != nil {
+				return fmt.Errorf("%s at %.2f: %w", strat, level, err)
+			}
+			ys = append(ys, 100*float64(r.TPTConsistentPages)/float64(r.Pages))
+		}
+		s.AddPoint(fmt.Sprintf("%.2f", level), ys...)
+	}
+	s.Fprint(w)
+	return nil
+}
+
+// Divergence regenerates E10: TPT-vs-page-table consistency of one
+// registration probed after each pressure increment, refcount vs kiobuf.
+func Divergence(w io.Writer) error {
+	s := report.Series{
+		Title:  "E10: consistency decay of a live registration (consistent pages of 64)",
+		Note:   "each step adds 0.25xRAM of resident hog footprint, then re-touches the buffer; the refcount registration collapses once pressure crosses physical RAM",
+		XLabel: "cumulative pressure (xRAM)",
+		Lines:  []string{"refcount", "kiobuf"},
+	}
+	const steps = 8
+	results := make(map[core.Strategy][]int)
+	for _, strat := range []core.Strategy{core.StrategyRefcount, core.StrategyKiobuf} {
+		series, err := divergenceRun(strat, steps)
+		if err != nil {
+			return fmt.Errorf("%s: %w", strat, err)
+		}
+		results[strat] = series
+	}
+	for i := 0; i < steps; i++ {
+		s.AddPoint(fmt.Sprintf("%.2f", float64(i+1)*0.25),
+			results[core.StrategyRefcount][i], results[core.StrategyKiobuf][i])
+	}
+	s.Fprint(w)
+	return nil
+}

@@ -1,0 +1,47 @@
+// Package caps models the Linux capability bits relevant to the paper:
+// do_mlock refuses callers without CAP_IPC_LOCK, and the VMA-based
+// locking approach works around that by having the kernel agent raise the
+// capability, call do_mlock, and lower it again (paper §3.2).
+package caps
+
+import "fmt"
+
+// Capability is one capability bit.
+type Capability uint32
+
+const (
+	// IPCLock (CAP_IPC_LOCK) permits locking memory with mlock.
+	IPCLock Capability = 1 << iota
+	// SysAdmin (CAP_SYS_ADMIN) stands in for general root privilege.
+	SysAdmin
+)
+
+func (c Capability) String() string {
+	switch c {
+	case IPCLock:
+		return "CAP_IPC_LOCK"
+	case SysAdmin:
+		return "CAP_SYS_ADMIN"
+	default:
+		return fmt.Sprintf("CAP(%#x)", uint32(c))
+	}
+}
+
+// Set is a process's effective capability set.  The zero value is an
+// unprivileged process.  Set is not internally synchronized; the kernel
+// lock in package mm serializes all access.
+type Set struct {
+	bits Capability
+}
+
+// RootSet returns the capability set of a root process.
+func RootSet() Set { return Set{bits: IPCLock | SysAdmin} }
+
+// Has reports whether the capability is present.
+func (s *Set) Has(c Capability) bool { return s.bits&c == c }
+
+// Raise adds the capability (cap_raise).
+func (s *Set) Raise(c Capability) { s.bits |= c }
+
+// Lower removes the capability (cap_lower).
+func (s *Set) Lower(c Capability) { s.bits &^= c }

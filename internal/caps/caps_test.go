@@ -1,0 +1,53 @@
+package caps
+
+import "testing"
+
+func TestZeroValueUnprivileged(t *testing.T) {
+	var s Set
+	if s.Has(IPCLock) || s.Has(SysAdmin) {
+		t.Fatal("zero set has capabilities")
+	}
+}
+
+func TestRootSet(t *testing.T) {
+	s := RootSet()
+	if !s.Has(IPCLock) || !s.Has(SysAdmin) {
+		t.Fatal("root set incomplete")
+	}
+}
+
+func TestRaiseLower(t *testing.T) {
+	var s Set
+	s.Raise(IPCLock)
+	if !s.Has(IPCLock) {
+		t.Fatal("raise failed")
+	}
+	if s.Has(SysAdmin) {
+		t.Fatal("raise leaked into other bit")
+	}
+	s.Lower(IPCLock)
+	if s.Has(IPCLock) {
+		t.Fatal("lower failed")
+	}
+}
+
+func TestLowerIdempotent(t *testing.T) {
+	var s Set
+	s.Lower(IPCLock)
+	s.Lower(IPCLock)
+	if s.Has(IPCLock) {
+		t.Fatal("impossible state")
+	}
+}
+
+func TestString(t *testing.T) {
+	if IPCLock.String() != "CAP_IPC_LOCK" {
+		t.Fatalf("got %q", IPCLock.String())
+	}
+	if SysAdmin.String() != "CAP_SYS_ADMIN" {
+		t.Fatalf("got %q", SysAdmin.String())
+	}
+	if Capability(1<<9).String() != "CAP(0x200)" {
+		t.Fatalf("got %q", Capability(1<<9).String())
+	}
+}

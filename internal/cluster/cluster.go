@@ -1,0 +1,124 @@
+// Package cluster assembles complete simulated nodes — kernel, NIC,
+// kernel agent, fabric — so harness binaries, examples and benchmarks
+// build test beds in a few lines.
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/kagent"
+	"repro/internal/mm"
+	"repro/internal/msg"
+	"repro/internal/proc"
+	"repro/internal/simtime"
+	"repro/internal/via"
+	"repro/internal/vipl"
+)
+
+// Node is one simulated machine.
+type Node struct {
+	// Name is the node's fabric name.
+	Name string
+	// Kernel is the node's MM subsystem.
+	Kernel *mm.Kernel
+	// NIC is the node's VIA interface.
+	NIC *via.NIC
+	// Agent is the node's VI kernel agent.
+	Agent *kagent.Agent
+}
+
+// NewProcess starts a process on the node.
+func (n *Node) NewProcess(name string, root bool) *proc.Process {
+	return proc.New(n.Kernel, name, root)
+}
+
+// OpenNic opens the node's NIC for a process.
+func (n *Node) OpenNic(p *proc.Process) *vipl.Nic {
+	return vipl.OpenNic(n.Agent, p)
+}
+
+// Cluster is a fabric of nodes sharing one virtual clock.
+type Cluster struct {
+	// Meter is the shared virtual clock and cost model.
+	Meter *simtime.Meter
+	// Network is the VIA fabric.
+	Network *via.Network
+	// Nodes are the machines, in creation order.
+	Nodes []*Node
+}
+
+// Config parameterizes cluster construction.
+type Config struct {
+	// Nodes is the machine count (default 2).
+	Nodes int
+	// Strategy selects the kernel agents' locking mechanism
+	// (default kiobuf).
+	Strategy core.Strategy
+	// Kernel configures each node's kernel (zero = mm defaults).
+	Kernel mm.Config
+	// TPTSlots sizes each NIC's table (0 = via default).
+	TPTSlots int
+}
+
+// New builds a cluster.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 2
+	}
+	if cfg.Strategy == "" {
+		cfg.Strategy = core.StrategyKiobuf
+	}
+	locker, err := core.New(cfg.Strategy)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{Meter: simtime.NewMeter(), Network: via.NewNetwork()}
+	for i := 0; i < cfg.Nodes; i++ {
+		name := fmt.Sprintf("node%d", i)
+		k := mm.NewKernel(cfg.Kernel, c.Meter)
+		nic := via.NewNIC(name, k.Phys(), c.Meter, cfg.TPTSlots)
+		if err := c.Network.Attach(nic); err != nil {
+			return nil, err
+		}
+		c.Nodes = append(c.Nodes, &Node{
+			Name:   name,
+			Kernel: k,
+			NIC:    nic,
+			Agent:  kagent.New(k, nic, locker),
+		})
+	}
+	return c, nil
+}
+
+// MustNew is New for static configurations; it panics on error.
+func MustNew(cfg Config) *Cluster {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// EndpointPair creates processes on two nodes, wraps them in message
+// endpoints and pairs them.  cacheRegions bounds each endpoint's
+// registration cache (0 = unbounded).
+func (c *Cluster) EndpointPair(i, j, cacheRegions int) (*msg.Endpoint, *msg.Endpoint, error) {
+	if i < 0 || j < 0 || i >= len(c.Nodes) || j >= len(c.Nodes) {
+		return nil, nil, fmt.Errorf("cluster: node index out of range")
+	}
+	pa := c.Nodes[i].NewProcess("sender", false)
+	pb := c.Nodes[j].NewProcess("receiver", false)
+	ea, err := msg.NewEndpoint("ep-a", c.Nodes[i].OpenNic(pa), c.Meter, cacheRegions)
+	if err != nil {
+		return nil, nil, err
+	}
+	eb, err := msg.NewEndpoint("ep-b", c.Nodes[j].OpenNic(pb), c.Meter, cacheRegions)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := msg.Pair(c.Network, ea, eb); err != nil {
+		return nil, nil, err
+	}
+	return ea, eb, nil
+}

@@ -1,0 +1,125 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/msg"
+	"repro/internal/phys"
+)
+
+func TestDefaults(t *testing.T) {
+	c, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Nodes) != 2 {
+		t.Fatalf("nodes = %d", len(c.Nodes))
+	}
+	if c.Nodes[0].Agent.Strategy() != core.StrategyKiobuf {
+		t.Fatalf("strategy = %s", c.Nodes[0].Agent.Strategy())
+	}
+	if c.Meter == nil || c.Network == nil {
+		t.Fatal("missing meter/network")
+	}
+}
+
+func TestNamedNodesOnFabric(t *testing.T) {
+	c := MustNew(Config{Nodes: 3})
+	for i, n := range c.Nodes {
+		got, ok := c.Network.NIC(n.Name)
+		if !ok || got != n.NIC {
+			t.Fatalf("node %d not attached under %q", i, n.Name)
+		}
+	}
+}
+
+func TestBadStrategyRejected(t *testing.T) {
+	if _, err := New(Config{Strategy: "nope"}); err == nil {
+		t.Fatal("bad strategy accepted")
+	}
+}
+
+func TestNodesShareOneClock(t *testing.T) {
+	c := MustNew(Config{Nodes: 2})
+	before := c.Meter.Now()
+	p := c.Nodes[1].NewProcess("x", false)
+	b, err := p.Malloc(4 * phys.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Touch(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Meter.Now() <= before {
+		t.Fatal("node 1 work did not advance the shared clock")
+	}
+}
+
+func TestEndpointPairTransfers(t *testing.T) {
+	c := MustNew(Config{Nodes: 2, TPTSlots: 2048})
+	a, b, err := c.EndpointPair(0, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := a.Process().Malloc(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := b.Process().Malloc(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.FillPattern(9); err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		_, err := a.Send(src, msg.Eager)
+		errc <- err
+	}()
+	if _, err := b.Recv(dst); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+	bad, err := dst.VerifyPattern(9)
+	if err != nil || len(bad) != 0 {
+		t.Fatalf("bad=%v err=%v", bad, err)
+	}
+}
+
+func TestEndpointPairIndexValidation(t *testing.T) {
+	c := MustNew(Config{Nodes: 2})
+	if _, _, err := c.EndpointPair(0, 5, 0); err == nil {
+		t.Fatal("out-of-range node accepted")
+	}
+	if _, _, err := c.EndpointPair(-1, 0, 0); err == nil {
+		t.Fatal("negative node accepted")
+	}
+}
+
+func TestLoopbackPairSameNode(t *testing.T) {
+	c := MustNew(Config{Nodes: 1})
+	a, b, err := c.EndpointPair(0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, _ := a.Process().Malloc(256)
+	dst, _ := b.Process().Malloc(256)
+	if err := src.FillPattern(1); err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		_, err := a.Send(src, msg.Eager)
+		errc <- err
+	}()
+	if _, err := b.Recv(dst); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,195 @@
+// Package core implements the paper's subject matter: the competing
+// mechanisms for locking VIA communication memory, behind one Locker
+// interface.
+//
+// Five strategies are provided, each modelled on a real implementation
+// the paper examines:
+//
+//   - StrategyNone      — no locking at all (baseline).
+//   - StrategyRefcount  — Berkeley-VIA / M-VIA: increment page->count.
+//     Unreliable: the swap path ignores the count (§3.1).
+//   - StrategyPageFlag  — Giganet cLAN: refcount + PG_locked/PG_reserved.
+//     Pins pages but is "risky and unclean": it races with kernel I/O
+//     that owns PG_locked and it unconditionally clears the flags on
+//     deregistration, breaking multiple registrations (§3.1).
+//   - StrategyMlock     — the authors' first approach: VM_LOCKED via
+//     do_mlock with a capability-raising workaround; mlock does not
+//     nest, so the driver keeps its own per-range counts (§3.2).
+//   - StrategyKiobuf    — the paper's proposal: map_user_kiobuf pins
+//     pages through kernel-maintained accounting and returns the page
+//     list; nests naturally and never touches page tables or flags (§4).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/mm"
+	"repro/internal/pgtable"
+	"repro/internal/phys"
+)
+
+// Strategy names a locking mechanism.
+type Strategy string
+
+// The five strategies the experiments compare.
+const (
+	StrategyNone     Strategy = "none"
+	StrategyRefcount Strategy = "refcount"
+	StrategyPageFlag Strategy = "pageflag"
+	StrategyMlock    Strategy = "mlock"
+	StrategyKiobuf   Strategy = "kiobuf"
+)
+
+// Strategies lists all strategies in presentation order.
+func Strategies() []Strategy {
+	return []Strategy{StrategyNone, StrategyRefcount, StrategyPageFlag, StrategyMlock, StrategyKiobuf}
+}
+
+// Properties is the static conformance profile of a strategy — the rows
+// of the paper's implicit comparison (experiment E8).  The claims here
+// are verified empirically by the test suite and the locktest harness.
+type Properties struct {
+	// Reliable: registered pages survive arbitrary memory pressure and
+	// the TPT stays consistent with the page tables.
+	Reliable bool
+	// Nests: N registrations of a range require N deregistrations before
+	// the pages become evictable (the VIA multiple-registration rule).
+	Nests bool
+	// WalksPageTables: the driver must read page tables itself to learn
+	// physical addresses — the practice barred from mainline (§4.1).
+	WalksPageTables bool
+	// NeedsPrivilege: requires CAP_IPC_LOCK or a capability workaround.
+	NeedsPrivilege bool
+	// TouchesPageFlags: manipulates PG_* bits it does not own, risking
+	// collisions with kernel I/O.
+	TouchesPageFlags bool
+}
+
+// Properties returns the strategy's conformance profile.
+func (s Strategy) Properties() Properties {
+	switch s {
+	case StrategyRefcount:
+		return Properties{Reliable: false, Nests: true, WalksPageTables: true}
+	case StrategyPageFlag:
+		return Properties{Reliable: true, Nests: false, WalksPageTables: true, TouchesPageFlags: true}
+	case StrategyMlock:
+		return Properties{Reliable: true, Nests: true, WalksPageTables: true, NeedsPrivilege: true}
+	case StrategyKiobuf:
+		return Properties{Reliable: true, Nests: true}
+	default: // StrategyNone
+		return Properties{}
+	}
+}
+
+// Lock is one held lock on a user buffer: the physical page layout
+// recorded at lock time plus the strategy-specific release action.
+type Lock struct {
+	// Strategy that produced the lock.
+	Strategy Strategy
+	// Pages are the page-aligned physical frame addresses backing the
+	// buffer at lock time, in order.  This is what goes into the TPT.
+	Pages []phys.Addr
+	// Offset is the buffer start offset within Pages[0].
+	Offset int
+	// Length is the locked byte length.
+	Length int
+
+	unlock   func() error
+	released bool
+	mu       sync.Mutex
+}
+
+// ErrAlreadyUnlocked reports a double unlock.
+var ErrAlreadyUnlocked = errors.New("core: lock already released")
+
+// Unlock releases the lock exactly once.
+func (l *Lock) Unlock() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.released {
+		return ErrAlreadyUnlocked
+	}
+	l.released = true
+	if l.unlock == nil {
+		return nil
+	}
+	return l.unlock()
+}
+
+// Released reports whether the lock has been released.
+func (l *Lock) Released() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.released
+}
+
+// Locker is one locking mechanism.
+type Locker interface {
+	// Name identifies the strategy.
+	Name() Strategy
+	// Lock pages [addr, addr+length) of the process into memory (to the
+	// extent the strategy actually achieves that) and reports the
+	// physical page layout for TPT registration.
+	Lock(k *mm.Kernel, as *mm.AddressSpace, addr pgtable.VAddr, length int) (*Lock, error)
+}
+
+// New returns the Locker implementing the strategy.
+func New(s Strategy) (Locker, error) {
+	switch s {
+	case StrategyNone:
+		return noneLocker{}, nil
+	case StrategyRefcount:
+		return refcountLocker{}, nil
+	case StrategyPageFlag:
+		return pageflagLocker{}, nil
+	case StrategyMlock:
+		return newMlockLocker(), nil
+	case StrategyKiobuf:
+		return kiobufLocker{}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown strategy %q", s)
+	}
+}
+
+// MustNew is New for static strategy constants; it panics on error.
+func MustNew(s Strategy) Locker {
+	l, err := New(s)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// pageSpan computes the page range covering [addr, addr+length).
+func pageSpan(addr pgtable.VAddr, length int) (start pgtable.VPN, npages, offset int, err error) {
+	if length <= 0 {
+		return 0, 0, 0, fmt.Errorf("core: empty range")
+	}
+	start = pgtable.PageOf(addr)
+	last := pgtable.PageOf(addr + pgtable.VAddr(length-1))
+	return start, int(last-start) + 1, pgtable.Offset(addr), nil
+}
+
+// walkPages faults the range in and records the physical address of each
+// page by walking the page tables — the step every strategy except the
+// kiobuf one needs.
+func walkPages(k *mm.Kernel, as *mm.AddressSpace, addr pgtable.VAddr, length int) ([]phys.Addr, error) {
+	start, npages, _, err := pageSpan(addr, length)
+	if err != nil {
+		return nil, err
+	}
+	if err := k.MakePagesPresent(as, addr, npages, true); err != nil {
+		return nil, err
+	}
+	pages := make([]phys.Addr, npages)
+	for i := 0; i < npages; i++ {
+		pa, err := k.WalkPhys(as, (start + pgtable.VPN(i)).Addr())
+		if err != nil {
+			return nil, err
+		}
+		pages[i] = pa
+	}
+	return pages, nil
+}

@@ -1,0 +1,237 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/caps"
+	"repro/internal/kiobuf"
+	"repro/internal/mm"
+	"repro/internal/pgtable"
+	"repro/internal/phys"
+)
+
+// ---------------------------------------------------------------------------
+// none: fault the pages in, record addresses, lock nothing.
+
+type noneLocker struct{}
+
+func (noneLocker) Name() Strategy { return StrategyNone }
+
+func (noneLocker) Lock(k *mm.Kernel, as *mm.AddressSpace, addr pgtable.VAddr, length int) (*Lock, error) {
+	pages, err := walkPages(k, as, addr, length)
+	if err != nil {
+		return nil, err
+	}
+	return &Lock{
+		Strategy: StrategyNone,
+		Pages:    pages,
+		Offset:   pgtable.Offset(addr),
+		Length:   length,
+	}, nil
+}
+
+// ---------------------------------------------------------------------------
+// refcount: the Berkeley-VIA / M-VIA approach — "simply increment the
+// reference counter of the pages" (§3.1).  The experiment shows this is
+// no lock at all: swap_out moves the pages anyway.
+
+type refcountLocker struct{}
+
+func (refcountLocker) Name() Strategy { return StrategyRefcount }
+
+func (refcountLocker) Lock(k *mm.Kernel, as *mm.AddressSpace, addr pgtable.VAddr, length int) (*Lock, error) {
+	pages, err := walkPages(k, as, addr, length)
+	if err != nil {
+		return nil, err
+	}
+	ph := k.Phys()
+	for i, pa := range pages {
+		if err := ph.Get(phys.FrameOf(pa)); err != nil {
+			for _, done := range pages[:i] {
+				_ = k.PutFrame(phys.FrameOf(done))
+			}
+			return nil, err
+		}
+	}
+	return &Lock{
+		Strategy: StrategyRefcount,
+		Pages:    pages,
+		Offset:   pgtable.Offset(addr),
+		Length:   length,
+		unlock: func() error {
+			var firstErr error
+			for _, pa := range pages {
+				if err := k.PutFrame(phys.FrameOf(pa)); err != nil && firstErr == nil {
+					firstErr = err
+				}
+			}
+			return firstErr
+		},
+	}, nil
+}
+
+// ---------------------------------------------------------------------------
+// pageflag: the Giganet cLAN approach — refcount plus PG_locked and
+// PG_reserved set directly by the driver.  The pages do stay put, but:
+// the driver cannot tell whether PG_locked was already set by in-flight
+// kernel I/O, and on deregistration it clears the flags "regardless of
+// the counter state" (§3.1) — so the second of two registrations is
+// silently unlocked, and a kernel I/O's lock bit can be clobbered.
+
+type pageflagLocker struct{}
+
+func (pageflagLocker) Name() Strategy { return StrategyPageFlag }
+
+func (pageflagLocker) Lock(k *mm.Kernel, as *mm.AddressSpace, addr pgtable.VAddr, length int) (*Lock, error) {
+	pages, err := walkPages(k, as, addr, length)
+	if err != nil {
+		return nil, err
+	}
+	ph := k.Phys()
+	for i, pa := range pages {
+		pfn := phys.FrameOf(pa)
+		if err := ph.Get(pfn); err != nil {
+			for _, done := range pages[:i] {
+				dp := phys.FrameOf(done)
+				_ = ph.ClearFlags(dp, phys.PGLocked|phys.PGReserved)
+				_ = k.PutFrame(dp)
+			}
+			return nil, err
+		}
+		// No check whether the flags are already owned by someone else —
+		// exactly the unclean part.
+		_ = ph.SetFlags(pfn, phys.PGLocked|phys.PGReserved)
+	}
+	return &Lock{
+		Strategy: StrategyPageFlag,
+		Pages:    pages,
+		Offset:   pgtable.Offset(addr),
+		Length:   length,
+		unlock: func() error {
+			var firstErr error
+			for _, pa := range pages {
+				pfn := phys.FrameOf(pa)
+				// "the PG_locked flag is reset regardless of the counter
+				// state" — this is what breaks nesting.
+				_ = ph.ClearFlags(pfn, phys.PGLocked|phys.PGReserved)
+				if err := k.PutFrame(pfn); err != nil && firstErr == nil {
+					firstErr = err
+				}
+			}
+			return firstErr
+		},
+	}, nil
+}
+
+// ---------------------------------------------------------------------------
+// mlock: the authors' first implementation (§3.2) — VM_LOCKED through
+// do_mlock, with two workarounds baked in: the kernel agent temporarily
+// raises CAP_IPC_LOCK for unprivileged callers, and because mlock calls
+// do not nest it keeps its own per-range registration counts and only
+// munlocks on the last deregistration.
+
+type mlockLocker struct {
+	mu     sync.Mutex
+	counts map[mlockRange]int
+}
+
+type mlockRange struct {
+	asID   int
+	start  pgtable.VPN
+	npages int
+}
+
+func newMlockLocker() *mlockLocker {
+	return &mlockLocker{counts: make(map[mlockRange]int)}
+}
+
+func (m *mlockLocker) Name() Strategy { return StrategyMlock }
+
+func (m *mlockLocker) Lock(k *mm.Kernel, as *mm.AddressSpace, addr pgtable.VAddr, length int) (*Lock, error) {
+	start, npages, offset, err := pageSpan(addr, length)
+	if err != nil {
+		return nil, err
+	}
+	key := mlockRange{asID: as.ID(), start: start, npages: npages}
+
+	// Capability workaround: grant CAP_IPC_LOCK just around the call.
+	raised := false
+	if !k.HasCapability(as, caps.IPCLock) {
+		k.RaiseCapability(as, caps.IPCLock)
+		raised = true
+	}
+	err = k.DoMlock(as, start.Addr(), npages)
+	if raised {
+		k.LowerCapability(as, caps.IPCLock)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	// The driver must still walk the page tables itself for addresses.
+	pages, err := walkPages(k, as, addr, length)
+	if err != nil {
+		_ = k.DoMunlock(as, start.Addr(), npages)
+		return nil, err
+	}
+
+	m.mu.Lock()
+	m.counts[key]++
+	m.mu.Unlock()
+
+	return &Lock{
+		Strategy: StrategyMlock,
+		Pages:    pages,
+		Offset:   offset,
+		Length:   length,
+		unlock: func() error {
+			m.mu.Lock()
+			m.counts[key]--
+			last := m.counts[key] == 0
+			if last {
+				delete(m.counts, key)
+			}
+			m.mu.Unlock()
+			if last {
+				return k.DoMunlock(as, start.Addr(), npages)
+			}
+			return nil
+		},
+	}, nil
+}
+
+// RangeCount reports the bookkeeping count for a range (tests only).
+func (m *mlockLocker) RangeCount(asID int, start pgtable.VPN, npages int) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.counts[mlockRange{asID: asID, start: start, npages: npages}]
+}
+
+// ---------------------------------------------------------------------------
+// kiobuf: the paper's proposal (§4) — map_user_kiobuf does the paging-in
+// and pinning through kernel-maintained accounting and returns the page
+// list, so the driver neither walks page tables nor touches page flags,
+// and registrations nest by construction.
+
+type kiobufLocker struct{}
+
+func (kiobufLocker) Name() Strategy { return StrategyKiobuf }
+
+func (kiobufLocker) Lock(k *mm.Kernel, as *mm.AddressSpace, addr pgtable.VAddr, length int) (*Lock, error) {
+	kb, err := kiobuf.MapUserKiobuf(k, as, addr, length)
+	if err != nil {
+		return nil, fmt.Errorf("core: kiobuf lock: %w", err)
+	}
+	pages := make([]phys.Addr, len(kb.Pages))
+	for i, pfn := range kb.Pages {
+		pages[i] = pfn.Addr()
+	}
+	return &Lock{
+		Strategy: StrategyKiobuf,
+		Pages:    pages,
+		Offset:   kb.Offset,
+		Length:   length,
+		unlock:   kb.Unmap,
+	}, nil
+}

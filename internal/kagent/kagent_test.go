@@ -1,0 +1,202 @@
+package kagent
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mm"
+	"repro/internal/pgtable"
+	"repro/internal/phys"
+	"repro/internal/simtime"
+	"repro/internal/via"
+	"repro/internal/vma"
+)
+
+const testTag via.ProtectionTag = 7
+
+type rig struct {
+	k     *mm.Kernel
+	nic   *via.NIC
+	agent *Agent
+	as    *mm.AddressSpace
+}
+
+func newRig(t *testing.T, s core.Strategy) *rig {
+	t.Helper()
+	meter := simtime.NewMeter()
+	k := mm.NewKernel(mm.Config{
+		RAMPages: 128, SwapPages: 1024, ClockBatch: 64, SwapBatch: 16,
+	}, meter)
+	nic := via.NewNIC("node", k.Phys(), meter, 64)
+	return &rig{
+		k:     k,
+		nic:   nic,
+		agent: New(k, nic, core.MustNew(s)),
+		as:    k.CreateProcess("app", false),
+	}
+}
+
+func (r *rig) buf(t *testing.T, npages int) pgtable.VAddr {
+	t.Helper()
+	addr, err := r.k.MMap(r.as, npages, vma.Read|vma.Write)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return addr
+}
+
+func TestRegisterDeregister(t *testing.T) {
+	r := newRig(t, core.StrategyKiobuf)
+	addr := r.buf(t, 4)
+	reg, err := r.agent.RegisterMem(r.as, addr, 4*phys.PageSize, testTag, via.MemAttrs{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.agent.Registrations() != 1 {
+		t.Fatalf("registrations = %d", r.agent.Registrations())
+	}
+	if len(reg.Pages()) != 4 {
+		t.Fatalf("pages = %d", len(reg.Pages()))
+	}
+	if r.nic.Regions() != 1 {
+		t.Fatal("NIC region missing")
+	}
+	if err := r.agent.DeregisterMem(reg); err != nil {
+		t.Fatal(err)
+	}
+	if r.agent.Registrations() != 0 || r.nic.Regions() != 0 {
+		t.Fatal("teardown incomplete")
+	}
+	if err := r.agent.DeregisterMem(reg); !errors.Is(err, ErrUnknownRegistration) {
+		t.Fatalf("double dereg err = %v", err)
+	}
+	if err := r.k.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegisterFailsOutsideVMA(t *testing.T) {
+	r := newRig(t, core.StrategyKiobuf)
+	addr := r.buf(t, 1)
+	if _, err := r.agent.RegisterMem(r.as, addr, 10*phys.PageSize, testTag, via.MemAttrs{}); err == nil {
+		t.Fatal("registration beyond the VMA accepted")
+	}
+	// Nothing may be left behind.
+	if r.agent.Registrations() != 0 || r.nic.Regions() != 0 {
+		t.Fatal("partial registration leaked")
+	}
+}
+
+func TestRegisterUnlocksOnTPTFull(t *testing.T) {
+	r := newRig(t, core.StrategyKiobuf)
+	addr := r.buf(t, 100) // TPT has only 64 slots
+	_, err := r.agent.RegisterMem(r.as, addr, 100*phys.PageSize, testTag, via.MemAttrs{})
+	if !errors.Is(err, via.ErrTPTFull) {
+		t.Fatalf("err = %v, want ErrTPTFull", err)
+	}
+	// The lock must have been released: pages evictable again.
+	for i := 0; i < 100; i++ {
+		pfn, _ := r.k.ResidentPFN(r.as, addr+pgtable.VAddr(i*phys.PageSize))
+		if pfn != phys.NoPFN && r.k.Phys().Pins(pfn) != 0 {
+			t.Fatalf("page %d still pinned after failed registration", i)
+		}
+	}
+}
+
+func TestMultipleRegistrationsIndependent(t *testing.T) {
+	r := newRig(t, core.StrategyKiobuf)
+	addr := r.buf(t, 2)
+	reg1, err := r.agent.RegisterMem(r.as, addr, 2*phys.PageSize, testTag, via.MemAttrs{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg2, err := r.agent.RegisterMem(r.as, addr, 2*phys.PageSize, testTag, via.MemAttrs{EnableRDMAWrite: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg1.Handle == reg2.Handle {
+		t.Fatal("registrations share a handle")
+	}
+	if err := r.agent.DeregisterMem(reg1); err != nil {
+		t.Fatal(err)
+	}
+	// reg2 must still be fully usable and consistent.
+	c, total, err := r.agent.ConsistentPages(reg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != total {
+		t.Fatalf("consistency %d/%d after sibling dereg", c, total)
+	}
+	if err := r.agent.DeregisterMem(reg2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConsistencyProbeUnderPressure(t *testing.T) {
+	for _, s := range []core.Strategy{core.StrategyRefcount, core.StrategyKiobuf} {
+		t.Run(string(s), func(t *testing.T) {
+			r := newRig(t, s)
+			addr := r.buf(t, 8)
+			reg, err := r.agent.RegisterMem(r.as, addr, 8*phys.PageSize, testTag, via.MemAttrs{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer func() { _ = r.agent.DeregisterMem(reg) }()
+
+			hog := r.k.CreateProcess("hog", false)
+			hogAddr, err := r.k.MMap(hog, 512, vma.Read|vma.Write)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := r.k.Touch(hog, hogAddr, 512); err != nil {
+				t.Fatal(err)
+			}
+
+			c, total, err := r.agent.ConsistentPages(reg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s == core.StrategyKiobuf && c != total {
+				t.Fatalf("kiobuf consistency %d/%d", c, total)
+			}
+			if s == core.StrategyRefcount && c == total {
+				t.Fatalf("refcount stayed consistent — pressure insufficient")
+			}
+		})
+	}
+}
+
+func TestDMAVisibilityThroughRegistration(t *testing.T) {
+	// End-to-end slice of the locktest: kernel agent DMA-writes through
+	// the registered handle and the process must see the bytes.
+	r := newRig(t, core.StrategyKiobuf)
+	addr := r.buf(t, 2)
+	reg, err := r.agent.RegisterMem(r.as, addr, 2*phys.PageSize, testTag, via.MemAttrs{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = r.agent.DeregisterMem(reg) }()
+	msg := []byte("written by the NIC")
+	if err := r.nic.DMAWriteLocal(reg.Handle, 50, msg, testTag); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if err := r.k.CopyFromUser(r.as, addr+50, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(msg) {
+		t.Fatalf("process sees %q", got)
+	}
+}
+
+func TestStrategyAccessor(t *testing.T) {
+	r := newRig(t, core.StrategyMlock)
+	if r.agent.Strategy() != core.StrategyMlock {
+		t.Fatalf("strategy = %s", r.agent.Strategy())
+	}
+	if r.agent.NIC() != r.nic || r.agent.Kernel() != r.k {
+		t.Fatal("accessors broken")
+	}
+}

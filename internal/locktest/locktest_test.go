@@ -1,0 +1,152 @@
+package locktest
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestRefcountReproducesPaperFinding(t *testing.T) {
+	// The paper's observation, §3.1: "in most cases we observed a
+	// different behavior: all physical addresses had changed and the
+	// first page still contained its original value."
+	r, err := Run(core.StrategyRefcount, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PagesRelocated == 0 {
+		t.Fatal("no pages relocated — the failure did not reproduce")
+	}
+	if r.DMAVisible {
+		t.Fatal("DMA write visible despite relocation — stale TPT should hide it")
+	}
+	if r.OrphanedFrames == 0 {
+		t.Fatal("no orphaned frames counted")
+	}
+	// "system stability is not affected by this lapse".
+	if !r.InvariantsHeld {
+		t.Fatalf("kernel invariants violated: %v", r.InvariantErr)
+	}
+	if !r.DataIntact {
+		t.Fatal("CPU-visible data corrupted — wrong failure mode")
+	}
+	if r.Verdict() != "BROKEN" {
+		t.Fatalf("verdict %q", r.Verdict())
+	}
+}
+
+func TestKiobufPassesExperiment(t *testing.T) {
+	r, err := Run(core.StrategyKiobuf, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PagesRelocated != 0 {
+		t.Fatalf("%d pages relocated under kiobuf locking", r.PagesRelocated)
+	}
+	if !r.DMAVisible {
+		t.Fatal("DMA write not visible")
+	}
+	if r.TPTConsistentPages != r.Pages {
+		t.Fatalf("TPT consistency %d/%d", r.TPTConsistentPages, r.Pages)
+	}
+	if !r.InvariantsHeld {
+		t.Fatalf("invariants: %v", r.InvariantErr)
+	}
+	if r.Verdict() != "RELIABLE" {
+		t.Fatalf("verdict %q", r.Verdict())
+	}
+}
+
+func TestMlockPassesExperiment(t *testing.T) {
+	r, err := Run(core.StrategyMlock, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Verdict() != "RELIABLE" {
+		t.Fatalf("verdict %q (relocated %d, visible %v)", r.Verdict(), r.PagesRelocated, r.DMAVisible)
+	}
+}
+
+func TestPageFlagPassesSingleRegistration(t *testing.T) {
+	// The Giganet approach does pin pages — its failures are the flag
+	// races and nesting, covered by package core's tests.
+	r, err := Run(core.StrategyPageFlag, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Verdict() != "RELIABLE" {
+		t.Fatalf("verdict %q", r.Verdict())
+	}
+}
+
+func TestNoneFailsExperiment(t *testing.T) {
+	r, err := Run(core.StrategyNone, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Verdict() == "RELIABLE" {
+		t.Fatal("no locking at all passed the experiment")
+	}
+}
+
+func TestRunAllCoversEveryStrategy(t *testing.T) {
+	results, err := RunAll(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(core.Strategies()) {
+		t.Fatalf("results = %d", len(results))
+	}
+	verdicts := map[core.Strategy]string{}
+	for _, r := range results {
+		verdicts[r.Strategy] = r.Verdict()
+	}
+	// The paper's qualitative table.
+	want := map[core.Strategy]string{
+		core.StrategyNone:     "BROKEN",
+		core.StrategyRefcount: "BROKEN",
+		core.StrategyPageFlag: "RELIABLE",
+		core.StrategyMlock:    "RELIABLE",
+		core.StrategyKiobuf:   "RELIABLE",
+	}
+	for s, v := range want {
+		if verdicts[s] != v {
+			t.Errorf("%s: verdict %q, want %q", s, verdicts[s], v)
+		}
+	}
+}
+
+func TestRegistrationTimesMeasured(t *testing.T) {
+	r, err := Run(core.StrategyKiobuf, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.RegisterTime <= 0 || r.DeregisterTime <= 0 {
+		t.Fatalf("times: reg %v dereg %v", r.RegisterTime, r.DeregisterTime)
+	}
+	if r.RegisterTime <= r.DeregisterTime {
+		t.Fatalf("registration (%v) should cost more than deregistration (%v): it pins per page", r.RegisterTime, r.DeregisterTime)
+	}
+}
+
+func TestLowPressureLeavesEvenRefcountIntact(t *testing.T) {
+	// With no pressure the broken strategies pass — the bug only shows
+	// under memory shortage, which is why it shipped (E5's zero point).
+	cfg := DefaultConfig()
+	cfg.PressureFraction = 0
+	r, err := Run(core.StrategyRefcount, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PagesRelocated != 0 || !r.DMAVisible {
+		t.Fatalf("refcount failed without pressure: relocated %d, visible %v", r.PagesRelocated, r.DMAVisible)
+	}
+}
+
+func TestBadConfigRejected(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RegionPages = 0
+	if _, err := Run(core.StrategyKiobuf, cfg); err == nil {
+		t.Fatal("zero-page region accepted")
+	}
+}

@@ -1,0 +1,131 @@
+package mm
+
+import (
+	"fmt"
+
+	"repro/internal/pgtable"
+	"repro/internal/phys"
+)
+
+// CopyToUser writes buf into the process's address space at addr, exactly
+// as CPU stores would: page by page, taking faults as needed, setting the
+// accessed and dirty bits.  This is the path the locktest experiment uses
+// to "fill the block with data" and later to re-touch it.
+func (k *Kernel) CopyToUser(as *AddressSpace, addr pgtable.VAddr, buf []byte) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.accessLocked(as, addr, buf, true)
+}
+
+// CopyFromUser reads len(buf) bytes from the process's address space into
+// buf, faulting pages in as needed and setting accessed bits.
+func (k *Kernel) CopyFromUser(as *AddressSpace, addr pgtable.VAddr, buf []byte) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.accessLocked(as, addr, buf, false)
+}
+
+func (k *Kernel) accessLocked(as *AddressSpace, addr pgtable.VAddr, buf []byte, write bool) error {
+	if as.dead {
+		return ErrNoProcess
+	}
+	done := 0
+	for done < len(buf) {
+		a := addr + pgtable.VAddr(done)
+		v := pgtable.PageOf(a)
+		off := pgtable.Offset(a)
+		n := phys.PageSize - off
+		if n > len(buf)-done {
+			n = len(buf) - done
+		}
+		pfn, err := k.translateLocked(as, v, write)
+		if err != nil {
+			return err
+		}
+		fb, err := k.phys.FrameBytes(pfn)
+		if err != nil {
+			return err
+		}
+		if write {
+			copy(fb[off:off+n], buf[done:done+n])
+		} else {
+			copy(buf[done:done+n], fb[off:off+n])
+		}
+		done += n
+	}
+	return nil
+}
+
+// Touch performs a one-byte store to every page of [addr, addr+npages),
+// forcing them resident and dirty — the allocator workload's loop.
+// The stored byte is the page's current first byte (a no-op store), so
+// data survives while pressure is still generated.
+func (k *Kernel) Touch(as *AddressSpace, addr pgtable.VAddr, npages int) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	for i := 0; i < npages; i++ {
+		v := pgtable.PageOf(addr) + pgtable.VPN(i)
+		if _, err := k.translateLocked(as, v, true); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// translateLocked resolves a virtual page to a frame for an access,
+// faulting until the translation is valid, then updates the A/D bits.
+func (k *Kernel) translateLocked(as *AddressSpace, v pgtable.VPN, write bool) (phys.PFN, error) {
+	for try := 0; try < 3; try++ {
+		k.charge(k.costs().PTEWalk)
+		e, err := as.pt.Lookup(v)
+		if err != nil {
+			return phys.NoPFN, err
+		}
+		if e.Present() && (!write || e.Writable()) {
+			f := pgtable.FlagAccessed
+			if write {
+				f |= pgtable.FlagDirty
+			}
+			if err := as.pt.SetFlags(v, f); err != nil {
+				return phys.NoPFN, err
+			}
+			// Re-read: SetFlags cannot change the PFN, so e is still valid.
+			return e.PFN(), nil
+		}
+		if err := k.handleFaultLocked(as, v.Addr(), write); err != nil {
+			return phys.NoPFN, err
+		}
+	}
+	return phys.NoPFN, fmt.Errorf("mm: translation for vpn %d did not settle", v)
+}
+
+// WalkPhys translates a user virtual address to a physical address by
+// walking the page tables — the operation Linus's rule forbids drivers
+// from doing, which every locking strategy except the kiobuf one needs
+// (§4.1).  It faults the page in first if necessary.
+func (k *Kernel) WalkPhys(as *AddressSpace, addr pgtable.VAddr) (phys.Addr, error) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	v := pgtable.PageOf(addr)
+	pfn, err := k.translateLocked(as, v, false)
+	if err != nil {
+		return 0, err
+	}
+	return pfn.Addr() + phys.Addr(pgtable.Offset(addr)), nil
+}
+
+// ResidentPFN reports the frame currently backing the page, or NoPFN if
+// the page is not resident.  Unlike WalkPhys it never faults, so probes
+// do not perturb the experiment.
+func (k *Kernel) ResidentPFN(as *AddressSpace, addr pgtable.VAddr) (phys.PFN, error) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	e, err := as.pt.Lookup(pgtable.PageOf(addr))
+	if err != nil {
+		return phys.NoPFN, err
+	}
+	if !e.Present() {
+		return phys.NoPFN, nil
+	}
+	return e.PFN(), nil
+}

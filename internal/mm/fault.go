@@ -1,0 +1,217 @@
+package mm
+
+import (
+	"fmt"
+
+	"repro/internal/pgtable"
+	"repro/internal/phys"
+	"repro/internal/vma"
+)
+
+// GetFreePage allocates one frame, running direct reclaim when the free
+// list is empty — the get_free_pages → try_to_free_pages chain of §2.2.
+// The returned frame has Count = 1 and is zero-filled.
+func (k *Kernel) GetFreePage() (phys.PFN, error) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.getFreePageLocked()
+}
+
+func (k *Kernel) getFreePageLocked() (phys.PFN, error) {
+	k.charge(k.costs().PageAlloc)
+	// Reclaim rounds, like the rising-priority loop in
+	// do_try_to_free_pages.  A round that frees nothing may still have
+	// aged pages (cleared referenced/accessed bits), so only several
+	// consecutive fruitless rounds mean genuine OOM.
+	zeroRounds := 0
+	for {
+		pfn, err := k.phys.AllocFrame()
+		if err == nil {
+			return pfn, nil
+		}
+		if freed := k.tryToFreePagesLocked(); freed == 0 {
+			zeroRounds++
+			if zeroRounds >= 3 {
+				return phys.NoPFN, ErrOOM
+			}
+		} else {
+			zeroRounds = 0
+		}
+	}
+}
+
+// HandleFault services a page fault at addr in the given address space.
+// write indicates a store.  It implements demand-zero, swap-in and
+// copy-on-write; protection violations and unmapped addresses return
+// ErrSegv.
+func (k *Kernel) HandleFault(as *AddressSpace, addr pgtable.VAddr, write bool) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.handleFaultLocked(as, addr, write)
+}
+
+func (k *Kernel) handleFaultLocked(as *AddressSpace, addr pgtable.VAddr, write bool) error {
+	if as.dead {
+		return ErrNoProcess
+	}
+	v := pgtable.PageOf(addr)
+	area, ok := as.vmas.Find(v)
+	if !ok {
+		return fmt.Errorf("%w: %v no vma for %#x", ErrSegv, as, uint64(addr))
+	}
+	if write && area.Flags&vma.Write == 0 {
+		return fmt.Errorf("%w: %v write to read-only area %v", ErrSegv, as, area)
+	}
+	if !write && area.Flags&vma.Read == 0 {
+		return fmt.Errorf("%w: %v read from non-readable area %v", ErrSegv, as, area)
+	}
+
+	k.charge(k.costs().PTEWalk)
+	e, err := as.pt.Lookup(v)
+	if err != nil {
+		return err
+	}
+
+	switch {
+	case e.None():
+		return k.demandZeroLocked(as, v, area, write)
+	case e.Swapped():
+		return k.swapInLocked(as, v, e, area, write)
+	case e.Present() && write && !e.Writable():
+		return k.cowLocked(as, v, e)
+	case e.Present():
+		// Spurious fault (e.g. racing touch): refresh A/D bits.
+		f := pgtable.FlagAccessed
+		if write {
+			f |= pgtable.FlagDirty
+		}
+		return as.pt.SetFlags(v, f)
+	default:
+		return fmt.Errorf("mm: unhandled PTE state %v for vpn %d", e, v)
+	}
+}
+
+// demandZeroLocked materializes a never-touched anonymous page.
+func (k *Kernel) demandZeroLocked(as *AddressSpace, v pgtable.VPN, area vma.VMA, write bool) error {
+	pfn, err := k.getFreePageLocked()
+	if err != nil {
+		return err
+	}
+	k.charge(k.costs().PageZero)
+	flags := protFlags(area, true) | pgtable.FlagAccessed
+	if write {
+		flags |= pgtable.FlagDirty
+	}
+	k.stats.MinorFaults++
+	return as.pt.Set(v, pgtable.MakePresent(pfn, flags))
+}
+
+// swapInLocked brings a page back from swap.  Note that it always
+// allocates a fresh frame: this is what strands the orphaned frame held
+// by a refcount-only "lock" (paper §3.1, step 4 of the experiment).
+//
+// When the slot is unshared and the fault is a read, the slot is kept as
+// the frame's swap-cache image (PG_SwapCache): a later clean re-eviction
+// can then skip the device write entirely.
+func (k *Kernel) swapInLocked(as *AddressSpace, v pgtable.VPN, e pgtable.PTE, area vma.VMA, write bool) error {
+	slot := e.SwapSlot()
+	pfn, err := k.getFreePageLocked()
+	if err != nil {
+		return err
+	}
+	buf, err := k.phys.FrameBytes(pfn)
+	if err != nil {
+		return err
+	}
+	if err := k.swap.Read(slot, buf); err != nil {
+		return err
+	}
+	if !write && k.swap.UseCount(slot) == 1 {
+		// Keep the image: the PTE's use of the slot transfers to the
+		// swap cache.
+		k.swapCache[pfn] = slot
+		_ = k.phys.SetFlags(pfn, phys.PGSwapCache)
+	} else {
+		if _, err := k.swap.Free(slot); err != nil {
+			return err
+		}
+	}
+	k.charge(k.costs().PageIn)
+	k.stats.MajorFaults++
+	k.stats.SwapIns++
+	flags := protFlags(area, true) | pgtable.FlagAccessed
+	if write {
+		flags |= pgtable.FlagDirty
+	}
+	return as.pt.Set(v, pgtable.MakePresent(pfn, flags))
+}
+
+// cowLocked resolves a write fault on a read-only mapping of a writable
+// area: exclusive frames are simply re-enabled for writing, shared frames
+// are copied.
+func (k *Kernel) cowLocked(as *AddressSpace, v pgtable.VPN, e pgtable.PTE) error {
+	old := e.PFN()
+	if k.phys.RefCount(old) == 1 {
+		// Sole owner: reuse the frame writable.
+		k.stats.MinorFaults++
+		return as.pt.Set(v, e|pgtable.FlagWrite|pgtable.FlagDirty|pgtable.FlagAccessed)
+	}
+	pfn, err := k.getFreePageLocked()
+	if err != nil {
+		return err
+	}
+	dst, err := k.phys.FrameBytes(pfn)
+	if err != nil {
+		return err
+	}
+	src, err := k.phys.FrameBytes(old)
+	if err != nil {
+		return err
+	}
+	copy(dst, src)
+	k.charge(k.costs().PageCopy)
+	if err := k.putMappedFrameLocked(old); err != nil {
+		return err
+	}
+	k.stats.MinorFaults++
+	k.stats.COWCopies++
+	return as.pt.Set(v, pgtable.MakePresent(pfn,
+		e&(pgtable.FlagUser)|pgtable.FlagWrite|pgtable.FlagDirty|pgtable.FlagAccessed))
+}
+
+// MakePagesPresent faults every page of [addr, addr+npages pages) into
+// memory — the make_pages_present step of do_mlock and the page-in phase
+// of every registration path.
+func (k *Kernel) MakePagesPresent(as *AddressSpace, addr pgtable.VAddr, npages int, write bool) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.makePagesPresentLocked(as, addr, npages, write)
+}
+
+func (k *Kernel) makePagesPresentLocked(as *AddressSpace, addr pgtable.VAddr, npages int, write bool) error {
+	start := pgtable.PageOf(addr)
+	for i := 0; i < npages; i++ {
+		v := start + pgtable.VPN(i)
+		e, err := as.pt.Lookup(v)
+		if err != nil {
+			return err
+		}
+		needFault := !e.Present() || (write && !e.Writable())
+		if needFault {
+			if err := k.handleFaultLocked(as, v.Addr(), write); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// protFlags derives PTE protection bits from a VMA.  Writable areas get
+// the write bit only when grantWrite is set (COW keeps it clear).
+func protFlags(a vma.VMA, grantWrite bool) pgtable.PTE {
+	f := pgtable.FlagUser
+	if a.Flags&vma.Write != 0 && grantWrite {
+		f |= pgtable.FlagWrite
+	}
+	return f
+}

@@ -1,0 +1,40 @@
+package mm
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestMemlockLimitEnforced(t *testing.T) {
+	k := smallKernel()
+	as := k.CreateProcess("p", true)
+	k.SetMemlockLimit(as, 4)
+	addr := mmapRW(t, k, as, 8)
+	if err := k.DoMlock(as, addr, 3); err != nil {
+		t.Fatal(err)
+	}
+	// 3 locked + 3 more would exceed the 4-page limit.
+	if err := k.DoMlock(as, addr+5*4096, 3); !errors.Is(err, ErrMemlockLimit) {
+		t.Fatalf("err = %v, want ErrMemlockLimit", err)
+	}
+	// One more page fits.
+	if err := k.DoMlock(as, addr+5*4096, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Unlocking frees budget.
+	if err := k.DoMunlock(as, addr, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.DoMlock(as, addr+4*4096, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemlockLimitZeroIsUnlimited(t *testing.T) {
+	k := smallKernel()
+	as := k.CreateProcess("p", true)
+	addr := mmapRW(t, k, as, 16)
+	if err := k.DoMlock(as, addr, 16); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,100 @@
+package mm
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/caps"
+	"repro/internal/pgtable"
+	"repro/internal/vma"
+)
+
+// ErrMemlockLimit is ENOMEM from the RLIMIT_MEMLOCK check.
+var ErrMemlockLimit = errors.New("mm: locked-memory limit exceeded")
+
+// SetMemlockLimit sets the process's RLIMIT_MEMLOCK in pages
+// (0 = unlimited, the boot default in this simulation).
+func (k *Kernel) SetMemlockLimit(as *AddressSpace, pages int) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	as.memlockLimit = pages
+}
+
+// DoMlock locks the pages of [addr, addr+npages pages) into memory by
+// setting VM_LOCKED on the covering areas, splitting them at the range
+// borders as needed, and faulting every page in (make_pages_present).
+// Like the kernel's do_mlock it requires CAP_IPC_LOCK, enforces
+// RLIMIT_MEMLOCK, and does NOT nest: one munlock undoes any number of
+// mlocks on the range (§3.2).
+func (k *Kernel) DoMlock(as *AddressSpace, addr pgtable.VAddr, npages int) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if as.dead {
+		return ErrNoProcess
+	}
+	if !as.caps.Has(caps.IPCLock) {
+		return fmt.Errorf("%w: mlock needs %v", ErrPerm, caps.IPCLock)
+	}
+	if as.memlockLimit > 0 {
+		// Worst case: the whole range is newly locked.  (The kernel
+		// computes the exact delta; the conservative bound keeps the
+		// check simple and errs on the strict side.)
+		if as.vmas.LockedPages()+npages > as.memlockLimit {
+			return fmt.Errorf("%w: %d locked + %d requested > limit %d",
+				ErrMemlockLimit, as.vmas.LockedPages(), npages, as.memlockLimit)
+		}
+	}
+	k.charge(k.costs().KernelCall)
+	start := pgtable.PageOf(addr)
+	end := start + pgtable.VPN(npages)
+	splits, err := as.vmas.SetFlags(start, end, vma.Locked, 0)
+	if err != nil {
+		return err
+	}
+	k.chargeN(k.costs().VMAOp, splits+1)
+	// make_pages_present: fault everything in while the area is already
+	// marked locked, so the pages can never be selected for eviction.
+	return k.makePagesPresentLocked(as, addr, npages, false)
+}
+
+// DoMunlock clears VM_LOCKED from the range.  No capability is required
+// (matching the kernel: munlock only shrinks the locked set).
+func (k *Kernel) DoMunlock(as *AddressSpace, addr pgtable.VAddr, npages int) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if as.dead {
+		return ErrNoProcess
+	}
+	k.charge(k.costs().KernelCall)
+	start := pgtable.PageOf(addr)
+	end := start + pgtable.VPN(npages)
+	splits, err := as.vmas.SetFlags(start, end, 0, vma.Locked)
+	if err != nil {
+		return err
+	}
+	k.chargeN(k.costs().VMAOp, splits+1)
+	return nil
+}
+
+// LockedPages reports how many of the process's pages sit in VM_LOCKED
+// areas.
+func (k *Kernel) LockedPages(as *AddressSpace) int {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return as.vmas.LockedPages()
+}
+
+// RangeLocked reports whether every page of the range lies in a
+// VM_LOCKED area.
+func (k *Kernel) RangeLocked(as *AddressSpace, addr pgtable.VAddr, npages int) bool {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	start := pgtable.PageOf(addr)
+	for i := 0; i < npages; i++ {
+		a, ok := as.vmas.Find(start + pgtable.VPN(i))
+		if !ok || a.Flags&vma.Locked == 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,648 @@
+package mm
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/caps"
+	"repro/internal/pgtable"
+	"repro/internal/phys"
+	"repro/internal/simtime"
+	"repro/internal/vma"
+)
+
+// smallKernel boots a tiny node: 64 frames RAM, 256 slots swap.
+func smallKernel() *Kernel {
+	return NewKernel(Config{
+		RAMPages:   64,
+		SwapPages:  256,
+		FreeLow:    4,
+		FreeHigh:   8,
+		ClockBatch: 32,
+		SwapBatch:  8,
+	}, simtime.NewMeter())
+}
+
+func mmapRW(t *testing.T, k *Kernel, as *AddressSpace, npages int) pgtable.VAddr {
+	t.Helper()
+	addr, err := k.MMap(as, npages, vma.Read|vma.Write)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return addr
+}
+
+func TestDemandZeroFault(t *testing.T) {
+	k := smallKernel()
+	as := k.CreateProcess("p", false)
+	addr := mmapRW(t, k, as, 4)
+	if k.RSS(as) != 0 {
+		t.Fatalf("rss before touch = %d", k.RSS(as))
+	}
+	if err := k.HandleFault(as, addr, true); err != nil {
+		t.Fatal(err)
+	}
+	if k.RSS(as) != 1 {
+		t.Fatalf("rss after one fault = %d", k.RSS(as))
+	}
+	if got := k.Stats().MinorFaults; got != 1 {
+		t.Fatalf("minor faults = %d", got)
+	}
+}
+
+func TestFaultOutsideVMAIsSegv(t *testing.T) {
+	k := smallKernel()
+	as := k.CreateProcess("p", false)
+	if err := k.HandleFault(as, 0x1000, false); !errors.Is(err, ErrSegv) {
+		t.Fatalf("err = %v, want ErrSegv", err)
+	}
+}
+
+func TestWriteToReadOnlyAreaIsSegv(t *testing.T) {
+	k := smallKernel()
+	as := k.CreateProcess("p", false)
+	addr, err := k.MMap(as, 1, vma.Read)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.HandleFault(as, addr, true); !errors.Is(err, ErrSegv) {
+		t.Fatalf("err = %v, want ErrSegv", err)
+	}
+	// Reading is fine.
+	if err := k.HandleFault(as, addr, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCopyToFromUser(t *testing.T) {
+	k := smallKernel()
+	as := k.CreateProcess("p", false)
+	addr := mmapRW(t, k, as, 3)
+	// Cross a page boundary deliberately.
+	msg := bytes.Repeat([]byte("chemnitz"), 1000) // 8000 bytes > 1 page
+	if err := k.CopyToUser(as, addr+100, msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if err := k.CopyFromUser(as, addr+100, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestSwapOutAndBack(t *testing.T) {
+	k := smallKernel()
+	as := k.CreateProcess("p", false)
+	addr := mmapRW(t, k, as, 4)
+	data := []byte("will travel to swap and back")
+	if err := k.CopyToUser(as, addr, data); err != nil {
+		t.Fatal(err)
+	}
+	// Age the pages (clear accessed) then evict.
+	if n := k.SwapOut(8); n != 0 {
+		t.Fatalf("first pass should only age pages, evicted %d", n)
+	}
+	if n := k.SwapOut(8); n == 0 {
+		t.Fatal("second pass evicted nothing")
+	}
+	pfn, err := k.ResidentPFN(as, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pfn != phys.NoPFN {
+		t.Fatal("page still resident after swap-out")
+	}
+	// Touch it back in and verify contents survived the round trip.
+	got := make([]byte, len(data))
+	if err := k.CopyFromUser(as, addr, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("swap round trip corrupted data: %q", got)
+	}
+	st := k.Stats()
+	if st.SwapOuts == 0 || st.SwapIns == 0 || st.MajorFaults == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestSwapInUsesFreshFrame(t *testing.T) {
+	// The mechanism behind the paper's experiment: after swap-out with an
+	// extra reference held, swap-in allocates a NEW frame.
+	k := smallKernel()
+	as := k.CreateProcess("p", false)
+	addr := mmapRW(t, k, as, 1)
+	if err := k.CopyToUser(as, addr, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := k.ResidentPFN(as, addr)
+	// Driver-style extra reference.
+	if err := k.Phys().Get(before); err != nil {
+		t.Fatal(err)
+	}
+	k.SwapOut(8) // age
+	if n := k.SwapOut(8); n != 1 {
+		t.Fatalf("evicted %d, want 1 (refcount must not protect)", n)
+	}
+	if err := k.Touch(as, addr, 1); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := k.ResidentPFN(as, addr)
+	if after == before {
+		t.Fatal("swap-in reused the orphaned frame")
+	}
+	if k.Phys().RefCount(before) != 1 {
+		t.Fatalf("orphan refcount = %d", k.Phys().RefCount(before))
+	}
+	if got := k.OrphanFrames(); got != 1 {
+		t.Fatalf("OrphanFrames = %d, want 1", got)
+	}
+}
+
+func TestSwapSkipsLockedFlags(t *testing.T) {
+	k := smallKernel()
+	as := k.CreateProcess("p", false)
+	addr := mmapRW(t, k, as, 2)
+	if err := k.Touch(as, addr, 2); err != nil {
+		t.Fatal(err)
+	}
+	pfn0, _ := k.ResidentPFN(as, addr)
+	if err := k.Phys().SetFlags(pfn0, phys.PGLocked); err != nil {
+		t.Fatal(err)
+	}
+	k.SwapOut(8) // age pass
+	k.SwapOut(8) // evict pass
+	if got, _ := k.ResidentPFN(as, addr); got == phys.NoPFN {
+		t.Fatal("PG_locked page was swapped out")
+	}
+	if got, _ := k.ResidentPFN(as, addr+phys.PageSize); got != phys.NoPFN {
+		t.Fatal("unlocked neighbour survived (eviction did not run?)")
+	}
+}
+
+func TestSwapSkipsPinnedPages(t *testing.T) {
+	k := smallKernel()
+	as := k.CreateProcess("p", false)
+	addr := mmapRW(t, k, as, 1)
+	if err := k.Touch(as, addr, 1); err != nil {
+		t.Fatal(err)
+	}
+	pfn, _ := k.ResidentPFN(as, addr)
+	if err := k.Phys().Pin(pfn); err != nil {
+		t.Fatal(err)
+	}
+	k.SwapOut(8)
+	k.SwapOut(8)
+	if got, _ := k.ResidentPFN(as, addr); got == phys.NoPFN {
+		t.Fatal("pinned page was swapped out")
+	}
+}
+
+func TestSwapSkipsVMLockedAreas(t *testing.T) {
+	k := smallKernel()
+	as := k.CreateProcess("p", true) // root so mlock is allowed
+	addr := mmapRW(t, k, as, 3)
+	if err := k.DoMlock(as, addr, 3); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		k.SwapOut(16)
+	}
+	for i := 0; i < 3; i++ {
+		if got, _ := k.ResidentPFN(as, addr+pgtable.VAddr(i*phys.PageSize)); got == phys.NoPFN {
+			t.Fatalf("page %d of VM_LOCKED area swapped out", i)
+		}
+	}
+}
+
+func TestMlockNeedsCapability(t *testing.T) {
+	k := smallKernel()
+	as := k.CreateProcess("p", false)
+	addr := mmapRW(t, k, as, 1)
+	if err := k.DoMlock(as, addr, 1); !errors.Is(err, ErrPerm) {
+		t.Fatalf("err = %v, want ErrPerm", err)
+	}
+	// The capability-raise workaround from §3.2.
+	k.RaiseCapability(as, caps.IPCLock)
+	if err := k.DoMlock(as, addr, 1); err != nil {
+		t.Fatal(err)
+	}
+	k.LowerCapability(as, caps.IPCLock)
+	if !k.RangeLocked(as, addr, 1) {
+		t.Fatal("range not locked")
+	}
+	// munlock needs no capability.
+	if err := k.DoMunlock(as, addr, 1); err != nil {
+		t.Fatal(err)
+	}
+	if k.RangeLocked(as, addr, 1) {
+		t.Fatal("range still locked")
+	}
+}
+
+func TestMlockMakesPagesPresent(t *testing.T) {
+	k := smallKernel()
+	as := k.CreateProcess("p", true)
+	addr := mmapRW(t, k, as, 5)
+	if err := k.DoMlock(as, addr, 5); err != nil {
+		t.Fatal(err)
+	}
+	if got := k.RSS(as); got != 5 {
+		t.Fatalf("rss after mlock = %d, want 5", got)
+	}
+}
+
+func TestMlockDoesNotNest(t *testing.T) {
+	k := smallKernel()
+	as := k.CreateProcess("p", true)
+	addr := mmapRW(t, k, as, 2)
+	if err := k.DoMlock(as, addr, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.DoMlock(as, addr, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.DoMunlock(as, addr, 2); err != nil {
+		t.Fatal(err)
+	}
+	if k.RangeLocked(as, addr, 2) {
+		t.Fatal("mlock nested; kernel semantics say it must not")
+	}
+}
+
+func TestMlockSubRangeSplitsVMA(t *testing.T) {
+	k := smallKernel()
+	as := k.CreateProcess("p", true)
+	addr := mmapRW(t, k, as, 10)
+	if err := k.DoMlock(as, addr+2*phys.PageSize, 3); err != nil {
+		t.Fatal(err)
+	}
+	areas := k.VMAs(as)
+	if len(areas) != 3 {
+		t.Fatalf("areas = %v, want 3 after split", areas)
+	}
+	if k.LockedPages(as) != 3 {
+		t.Fatalf("locked pages = %d", k.LockedPages(as))
+	}
+}
+
+func TestGetFreePageTriggersReclaim(t *testing.T) {
+	k := smallKernel()
+	as := k.CreateProcess("hog", false)
+	addr := mmapRW(t, k, as, 256) // 4x physical RAM
+	// Touch everything: demand paging + direct reclaim must carry this
+	// past the 64-frame RAM by pushing older pages to swap.
+	if err := k.Touch(as, addr, 256); err != nil {
+		t.Fatal(err)
+	}
+	st := k.Stats()
+	if st.SwapOuts == 0 {
+		t.Fatal("no swap-outs despite 4x overcommit")
+	}
+	if st.DirectScans == 0 {
+		t.Fatal("direct reclaim never ran")
+	}
+	if err := k.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOOMWhenNothingReclaimable(t *testing.T) {
+	// Lock all memory via pins, then ask for more.
+	k := NewKernel(Config{RAMPages: 16, SwapPages: 16, ClockBatch: 16, SwapBatch: 16}, nil)
+	as := k.CreateProcess("p", false)
+	addr, err := k.MMap(as, 14, vma.Read|vma.Write)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pfns, err := k.PinUserPages(as, addr, 14, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = k.UnpinUserPages(pfns) }()
+	// Pin the remaining 2 frames as well: now nothing is reclaimable.
+	addr2, err := k.MMap(as, 2, vma.Read|vma.Write)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pfns2, err := k.PinUserPages(as, addr2, 2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = k.UnpinUserPages(pfns2) }()
+	addr3, err := k.MMap(as, 1, vma.Read|vma.Write)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = k.Touch(as, addr3, 1)
+	if !errors.Is(err, ErrOOM) {
+		t.Fatalf("err = %v, want ErrOOM", err)
+	}
+}
+
+func TestShrinkMmapReclaimsOnlyCachePages(t *testing.T) {
+	k := smallKernel()
+	as := k.CreateProcess("p", false)
+	addr := mmapRW(t, k, as, 8)
+	if err := k.Touch(as, addr, 8); err != nil {
+		t.Fatal(err)
+	}
+	added := k.PopulateCache(16)
+	if added != 16 {
+		t.Fatalf("cache added %d", added)
+	}
+	// First full sweep only clears referenced bits; second frees.
+	k.ShrinkMmap(64)
+	freed := k.ShrinkMmap(64)
+	if freed == 0 {
+		t.Fatal("clock reclaimed nothing from the cache")
+	}
+	// User pages must be untouched.
+	for i := 0; i < 8; i++ {
+		if got, _ := k.ResidentPFN(as, addr+pgtable.VAddr(i*phys.PageSize)); got == phys.NoPFN {
+			t.Fatalf("shrink_mmap took user page %d", i)
+		}
+	}
+}
+
+func TestClockSecondChance(t *testing.T) {
+	k := smallKernel()
+	k.PopulateCache(4)
+	// All cache pages start referenced: one sweep frees nothing.
+	if freed := k.ShrinkMmap(64); freed != 0 {
+		t.Fatalf("first sweep freed %d, want 0 (second chance)", freed)
+	}
+	if freed := k.ShrinkMmap(64); freed != 4 {
+		t.Fatalf("second sweep freed %d, want 4", freed)
+	}
+}
+
+func TestCOWAfterFork(t *testing.T) {
+	k := smallKernel()
+	parent := k.CreateProcess("parent", false)
+	addr := mmapRW(t, k, parent, 2)
+	if err := k.CopyToUser(parent, addr, []byte("shared")); err != nil {
+		t.Fatal(err)
+	}
+	child, err := k.Fork(parent, "child")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pPfn, _ := k.ResidentPFN(parent, addr)
+	cPfn, _ := k.ResidentPFN(child, addr)
+	if pPfn != cPfn {
+		t.Fatal("fork did not share the frame")
+	}
+	if k.Phys().RefCount(pPfn) != 2 {
+		t.Fatalf("shared frame refcount = %d", k.Phys().RefCount(pPfn))
+	}
+	// Child writes: COW copy.
+	if err := k.CopyToUser(child, addr, []byte("child!")); err != nil {
+		t.Fatal(err)
+	}
+	cPfn2, _ := k.ResidentPFN(child, addr)
+	if cPfn2 == pPfn {
+		t.Fatal("COW did not copy")
+	}
+	// Parent still sees original data.
+	got := make([]byte, 6)
+	if err := k.CopyFromUser(parent, addr, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "shared" {
+		t.Fatalf("parent sees %q", got)
+	}
+	if k.Stats().COWCopies == 0 {
+		t.Fatal("no COW copy counted")
+	}
+}
+
+func TestForkSwappedPages(t *testing.T) {
+	k := smallKernel()
+	parent := k.CreateProcess("parent", false)
+	addr := mmapRW(t, k, parent, 2)
+	if err := k.CopyToUser(parent, addr, []byte("deep")); err != nil {
+		t.Fatal(err)
+	}
+	k.SwapOut(8)
+	k.SwapOut(8)
+	child, err := k.Fork(parent, "child")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 4)
+	if err := k.CopyFromUser(child, addr, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "deep" {
+		t.Fatalf("child read %q from swapped page", got)
+	}
+	// Parent's copy must also still be intact.
+	if err := k.CopyFromUser(parent, addr, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "deep" {
+		t.Fatalf("parent read %q", got)
+	}
+	if err := k.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMunmapReleasesMemory(t *testing.T) {
+	k := smallKernel()
+	as := k.CreateProcess("p", false)
+	freeBefore := k.FreePages()
+	addr := mmapRW(t, k, as, 8)
+	if err := k.Touch(as, addr, 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Munmap(as, addr, 8); err != nil {
+		t.Fatal(err)
+	}
+	if got := k.FreePages(); got != freeBefore {
+		t.Fatalf("free pages %d, want %d", got, freeBefore)
+	}
+	if err := k.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMunmapReleasesSwapSlots(t *testing.T) {
+	k := smallKernel()
+	as := k.CreateProcess("p", false)
+	addr := mmapRW(t, k, as, 4)
+	if err := k.Touch(as, addr, 4); err != nil {
+		t.Fatal(err)
+	}
+	k.SwapOut(8)
+	k.SwapOut(8)
+	used := k.Swap().NumSlots() - k.Swap().FreeSlots()
+	if used == 0 {
+		t.Fatal("setup: nothing swapped")
+	}
+	if err := k.Munmap(as, addr, 4); err != nil {
+		t.Fatal(err)
+	}
+	if got := k.Swap().FreeSlots(); got != k.Swap().NumSlots() {
+		t.Fatalf("swap slots leaked: %d free of %d", got, k.Swap().NumSlots())
+	}
+}
+
+func TestDestroyProcessReleasesAll(t *testing.T) {
+	k := smallKernel()
+	as := k.CreateProcess("p", false)
+	addr := mmapRW(t, k, as, 16)
+	if err := k.Touch(as, addr, 16); err != nil {
+		t.Fatal(err)
+	}
+	k.SwapOut(8)
+	k.SwapOut(8)
+	if err := k.DestroyProcess(as); err != nil {
+		t.Fatal(err)
+	}
+	if got := k.FreePages(); got != k.Config().RAMPages {
+		t.Fatalf("frames leaked: %d free of %d", got, k.Config().RAMPages)
+	}
+	if got := k.Swap().FreeSlots(); got != k.Swap().NumSlots() {
+		t.Fatal("swap slots leaked")
+	}
+	if err := k.DestroyProcess(as); !errors.Is(err, ErrNoProcess) {
+		t.Fatalf("double destroy err = %v", err)
+	}
+}
+
+func TestPinUserPagesAtomicAndNested(t *testing.T) {
+	k := smallKernel()
+	as := k.CreateProcess("p", false)
+	addr := mmapRW(t, k, as, 4)
+	p1, err := k.PinUserPages(as, addr, 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := k.PinUserPages(as, addr, 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatal("second pin saw different frames")
+		}
+		if k.Phys().Pins(p1[i]) != 2 {
+			t.Fatalf("pins = %d, want 2", k.Phys().Pins(p1[i]))
+		}
+	}
+	if err := k.UnpinUserPages(p1); err != nil {
+		t.Fatal(err)
+	}
+	// Still pinned by the second mapping.
+	k.SwapOut(8)
+	k.SwapOut(8)
+	if got, _ := k.ResidentPFN(as, addr); got == phys.NoPFN {
+		t.Fatal("page swapped while one pin remained")
+	}
+	if err := k.UnpinUserPages(p2); err != nil {
+		t.Fatal(err)
+	}
+	k.SwapOut(8)
+	k.SwapOut(8)
+	if got, _ := k.ResidentPFN(as, addr); got != phys.NoPFN {
+		t.Fatal("page survived with no pins (eviction should take it)")
+	}
+}
+
+func TestPinUserPagesRollsBackOnFault(t *testing.T) {
+	k := smallKernel()
+	as := k.CreateProcess("p", false)
+	addr := mmapRW(t, k, as, 2)
+	// Pin a range extending past the VMA: must fail and undo cleanly.
+	if _, err := k.PinUserPages(as, addr, 5, true); err == nil {
+		t.Fatal("pin past VMA succeeded")
+	}
+	pfns, _ := k.PinUserPages(as, addr, 2, true)
+	for _, pfn := range pfns {
+		if k.Phys().Pins(pfn) != 1 {
+			t.Fatalf("pin count %d after rollback, want 1 from the clean pin", k.Phys().Pins(pfn))
+		}
+	}
+	if err := k.UnpinUserPages(pfns); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWalkPhys(t *testing.T) {
+	k := smallKernel()
+	as := k.CreateProcess("p", false)
+	addr := mmapRW(t, k, as, 1)
+	pa, err := k.WalkPhys(as, addr+123)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pfn, _ := k.ResidentPFN(as, addr)
+	if pa != pfn.Addr()+123 {
+		t.Fatalf("WalkPhys = %#x, want %#x", pa, pfn.Addr()+123)
+	}
+}
+
+func TestPageIOClobberDetection(t *testing.T) {
+	k := smallKernel()
+	as := k.CreateProcess("p", false)
+	addr := mmapRW(t, k, as, 1)
+	if err := k.Touch(as, addr, 1); err != nil {
+		t.Fatal(err)
+	}
+	pfn, _ := k.ResidentPFN(as, addr)
+	if err := k.LockPageIO(pfn); err != nil {
+		t.Fatal(err)
+	}
+	// A misbehaving driver clears PG_locked directly.
+	if err := k.Phys().ClearFlags(pfn, phys.PGLocked); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.UnlockPageIO(pfn); err != nil {
+		t.Fatal(err)
+	}
+	if got := k.IOClobberCount(); got != 1 {
+		t.Fatalf("clobber count = %d, want 1", got)
+	}
+}
+
+func TestKswapdKeepsWatermark(t *testing.T) {
+	k := smallKernel()
+	k.StartKswapd(time.Millisecond)
+	defer k.StopKswapd()
+	as := k.CreateProcess("p", false)
+	addr := mmapRW(t, k, as, 48)
+	if err := k.Touch(as, addr, 48); err != nil {
+		t.Fatal(err)
+	}
+	k.KickKswapd()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if k.FreePages() >= k.Config().FreeLow {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("kswapd never restored the watermark: %d free", k.FreePages())
+}
+
+func TestMeterChargesAccumulate(t *testing.T) {
+	k := smallKernel()
+	as := k.CreateProcess("p", false)
+	addr := mmapRW(t, k, as, 4)
+	before := k.Meter().Now()
+	if err := k.Touch(as, addr, 4); err != nil {
+		t.Fatal(err)
+	}
+	if got := k.Meter().Now(); got <= before {
+		t.Fatal("virtual clock did not advance across faults")
+	}
+}

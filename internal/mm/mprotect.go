@@ -1,0 +1,63 @@
+package mm
+
+import (
+	"fmt"
+
+	"repro/internal/pgtable"
+	"repro/internal/vma"
+)
+
+// DoMprotect changes the protection of [addr, addr+npages pages) to the
+// given access bits (Read/Write/Exec of the vma flags; other bits are
+// preserved).  Like the kernel it splits border VMAs, merges identical
+// neighbours and downgrades existing PTEs so stale access rights cannot
+// linger: removing write access clears the writable bit from present
+// entries; removing read access unmaps them entirely (forcing a fault,
+// which then fails the VMA check).
+func (k *Kernel) DoMprotect(as *AddressSpace, addr pgtable.VAddr, npages int, prot vma.Flags) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if as.dead {
+		return ErrNoProcess
+	}
+	if npages <= 0 {
+		return fmt.Errorf("mm: mprotect of %d pages", npages)
+	}
+	prot &= vma.Read | vma.Write | vma.Exec
+	k.charge(k.costs().KernelCall)
+	start := pgtable.PageOf(addr)
+	end := start + pgtable.VPN(npages)
+	splits, err := as.vmas.SetFlags(start, end, prot, (vma.Read|vma.Write|vma.Exec)&^prot)
+	if err != nil {
+		return err
+	}
+	k.chargeN(k.costs().VMAOp, splits+1)
+
+	for v := start; v < end; v++ {
+		e, err := as.pt.Lookup(v)
+		if err != nil {
+			return err
+		}
+		if !e.Present() {
+			continue
+		}
+		switch {
+		case prot&vma.Read == 0:
+			// No access at all: unmap, releasing the frame reference.
+			if _, err := as.pt.Clear(v); err != nil {
+				return err
+			}
+			if err := k.putMappedFrameLocked(e.PFN()); err != nil {
+				return err
+			}
+		case prot&vma.Write == 0 && e.Writable():
+			if err := as.pt.Set(v, e&^pgtable.FlagWrite); err != nil {
+				return err
+			}
+		case prot&vma.Write != 0 && !e.Writable():
+			// Re-granting write goes through the COW-aware fault path on
+			// the next store; nothing to do eagerly.
+		}
+	}
+	return nil
+}

@@ -1,0 +1,142 @@
+package mm
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/phys"
+	"repro/internal/vma"
+)
+
+func TestMprotectRevokeWrite(t *testing.T) {
+	k := smallKernel()
+	as := k.CreateProcess("p", false)
+	addr := mmapRW(t, k, as, 2)
+	if err := k.CopyToUser(as, addr, []byte("rw")); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.DoMprotect(as, addr, 2, vma.Read); err != nil {
+		t.Fatal(err)
+	}
+	// Reads still work.
+	buf := make([]byte, 2)
+	if err := k.CopyFromUser(as, addr, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "rw" {
+		t.Fatalf("read %q", buf)
+	}
+	// Writes now fault.
+	if err := k.CopyToUser(as, addr, []byte("x")); !errors.Is(err, ErrSegv) {
+		t.Fatalf("write err = %v, want ErrSegv", err)
+	}
+}
+
+func TestMprotectRegrantWrite(t *testing.T) {
+	k := smallKernel()
+	as := k.CreateProcess("p", false)
+	addr := mmapRW(t, k, as, 1)
+	if err := k.Touch(as, addr, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.DoMprotect(as, addr, 1, vma.Read); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.DoMprotect(as, addr, 1, vma.Read|vma.Write); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.CopyToUser(as, addr, []byte("back")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMprotectNone(t *testing.T) {
+	k := smallKernel()
+	as := k.CreateProcess("p", false)
+	addr := mmapRW(t, k, as, 1)
+	if err := k.Touch(as, addr, 1); err != nil {
+		t.Fatal(err)
+	}
+	free := k.FreePages()
+	if err := k.DoMprotect(as, addr, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	// The frame was released (PROT_NONE unmaps in this model).
+	if got := k.FreePages(); got != free+1 {
+		t.Fatalf("free pages %d, want %d", got, free+1)
+	}
+	if err := k.HandleFault(as, addr, false); !errors.Is(err, ErrSegv) {
+		t.Fatalf("read err = %v, want ErrSegv", err)
+	}
+	if err := k.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMprotectSubRangeSplits(t *testing.T) {
+	k := smallKernel()
+	as := k.CreateProcess("p", false)
+	addr := mmapRW(t, k, as, 6)
+	if err := k.DoMprotect(as, addr+2*phys.PageSize, 2, vma.Read); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(k.VMAs(as)); got != 3 {
+		t.Fatalf("vmas = %d, want 3", got)
+	}
+	// Outside the range writes still work.
+	if err := k.Touch(as, addr, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Touch(as, addr+4*phys.PageSize, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Inside it they fail.
+	if err := k.Touch(as, addr+2*phys.PageSize, 1); !errors.Is(err, ErrSegv) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMprotectCOWInteraction(t *testing.T) {
+	// Protect a COW-shared page read-only in the child, then re-grant
+	// write: the store must still trigger a private copy, not corrupt
+	// the parent.
+	k := smallKernel()
+	parent := k.CreateProcess("parent", false)
+	addr := mmapRW(t, k, parent, 1)
+	if err := k.CopyToUser(parent, addr, []byte("orig")); err != nil {
+		t.Fatal(err)
+	}
+	child, err := k.Fork(parent, "child")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.DoMprotect(child, addr, 1, vma.Read); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.DoMprotect(child, addr, 1, vma.Read|vma.Write); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.CopyToUser(child, addr, []byte("kid!")); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 4)
+	if err := k.CopyFromUser(parent, addr, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "orig" {
+		t.Fatalf("parent sees %q after child write", got)
+	}
+}
+
+func TestMprotectValidation(t *testing.T) {
+	k := smallKernel()
+	as := k.CreateProcess("p", false)
+	addr := mmapRW(t, k, as, 1)
+	if err := k.DoMprotect(as, addr, 0, vma.Read); err == nil {
+		t.Fatal("zero pages accepted")
+	}
+	// Uncovered range is rejected.
+	if err := k.DoMprotect(as, addr, 10, vma.Read); err == nil {
+		t.Fatal("range past VMA accepted")
+	}
+}

@@ -1,0 +1,205 @@
+package mm
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/pgtable"
+	"repro/internal/phys"
+	"repro/internal/vma"
+)
+
+// TestRandomWorkloadInvariants drives a randomized multi-process
+// workload — mmap/munmap/touch/fork/mlock/pin/exit — and validates the
+// full kernel invariants after every operation.
+func TestRandomWorkloadInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := NewKernel(Config{RAMPages: 128, SwapPages: 512, ClockBatch: 32, SwapBatch: 8}, nil)
+
+		type mapping struct {
+			addr  pgtable.VAddr
+			pages int
+		}
+		type procState struct {
+			as   *AddressSpace
+			maps []mapping
+			pins [][]phys.PFN
+		}
+		var procs []*procState
+		spawn := func() {
+			procs = append(procs, &procState{as: k.CreateProcess("p", true)})
+		}
+		spawn()
+
+		for step := 0; step < 250; step++ {
+			p := procs[rng.Intn(len(procs))]
+			switch op := rng.Intn(10); op {
+			case 0: // mmap
+				n := rng.Intn(8) + 1
+				addr, err := k.MMap(p.as, n, vma.Read|vma.Write)
+				if err == nil {
+					p.maps = append(p.maps, mapping{addr: addr, pages: n})
+				}
+			case 1: // munmap
+				if len(p.maps) > 0 {
+					i := rng.Intn(len(p.maps))
+					m := p.maps[i]
+					if err := k.Munmap(p.as, m.addr, m.pages); err != nil {
+						t.Logf("munmap: %v", err)
+						return false
+					}
+					p.maps = append(p.maps[:i], p.maps[i+1:]...)
+				}
+			case 2, 3, 4: // touch (most common)
+				if len(p.maps) > 0 {
+					m := p.maps[rng.Intn(len(p.maps))]
+					if err := k.Touch(p.as, m.addr, m.pages); err != nil {
+						t.Logf("touch: %v", err)
+						return false
+					}
+				}
+			case 5: // pin/unpin a mapping
+				if len(p.pins) > 0 && rng.Intn(2) == 0 {
+					i := rng.Intn(len(p.pins))
+					if err := k.UnpinUserPages(p.pins[i]); err != nil {
+						t.Logf("unpin: %v", err)
+						return false
+					}
+					p.pins = append(p.pins[:i], p.pins[i+1:]...)
+				} else if len(p.maps) > 0 {
+					m := p.maps[rng.Intn(len(p.maps))]
+					if pfns, err := k.PinUserPages(p.as, m.addr, m.pages, true); err == nil {
+						p.pins = append(p.pins, pfns)
+					}
+				}
+			case 6: // mlock/munlock a mapping
+				if len(p.maps) > 0 {
+					m := p.maps[rng.Intn(len(p.maps))]
+					if rng.Intn(2) == 0 {
+						_ = k.DoMlock(p.as, m.addr, m.pages)
+					} else {
+						_ = k.DoMunlock(p.as, m.addr, m.pages)
+					}
+				}
+			case 7: // reclaim pressure
+				k.TryToFreePages()
+			case 8: // fork
+				if len(procs) < 5 {
+					child, err := k.Fork(p.as, "child")
+					if err == nil {
+						// The child inherits mappings but we track only
+						// fresh ones; pins are NOT inherited.
+						procs = append(procs, &procState{as: child, maps: append([]mapping(nil), p.maps...)})
+					}
+				}
+			case 9: // exit (keep at least one process)
+				if len(procs) > 1 {
+					for _, pins := range p.pins {
+						if err := k.UnpinUserPages(pins); err != nil {
+							t.Logf("exit unpin: %v", err)
+							return false
+						}
+					}
+					if err := k.DestroyProcess(p.as); err != nil {
+						t.Logf("destroy: %v", err)
+						return false
+					}
+					for i, q := range procs {
+						if q == p {
+							procs = append(procs[:i], procs[i+1:]...)
+							break
+						}
+					}
+				}
+			}
+			if err := k.CheckInvariants(); err != nil {
+				t.Logf("step %d: %v", step, err)
+				return false
+			}
+		}
+		// Cleanup: everything must come back.
+		for _, p := range procs {
+			for _, pins := range p.pins {
+				if err := k.UnpinUserPages(pins); err != nil {
+					t.Log(err)
+					return false
+				}
+			}
+			if err := k.DestroyProcess(p.as); err != nil {
+				t.Log(err)
+				return false
+			}
+		}
+		if k.FreePages() != 128 {
+			t.Logf("leaked frames: %d free of 128", k.FreePages())
+			return false
+		}
+		if k.Swap().FreeSlots() != k.Swap().NumSlots() {
+			t.Log("leaked swap slots")
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentProcessesWithKswapd hammers one kernel from several
+// goroutine "processes" while kswapd reclaims in the background; run
+// with -race this validates the locking discipline.
+func TestConcurrentProcessesWithKswapd(t *testing.T) {
+	k := NewKernel(Config{RAMPages: 512, SwapPages: 4096, ClockBatch: 64, SwapBatch: 16}, nil)
+	k.StartKswapd(2 * time.Millisecond)
+	defer k.StopKswapd()
+
+	const workers = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			as := k.CreateProcess("worker", true)
+			defer func() { _ = k.DestroyProcess(as) }()
+			rng := rand.New(rand.NewSource(int64(id)))
+			for i := 0; i < 60; i++ {
+				n := rng.Intn(16) + 1
+				addr, err := k.MMap(as, n, vma.Read|vma.Write)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if err := k.Touch(as, addr, n); err != nil {
+					errs <- err
+					return
+				}
+				if pfns, err := k.PinUserPages(as, addr, n, true); err == nil {
+					if err := k.UnpinUserPages(pfns); err != nil {
+						errs <- err
+						return
+					}
+				}
+				if rng.Intn(3) == 0 {
+					if err := k.Munmap(as, addr, n); err != nil {
+						errs <- err
+						return
+					}
+				}
+				k.KickKswapd()
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if err := k.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

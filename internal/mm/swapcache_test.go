@@ -1,0 +1,119 @@
+package mm
+
+import (
+	"bytes"
+	"testing"
+)
+
+// evictAll ages and evicts as much as possible.
+func evictAll(k *Kernel) {
+	for i := 0; i < 4; i++ {
+		k.SwapOut(64)
+	}
+}
+
+func TestSwapCacheSkipsCleanRewrite(t *testing.T) {
+	k := smallKernel()
+	as := k.CreateProcess("p", false)
+	addr := mmapRW(t, k, as, 1)
+	data := []byte("stable contents")
+	if err := k.CopyToUser(as, addr, data); err != nil {
+		t.Fatal(err)
+	}
+	evictAll(k)
+	// Read fault: swap-in keeps the slot as the frame's cache image.
+	got := make([]byte, len(data))
+	if err := k.CopyFromUser(as, addr, got); err != nil {
+		t.Fatal(err)
+	}
+	writesBefore := k.Swap().Stats().Writes
+	evictAll(k)
+	st := k.Stats()
+	if st.SwapCacheHit == 0 {
+		t.Fatal("clean re-eviction did not hit the swap cache")
+	}
+	if got := k.Swap().Stats().Writes; got != writesBefore {
+		t.Fatalf("device writes grew %d -> %d on a clean re-eviction", writesBefore, got)
+	}
+	// Contents must still round-trip.
+	if err := k.CopyFromUser(as, addr, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("data corrupted: %q", got)
+	}
+	if err := k.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSwapCacheDirtyRewritesImage(t *testing.T) {
+	k := smallKernel()
+	as := k.CreateProcess("p", false)
+	addr := mmapRW(t, k, as, 1)
+	if err := k.CopyToUser(as, addr, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	evictAll(k)
+	// Read it back in (cached), then dirty it.
+	tmp := make([]byte, 2)
+	if err := k.CopyFromUser(as, addr, tmp); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.CopyToUser(as, addr, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	evictAll(k)
+	if err := k.CopyFromUser(as, addr, tmp); err != nil {
+		t.Fatal(err)
+	}
+	if string(tmp) != "v2" {
+		t.Fatalf("dirty re-eviction lost the update: %q", tmp)
+	}
+	if err := k.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSwapCacheSlotReleasedOnUnmap(t *testing.T) {
+	k := smallKernel()
+	as := k.CreateProcess("p", false)
+	addr := mmapRW(t, k, as, 2)
+	if err := k.Touch(as, addr, 2); err != nil {
+		t.Fatal(err)
+	}
+	evictAll(k)
+	buf := make([]byte, 8)
+	if err := k.CopyFromUser(as, addr, buf); err != nil { // swap-in, cached
+		t.Fatal(err)
+	}
+	if err := k.Munmap(as, addr, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := k.Swap().FreeSlots(); got != k.Swap().NumSlots() {
+		t.Fatalf("swap slots leaked: %d free of %d", got, k.Swap().NumSlots())
+	}
+	if err := k.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSwapCacheWriteFaultNotCached(t *testing.T) {
+	k := smallKernel()
+	as := k.CreateProcess("p", false)
+	addr := mmapRW(t, k, as, 1)
+	if err := k.Touch(as, addr, 1); err != nil {
+		t.Fatal(err)
+	}
+	evictAll(k)
+	// Write fault brings the page in dirty: no cache entry, slot freed.
+	if err := k.Touch(as, addr, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := k.Swap().FreeSlots(); got != k.Swap().NumSlots() {
+		t.Fatalf("slot not freed on write-fault swap-in: %d free", got)
+	}
+	if k.Stats().SwapCacheHit != 0 {
+		t.Fatal("unexpected cache hit")
+	}
+}

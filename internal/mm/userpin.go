@@ -1,0 +1,126 @@
+package mm
+
+import (
+	"fmt"
+
+	"repro/internal/pgtable"
+	"repro/internal/phys"
+)
+
+// PinUserPages is the kernel-internal core of map_user_kiobuf: under one
+// kernel-lock critical section it faults every page of the range into
+// memory and takes both a reference and a kernel pin on each frame, then
+// returns the frame list.  Pinned frames are excluded from reclaim and
+// swap until UnpinUserPages drops the pin.
+//
+// Holding the lock across fault-in and pin is what makes the operation
+// reliable: there is no window in which the swap path can steal a page
+// between its arrival and its pin (contrast with a driver that walks the
+// page tables first and flips bits afterwards).
+//
+// write selects whether the pages are faulted for writing (DMA into the
+// buffer requires it, and it resolves COW up front so the frame list
+// stays authoritative).
+func (k *Kernel) PinUserPages(as *AddressSpace, addr pgtable.VAddr, npages int, write bool) ([]phys.PFN, error) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if as.dead {
+		return nil, ErrNoProcess
+	}
+	if npages <= 0 {
+		return nil, fmt.Errorf("mm: pin of %d pages", npages)
+	}
+	k.charge(k.costs().KernelCall)
+	start := pgtable.PageOf(addr)
+	pfns := make([]phys.PFN, 0, npages)
+	undo := func() {
+		for _, pfn := range pfns {
+			_ = k.phys.Unpin(pfn)
+			_ = k.putMappedFrameLocked(pfn)
+		}
+	}
+	for i := 0; i < npages; i++ {
+		v := start + pgtable.VPN(i)
+		pfn, err := k.translateLocked(as, v, write)
+		if err != nil {
+			undo()
+			return nil, err
+		}
+		if err := k.phys.Get(pfn); err != nil {
+			undo()
+			return nil, err
+		}
+		if err := k.phys.Pin(pfn); err != nil {
+			_, _ = k.phys.Put(pfn)
+			undo()
+			return nil, err
+		}
+		k.charge(k.costs().PinPage)
+		pfns = append(pfns, pfn)
+	}
+	return pfns, nil
+}
+
+// UnpinUserPages releases the pins and references taken by PinUserPages.
+func (k *Kernel) UnpinUserPages(pfns []phys.PFN) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.charge(k.costs().KernelCall)
+	var firstErr error
+	for _, pfn := range pfns {
+		if err := k.phys.Unpin(pfn); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if err := k.putMappedFrameLocked(pfn); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// PutFrame drops one reference on a frame, releasing any swap-cache slot
+// when the frame actually frees.  Drivers holding raw references (the
+// refcount-style locking strategies) must release them through this
+// entry point rather than the bare page map, or they leak swap slots —
+// one more way ad-hoc reference juggling goes wrong.
+func (k *Kernel) PutFrame(pfn phys.PFN) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.putMappedFrameLocked(pfn)
+}
+
+// OrphanFrames counts frames that are allocated (Count > 0) yet neither
+// referenced by any process PTE, nor in the page cache, nor pinned.
+// These are the frames a refcount-only locking strategy strands when the
+// swap path disassociates them (§3.1): permanently lost memory.
+func (k *Kernel) OrphanFrames() int {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	referenced := make(map[phys.PFN]bool)
+	for _, as := range k.processListLocked() {
+		as.pt.Range(0, pgtable.MaxVPN+1, func(_ pgtable.VPN, e pgtable.PTE) bool {
+			if e.Present() {
+				referenced[e.PFN()] = true
+			}
+			return true
+		})
+	}
+	orphans := 0
+	for i := 0; i < k.phys.NumFrames(); i++ {
+		pfn := phys.PFN(i)
+		if k.phys.RefCount(pfn) == 0 {
+			continue
+		}
+		if referenced[pfn] {
+			continue
+		}
+		if _, ok := k.pageCache[pfn]; ok {
+			continue
+		}
+		if k.phys.Pins(pfn) > 0 {
+			continue
+		}
+		orphans++
+	}
+	return orphans
+}

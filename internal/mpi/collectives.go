@@ -1,0 +1,231 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/proc"
+)
+
+// The collectives, mapped onto point-to-point transfers as the
+// device-independent layer of the CHEMPI design does.  All of them are
+// called collectively: every rank must invoke the operation, each from
+// its own goroutine.
+
+// barrierTag and friends live in a reserved negative-adjacent tag space
+// (the collection's articles reserve special tags for system messages).
+const (
+	barrierTag = 1 << 30
+	bcastTag   = barrierTag + 1
+	reduceTag  = barrierTag + 2
+	gatherTag  = barrierTag + 3
+)
+
+// Barrier blocks until every rank has entered it (linear: gather tokens
+// at rank 0, then release).
+func (r *Rank) Barrier() error {
+	n := len(r.world.ranks)
+	token, err := r.proc.Malloc(8)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = r.proc.Free(token) }()
+	if r.id == 0 {
+		for src := 1; src < n; src++ {
+			if _, err := r.Recv(src, barrierTag, token); err != nil {
+				return fmt.Errorf("mpi: barrier gather from %d: %w", src, err)
+			}
+		}
+		for dst := 1; dst < n; dst++ {
+			if err := r.Send(dst, barrierTag, token); err != nil {
+				return fmt.Errorf("mpi: barrier release to %d: %w", dst, err)
+			}
+		}
+		return nil
+	}
+	if err := r.Send(0, barrierTag, token); err != nil {
+		return err
+	}
+	_, err = r.Recv(0, barrierTag, token)
+	return err
+}
+
+// Bcast distributes root's buffer contents to every rank's buffer
+// (linear fan-out from the root).
+func (r *Rank) Bcast(root int, buf *proc.Buffer) error {
+	n := len(r.world.ranks)
+	if root < 0 || root >= n {
+		return fmt.Errorf("%w: root %d", ErrRank, root)
+	}
+	if r.id == root {
+		for dst := 0; dst < n; dst++ {
+			if dst == root {
+				continue
+			}
+			if err := r.Send(dst, bcastTag, buf); err != nil {
+				return fmt.Errorf("mpi: bcast to %d: %w", dst, err)
+			}
+		}
+		return nil
+	}
+	_, err := r.Recv(root, bcastTag, buf)
+	return err
+}
+
+// ReduceOp combines two int64 values.
+type ReduceOp func(a, b int64) int64
+
+// Standard reduction operators.
+var (
+	OpSum ReduceOp = func(a, b int64) int64 { return a + b }
+	OpMax ReduceOp = func(a, b int64) int64 {
+		if a > b {
+			return a
+		}
+		return b
+	}
+	OpMin ReduceOp = func(a, b int64) int64 {
+		if a < b {
+			return a
+		}
+		return b
+	}
+)
+
+// Allreduce combines each rank's contribution with op and returns the
+// result on every rank (reduce to rank 0, then broadcast).
+func (r *Rank) Allreduce(contrib int64, op ReduceOp) (int64, error) {
+	n := len(r.world.ranks)
+	cell, err := r.proc.Malloc(8)
+	if err != nil {
+		return 0, err
+	}
+	defer func() { _ = r.proc.Free(cell) }()
+	put := func(v int64) error {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], uint64(v))
+		return cell.Write(0, b[:])
+	}
+	get := func() (int64, error) {
+		var b [8]byte
+		if err := cell.Read(0, b[:]); err != nil {
+			return 0, err
+		}
+		return int64(binary.LittleEndian.Uint64(b[:])), nil
+	}
+
+	if r.id == 0 {
+		acc := contrib
+		for src := 1; src < n; src++ {
+			if _, err := r.Recv(src, reduceTag, cell); err != nil {
+				return 0, err
+			}
+			v, err := get()
+			if err != nil {
+				return 0, err
+			}
+			acc = op(acc, v)
+		}
+		if err := put(acc); err != nil {
+			return 0, err
+		}
+		if err := r.Bcast(0, cell); err != nil {
+			return 0, err
+		}
+		return acc, nil
+	}
+	if err := put(contrib); err != nil {
+		return 0, err
+	}
+	if err := r.Send(0, reduceTag, cell); err != nil {
+		return 0, err
+	}
+	if err := r.Bcast(0, cell); err != nil {
+		return 0, err
+	}
+	return get()
+}
+
+// Gather collects every rank's buffer at the root: root receives rank
+// i's payload into dsts[i] (dsts[root] is filled from the root's own
+// buf); non-roots pass dsts == nil.
+func (r *Rank) Gather(root int, buf *proc.Buffer, dsts []*proc.Buffer) error {
+	n := len(r.world.ranks)
+	if root < 0 || root >= n {
+		return fmt.Errorf("%w: root %d", ErrRank, root)
+	}
+	if r.id != root {
+		return r.Send(root, gatherTag, buf)
+	}
+	if len(dsts) != n {
+		return fmt.Errorf("mpi: gather needs %d destination buffers, got %d", n, len(dsts))
+	}
+	// Root's own contribution.
+	tmp := make([]byte, buf.Bytes)
+	if err := buf.Read(0, tmp); err != nil {
+		return err
+	}
+	if err := dsts[root].Write(0, tmp); err != nil {
+		return err
+	}
+	for src := 0; src < n; src++ {
+		if src == root {
+			continue
+		}
+		if _, err := r.Recv(src, gatherTag, dsts[src]); err != nil {
+			return fmt.Errorf("mpi: gather from %d: %w", src, err)
+		}
+	}
+	return nil
+}
+
+// alltoallTag continues the reserved tag space.
+const alltoallTag = barrierTag + 4
+
+// Alltoall exchanges one block with every rank: sendBufs[j] goes to rank
+// j, and rank j's block for us lands in recvBufs[j].  The slots for the
+// local rank are copied directly.  To stay deadlock-free with blocking
+// point-to-point transfers, rank pairs exchange in index order: the
+// lower rank sends first.
+func (r *Rank) Alltoall(sendBufs, recvBufs []*proc.Buffer) error {
+	n := len(r.world.ranks)
+	if len(sendBufs) != n || len(recvBufs) != n {
+		return fmt.Errorf("mpi: alltoall needs %d send and recv buffers", n)
+	}
+	// Local copy.
+	tmp := make([]byte, sendBufs[r.id].Bytes)
+	if err := sendBufs[r.id].Read(0, tmp); err != nil {
+		return err
+	}
+	if err := recvBufs[r.id].Write(0, tmp[:min(len(tmp), recvBufs[r.id].Bytes)]); err != nil {
+		return err
+	}
+	for peer := 0; peer < n; peer++ {
+		if peer == r.id {
+			continue
+		}
+		if r.id < peer {
+			if err := r.Send(peer, alltoallTag, sendBufs[peer]); err != nil {
+				return fmt.Errorf("mpi: alltoall send to %d: %w", peer, err)
+			}
+			if _, err := r.Recv(peer, alltoallTag, recvBufs[peer]); err != nil {
+				return fmt.Errorf("mpi: alltoall recv from %d: %w", peer, err)
+			}
+		} else {
+			if _, err := r.Recv(peer, alltoallTag, recvBufs[peer]); err != nil {
+				return fmt.Errorf("mpi: alltoall recv from %d: %w", peer, err)
+			}
+			if err := r.Send(peer, alltoallTag, sendBufs[peer]); err != nil {
+				return fmt.Errorf("mpi: alltoall send to %d: %w", peer, err)
+			}
+		}
+	}
+	return nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

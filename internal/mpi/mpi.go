@@ -1,0 +1,247 @@
+// Package mpi is a compact MPI-flavoured message-passing library over
+// the VIA stack, in the shape of the CHEMPI design the companion
+// articles describe: every message is announced by a small header (the
+// "message info struct"), payloads travel through the msg layer's
+// eager/one-copy/zero-copy protocols, receives match on (source, tag)
+// with an unexpected-message queue, and the collectives are mapped onto
+// point-to-point transfers.
+//
+// Deliberate simplifications, documented rather than hidden: no
+// MPI_ANY_SOURCE (the first article in the collection is devoted to how
+// much machinery that needs), no derived datatypes (buffers are byte
+// ranges), and communicators are the single world.
+package mpi
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/msg"
+	"repro/internal/proc"
+)
+
+// Errors returned by the library.
+var (
+	ErrRank     = errors.New("mpi: rank out of range")
+	ErrSelfSend = errors.New("mpi: send to self not supported")
+	ErrTooSmall = errors.New("mpi: receive buffer smaller than message")
+)
+
+// header is the message info struct: tag and payload size.
+const headerBytes = 16
+
+// World is one MPI job: n ranks spread round-robin over the cluster's
+// nodes, fully connected with endpoint pairs.
+type World struct {
+	cluster *cluster.Cluster
+	ranks   []*Rank
+}
+
+// Rank is one MPI process.
+type Rank struct {
+	world *World
+	id    int
+	proc  *proc.Process
+	// peers[j] is this rank's endpoint towards rank j (nil for self).
+	peers []*msg.Endpoint
+	// unexpected[j] queues messages from rank j that arrived while a
+	// receive with a different tag was outstanding.
+	unexpected [][]pending
+	// hdrBuf is the reusable header send buffer (ranks are
+	// single-threaded, so reuse is safe).
+	hdrBuf *proc.Buffer
+	// hdrRecv is the reusable header receive buffer.
+	hdrRecv *proc.Buffer
+}
+
+type pending struct {
+	tag  int
+	data *proc.Buffer // holds exactly the payload
+	size int
+}
+
+// NewWorld builds an n-rank world over the cluster, creating one process
+// per rank on node (rank mod nodes) and pairing endpoints between every
+// rank pair.  cacheRegions bounds each endpoint's registration cache.
+func NewWorld(c *cluster.Cluster, n, cacheRegions int) (*World, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("mpi: world of %d ranks", n)
+	}
+	w := &World{cluster: c}
+	for i := 0; i < n; i++ {
+		node := c.Nodes[i%len(c.Nodes)]
+		p := node.NewProcess(fmt.Sprintf("rank%d", i), false)
+		r := &Rank{
+			world:      w,
+			id:         i,
+			proc:       p,
+			peers:      make([]*msg.Endpoint, n),
+			unexpected: make([][]pending, n),
+		}
+		var err error
+		if r.hdrBuf, err = p.Malloc(headerBytes); err != nil {
+			return nil, err
+		}
+		if r.hdrRecv, err = p.Malloc(headerBytes); err != nil {
+			return nil, err
+		}
+		w.ranks = append(w.ranks, r)
+	}
+	// Pairwise endpoints.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			ni, nj := c.Nodes[i%len(c.Nodes)], c.Nodes[j%len(c.Nodes)]
+			ei, err := msg.NewEndpoint(fmt.Sprintf("r%d-r%d", i, j), ni.OpenNic(w.ranks[i].proc), c.Meter, cacheRegions)
+			if err != nil {
+				return nil, err
+			}
+			ej, err := msg.NewEndpoint(fmt.Sprintf("r%d-r%d", j, i), nj.OpenNic(w.ranks[j].proc), c.Meter, cacheRegions)
+			if err != nil {
+				return nil, err
+			}
+			if err := msg.Pair(c.Network, ei, ej); err != nil {
+				return nil, err
+			}
+			w.ranks[i].peers[j] = ei
+			w.ranks[j].peers[i] = ej
+		}
+	}
+	return w, nil
+}
+
+// Size reports the number of ranks.
+func (w *World) Size() int { return len(w.ranks) }
+
+// Rank returns rank i.
+func (w *World) Rank(i int) (*Rank, error) {
+	if i < 0 || i >= len(w.ranks) {
+		return nil, fmt.Errorf("%w: %d of %d", ErrRank, i, len(w.ranks))
+	}
+	return w.ranks[i], nil
+}
+
+// ID reports the rank number.
+func (r *Rank) ID() int { return r.id }
+
+// Process returns the rank's process (for buffer allocation).
+func (r *Rank) Process() *proc.Process { return r.proc }
+
+// Send transmits buf to rank dst with the given tag (blocking, like
+// MPI_Send).  The payload protocol is chosen by size (msg.Auto).
+func (r *Rank) Send(dst, tag int, buf *proc.Buffer) error {
+	ep, err := r.peer(dst)
+	if err != nil {
+		return err
+	}
+	var hdr [headerBytes]byte
+	binary.LittleEndian.PutUint64(hdr[0:], uint64(tag))
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(buf.Bytes))
+	if err := r.hdrBuf.Write(0, hdr[:]); err != nil {
+		return err
+	}
+	if _, err := ep.Send(r.hdrBuf, msg.Eager); err != nil {
+		return fmt.Errorf("mpi: header to rank %d: %w", dst, err)
+	}
+	if _, err := ep.Send(buf, msg.Auto); err != nil {
+		return fmt.Errorf("mpi: payload to rank %d: %w", dst, err)
+	}
+	return nil
+}
+
+// Recv receives a message with the given tag from rank src into buf and
+// returns the payload length (blocking, like MPI_Recv with a specific
+// source).  Messages from src with other tags are queued as unexpected.
+func (r *Rank) Recv(src, tag int, buf *proc.Buffer) (int, error) {
+	ep, err := r.peer(src)
+	if err != nil {
+		return 0, err
+	}
+	// First serve the unexpected queue.
+	for i, p := range r.unexpected[src] {
+		if p.tag == tag {
+			r.unexpected[src] = append(r.unexpected[src][:i], r.unexpected[src][i+1:]...)
+			return r.copyOut(p, buf)
+		}
+	}
+	for {
+		if err := r.recvHeaderInto(ep); err != nil {
+			return 0, err
+		}
+		gotTag, size, err := r.parseHeader()
+		if err != nil {
+			return 0, err
+		}
+		if gotTag == tag {
+			if size > buf.Bytes {
+				return 0, fmt.Errorf("%w: message %d, buffer %d", ErrTooSmall, size, buf.Bytes)
+			}
+			n, err := ep.Recv(buf)
+			if err != nil {
+				return 0, err
+			}
+			if n != size {
+				return n, fmt.Errorf("mpi: payload %d, header said %d", n, size)
+			}
+			return n, nil
+		}
+		// Unexpected: land the payload in a fresh buffer and queue it.
+		stash, err := r.proc.Malloc(size)
+		if err != nil {
+			return 0, err
+		}
+		if _, err := ep.Recv(stash); err != nil {
+			return 0, err
+		}
+		r.unexpected[src] = append(r.unexpected[src], pending{tag: gotTag, data: stash, size: size})
+	}
+}
+
+// copyOut moves a stashed unexpected message into the user buffer.
+func (r *Rank) copyOut(p pending, buf *proc.Buffer) (int, error) {
+	if p.size > buf.Bytes {
+		return 0, fmt.Errorf("%w: message %d, buffer %d", ErrTooSmall, p.size, buf.Bytes)
+	}
+	tmp := make([]byte, p.size)
+	if err := p.data.Read(0, tmp); err != nil {
+		return 0, err
+	}
+	if err := buf.Write(0, tmp); err != nil {
+		return 0, err
+	}
+	if err := r.proc.Free(p.data); err != nil {
+		return 0, err
+	}
+	return p.size, nil
+}
+
+func (r *Rank) recvHeaderInto(ep *msg.Endpoint) error {
+	n, err := ep.Recv(r.hdrRecv)
+	if err != nil {
+		return err
+	}
+	if n != headerBytes {
+		return fmt.Errorf("mpi: header of %d bytes", n)
+	}
+	return nil
+}
+
+func (r *Rank) parseHeader() (tag, size int, err error) {
+	var hdr [headerBytes]byte
+	if err := r.hdrRecv.Read(0, hdr[:]); err != nil {
+		return 0, 0, err
+	}
+	return int(binary.LittleEndian.Uint64(hdr[0:])),
+		int(binary.LittleEndian.Uint64(hdr[8:])), nil
+}
+
+func (r *Rank) peer(other int) (*msg.Endpoint, error) {
+	if other < 0 || other >= len(r.peers) {
+		return nil, fmt.Errorf("%w: %d of %d", ErrRank, other, len(r.peers))
+	}
+	if other == r.id {
+		return nil, ErrSelfSend
+	}
+	return r.peers[other], nil
+}

@@ -1,0 +1,378 @@
+// Package msg is a small message-passing library over the VIA stack,
+// modelled on the CHEMPI protocols the paper motivates: an eager path
+// through pre-registered bounce buffers for short messages, a one-copy
+// path that streams chunks from registered user memory into the
+// receiver's bounce ring, and a zero-copy rendezvous that registers the
+// user buffers on the fly (through the registration cache) and moves the
+// payload with a single RDMA write.
+//
+// Control traffic (the "message info structs" the original keeps in SCI
+// shared memory) travels over a per-endpoint control channel and is
+// charged wire latency plus a small PIO cost.
+package msg
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/phys"
+	"repro/internal/proc"
+	"repro/internal/regcache"
+	"repro/internal/simtime"
+	"repro/internal/via"
+	"repro/internal/vipl"
+)
+
+// Protocol selects a transfer strategy.
+type Protocol string
+
+// The transfer protocols.
+const (
+	// Eager copies through pre-registered bounce buffers (two copies, no
+	// registration on the fast path) — best for short messages.
+	Eager Protocol = "eager"
+	// OneCopy sends from registered user memory into the receiver's
+	// bounce ring (one copy at the receiver).
+	OneCopy Protocol = "onecopy"
+	// ZeroCopy registers both user buffers and RDMA-writes the payload.
+	ZeroCopy Protocol = "zerocopy"
+	// Auto picks a protocol from the message size.
+	Auto Protocol = "auto"
+)
+
+// Ring geometry: R bounce slots of SlotSize bytes per endpoint.
+const (
+	// SlotSize is one bounce slot (4 pages).
+	SlotSize = 4 * phys.PageSize
+	// RingSlots is the number of pre-posted bounce slots.
+	RingSlots = 8
+)
+
+// Protocol switch points for Auto (tunable; see the crossover bench).
+const (
+	// EagerMax is the largest message sent eagerly.
+	EagerMax = 8 * 1024
+	// OneCopyMax is the largest message sent by chunked one-copy.
+	OneCopyMax = 128 * 1024
+)
+
+// Stats counts endpoint activity.
+type Stats struct {
+	SentMsgs   uint64
+	SentBytes  uint64
+	RecvMsgs   uint64
+	RecvBytes  uint64
+	EagerSends uint64
+	OneCopies  uint64
+	ZeroCopies uint64
+}
+
+// Errors returned by endpoints.
+var (
+	ErrEmptyMessage = errors.New("msg: empty message")
+	ErrTooSmall     = errors.New("msg: receive buffer smaller than message")
+	ErrNotPaired    = errors.New("msg: endpoint not paired")
+)
+
+type ctrlKind uint8
+
+const (
+	kInline ctrlKind = iota // eager/one-copy announcement
+	kRTS                    // zero-copy request to send
+	kCTS                    // zero-copy clear to send (carries handle)
+	kFin                    // zero-copy completion
+)
+
+type ctrlMsg struct {
+	kind    ctrlKind
+	size    int
+	nchunks int
+	handle  via.MemHandle
+}
+
+// ctrlBytes approximates the size of one control struct on the wire.
+const ctrlBytes = 64
+
+// Endpoint is one end of a paired message channel.  An endpoint is not
+// safe for concurrent use: one goroutine may call Send and one other may
+// concurrently be in Recv on the PEER, but a single endpoint's methods
+// must not be called concurrently.
+type Endpoint struct {
+	name  string
+	nic   *vipl.Nic
+	vi    *via.VI
+	cache *regcache.Cache
+	meter *simtime.Meter
+
+	peer *Endpoint
+	ctrl chan ctrlMsg
+	// credits gate this endpoint's inline sends: one token per free
+	// receive slot at the peer.  The peer refills it after reposting.
+	credits chan struct{}
+
+	// bounce ring (receive side) and one send bounce slot.
+	ringBuf   *proc.Buffer
+	ringReg   *vipl.MemRegion
+	ringDescs [RingSlots]*via.Descriptor
+	rxIdx     uint64
+
+	sendBuf *proc.Buffer
+	sendReg *vipl.MemRegion
+
+	stats Stats
+}
+
+// NewEndpoint builds an endpoint for a process on its NIC handle.
+// cacheRegions bounds the registration cache (0 = unbounded).
+func NewEndpoint(name string, nic *vipl.Nic, meter *simtime.Meter, cacheRegions int) (*Endpoint, error) {
+	e := &Endpoint{
+		name:    name,
+		nic:     nic,
+		cache:   regcache.New(nic, cacheRegions),
+		meter:   meter,
+		ctrl:    make(chan ctrlMsg, 4*RingSlots),
+		credits: make(chan struct{}, RingSlots),
+	}
+	var err error
+	if e.vi, err = nic.CreateVi(); err != nil {
+		return nil, err
+	}
+	if e.ringBuf, err = nic.Process().Malloc(RingSlots * SlotSize); err != nil {
+		return nil, err
+	}
+	if e.ringReg, err = nic.RegisterMem(e.ringBuf, via.MemAttrs{}); err != nil {
+		return nil, err
+	}
+	if e.sendBuf, err = nic.Process().Malloc(SlotSize); err != nil {
+		return nil, err
+	}
+	if e.sendReg, err = nic.RegisterMem(e.sendBuf, via.MemAttrs{}); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// Pair connects two endpoints over the fabric and pre-posts both bounce
+// rings.
+func Pair(nw *via.Network, a, b *Endpoint) error {
+	if err := nw.Connect(a.vi, b.vi); err != nil {
+		return err
+	}
+	a.peer, b.peer = b, a
+	for _, e := range []*Endpoint{a, b} {
+		for i := 0; i < RingSlots; i++ {
+			if err := e.postSlot(i); err != nil {
+				return err
+			}
+			e.peerGrantCredit()
+		}
+	}
+	return nil
+}
+
+// peerGrantCredit refills one send credit at the peer.
+func (e *Endpoint) peerGrantCredit() {
+	e.peer.credits <- struct{}{}
+}
+
+// postSlot (re)posts the ring slot's receive descriptor.
+func (e *Endpoint) postSlot(slot int) error {
+	d := via.NewDescriptor(via.OpRecv, e.ringReg.Seg(slot*SlotSize, SlotSize))
+	e.ringDescs[slot] = d
+	return e.vi.PostRecv(d)
+}
+
+// sendCtrl delivers a control struct to the peer, charging the PIO
+// write, the wire crossing and the peer's polling-detection delay.
+func (e *Endpoint) sendCtrl(m ctrlMsg) {
+	e.meter.Charge(e.meter.Costs.WireLatency + e.meter.Costs.SyncDetect)
+	e.meter.ChargeN(e.meter.Costs.PIOPerByte, ctrlBytes)
+	e.peer.ctrl <- m
+}
+
+// Stats returns a snapshot of endpoint statistics.
+func (e *Endpoint) Stats() Stats { return e.stats }
+
+// Cache exposes the registration cache (for stats and flushing).
+func (e *Endpoint) Cache() *regcache.Cache { return e.cache }
+
+// Process returns the endpoint's owning process (for buffer allocation).
+func (e *Endpoint) Process() *proc.Process { return e.nic.Process() }
+
+// VI exposes the endpoint's virtual interface (diagnostics).
+func (e *Endpoint) VI() *via.VI { return e.vi }
+
+// Choose maps a message size to the protocol Auto would use.
+func Choose(size int) Protocol {
+	switch {
+	case size <= EagerMax:
+		return Eager
+	case size <= OneCopyMax:
+		return OneCopy
+	default:
+		return ZeroCopy
+	}
+}
+
+// Send transmits the whole buffer with the given protocol and returns
+// the byte count.
+func (e *Endpoint) Send(b *proc.Buffer, p Protocol) (int, error) {
+	if e.peer == nil {
+		return 0, ErrNotPaired
+	}
+	if b.Bytes <= 0 {
+		return 0, ErrEmptyMessage
+	}
+	if p == Auto || p == "" {
+		p = Choose(b.Bytes)
+	}
+	switch p {
+	case Eager:
+		return e.sendInline(b, true)
+	case OneCopy:
+		return e.sendInline(b, false)
+	case ZeroCopy:
+		return e.sendZeroCopy(b)
+	default:
+		return 0, fmt.Errorf("msg: unknown protocol %q", p)
+	}
+}
+
+// Recv receives one message into the buffer and returns its length.
+func (e *Endpoint) Recv(b *proc.Buffer) (int, error) {
+	if e.peer == nil {
+		return 0, ErrNotPaired
+	}
+	m := <-e.ctrl
+	switch m.kind {
+	case kInline:
+		return e.recvInline(b, m)
+	case kRTS:
+		return e.recvZeroCopy(b, m)
+	default:
+		return 0, fmt.Errorf("msg: unexpected control message kind %d", m.kind)
+	}
+}
+
+// sendInline implements both eager (with the extra sender copy) and
+// one-copy (sending straight from registered user memory).
+func (e *Endpoint) sendInline(b *proc.Buffer, eager bool) (int, error) {
+	size := b.Bytes
+	nchunks := (size + SlotSize - 1) / SlotSize
+	e.sendCtrl(ctrlMsg{kind: kInline, size: size, nchunks: nchunks})
+
+	var reg *vipl.MemRegion
+	if !eager {
+		var err error
+		reg, err = e.cache.Acquire(b, 0, size, via.MemAttrs{}, regcache.ClassUser)
+		if err != nil {
+			return 0, err
+		}
+		defer func() { _ = e.cache.Release(reg) }()
+	}
+
+	sent := 0
+	tmp := make([]byte, SlotSize)
+	for c := 0; c < nchunks; c++ {
+		n := size - sent
+		if n > SlotSize {
+			n = SlotSize
+		}
+		<-e.credits
+		var d *via.Descriptor
+		if eager {
+			// Copy the chunk into the registered send bounce.
+			if err := b.Read(sent, tmp[:n]); err != nil {
+				return sent, err
+			}
+			if err := e.sendBuf.Write(0, tmp[:n]); err != nil {
+				return sent, err
+			}
+			e.meter.ChargeN(e.meter.Costs.PageCopy, (n+phys.PageSize-1)/phys.PageSize)
+			d = via.NewDescriptor(via.OpSend, e.sendReg.Seg(0, n))
+		} else {
+			d = via.NewDescriptor(via.OpSend, reg.Seg(sent, n))
+		}
+		if err := e.vi.PostSend(d); err != nil {
+			return sent, err
+		}
+		if st := d.Wait(); st != via.StatusSuccess {
+			return sent, fmt.Errorf("msg: chunk %d failed: %v", c, st)
+		}
+		sent += n
+	}
+	e.stats.SentMsgs++
+	e.stats.SentBytes += uint64(sent)
+	if eager {
+		e.stats.EagerSends++
+	} else {
+		e.stats.OneCopies++
+	}
+	return sent, nil
+}
+
+// recvInline drains nchunks ring slots into the user buffer.
+func (e *Endpoint) recvInline(b *proc.Buffer, m ctrlMsg) (int, error) {
+	if m.size > b.Bytes {
+		return 0, fmt.Errorf("%w: message %d, buffer %d", ErrTooSmall, m.size, b.Bytes)
+	}
+	got := 0
+	tmp := make([]byte, SlotSize)
+	for c := 0; c < m.nchunks; c++ {
+		slot := int(e.rxIdx % RingSlots)
+		d := e.ringDescs[slot]
+		if st := d.Wait(); st != via.StatusSuccess {
+			return got, fmt.Errorf("msg: ring slot %d failed: %v", slot, st)
+		}
+		n := d.Transferred
+		if err := e.ringBuf.Read(slot*SlotSize, tmp[:n]); err != nil {
+			return got, err
+		}
+		if err := b.Write(got, tmp[:n]); err != nil {
+			return got, err
+		}
+		e.meter.ChargeN(e.meter.Costs.PageCopy, (n+phys.PageSize-1)/phys.PageSize)
+		got += n
+		e.rxIdx++
+		if err := e.postSlot(slot); err != nil {
+			return got, err
+		}
+		e.peerGrantCredit()
+	}
+	e.stats.RecvMsgs++
+	e.stats.RecvBytes += uint64(got)
+	return got, nil
+}
+
+// sendZeroCopy implements the rendezvous: acquire the registration
+// (through the cache), RTS, wait for CTS carrying the receiver's
+// registered handle, RDMA-write the payload, send Fin.
+func (e *Endpoint) sendZeroCopy(b *proc.Buffer) (int, error) {
+	reg, err := e.cache.Acquire(b, 0, b.Bytes, via.MemAttrs{}, regcache.ClassUser)
+	if err != nil {
+		return 0, err
+	}
+	defer func() { _ = e.cache.Release(reg) }()
+	return e.sendZeroCopyReg(b, reg)
+}
+
+// recvZeroCopy registers the destination buffer (write-enabled), hands
+// the handle to the sender and waits for the Fin.
+func (e *Endpoint) recvZeroCopy(b *proc.Buffer, m ctrlMsg) (int, error) {
+	if m.size > b.Bytes {
+		return 0, fmt.Errorf("%w: message %d, buffer %d", ErrTooSmall, m.size, b.Bytes)
+	}
+	reg, err := e.cache.Acquire(b, 0, m.size, via.MemAttrs{EnableRDMAWrite: true}, regcache.ClassUser)
+	if err != nil {
+		return 0, err
+	}
+	defer func() { _ = e.cache.Release(reg) }()
+	e.sendCtrl(ctrlMsg{kind: kCTS, handle: reg.Handle()})
+	fin := <-e.ctrl
+	if fin.kind != kFin {
+		return 0, fmt.Errorf("msg: expected Fin, got kind %d", fin.kind)
+	}
+	e.stats.RecvMsgs++
+	e.stats.RecvBytes += uint64(m.size)
+	return m.size, nil
+}

@@ -1,0 +1,166 @@
+package msg
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/proc"
+)
+
+func TestPersistentSendRecv(t *testing.T) {
+	c := newCluster(t, core.StrategyKiobuf, 0)
+	const size = 128 * 1024
+	src, _ := c.procA.Malloc(size)
+	dst, _ := c.procB.Malloc(size)
+
+	ps, err := c.epA.SendInit(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := c.epB.RecvInit(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rounds = 5
+	for i := 0; i < rounds; i++ {
+		if err := src.FillPattern(byte(i)); err != nil {
+			t.Fatal(err)
+		}
+		errc := make(chan error, 1)
+		go func() {
+			_, err := ps.Start()
+			errc <- err
+		}()
+		n, err := pr.Start()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != size {
+			t.Fatalf("received %d", n)
+		}
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+		bad, err := dst.VerifyPattern(byte(i))
+		if err != nil || len(bad) != 0 {
+			t.Fatalf("round %d: bad=%v err=%v", i, bad, err)
+		}
+	}
+	// Only the two Init calls registered anything.
+	if m := c.epA.Cache().Stats().Misses; m != 1 {
+		t.Fatalf("sender misses = %d, want 1", m)
+	}
+	if m := c.epB.Cache().Stats().Misses; m != 1 {
+		t.Fatalf("receiver misses = %d, want 1", m)
+	}
+	if err := ps.Free(); err != nil {
+		t.Fatal(err)
+	}
+	if err := pr.Free(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPersistentFreedRejected(t *testing.T) {
+	c := newCluster(t, core.StrategyKiobuf, 0)
+	src, _ := c.procA.Malloc(1024)
+	ps, err := c.epA.SendInit(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ps.Free(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ps.Start(); err != ErrFreed {
+		t.Fatalf("err = %v", err)
+	}
+	if err := ps.Free(); err != ErrFreed {
+		t.Fatalf("double free err = %v", err)
+	}
+}
+
+func TestPersistentInitValidation(t *testing.T) {
+	c := newCluster(t, core.StrategyKiobuf, 0)
+	empty := &proc.Buffer{}
+	if _, err := c.epA.SendInit(empty); err != ErrEmptyMessage {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := c.epB.RecvInit(empty); err != ErrEmptyMessage {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPersistentRecvInteroperatesWithPlainSend(t *testing.T) {
+	// A plain ZeroCopy send pairs fine with a persistent receive.
+	c := newCluster(t, core.StrategyKiobuf, 0)
+	const size = 256 * 1024
+	src, _ := c.procA.Malloc(size)
+	dst, _ := c.procB.Malloc(size)
+	pr, err := c.epB.RecvInit(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.FillPattern(7); err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		_, err := c.epA.Send(src, ZeroCopy)
+		errc <- err
+	}()
+	if _, err := pr.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+	bad, err := dst.VerifyPattern(7)
+	if err != nil || len(bad) != 0 {
+		t.Fatalf("bad=%v err=%v", bad, err)
+	}
+}
+
+func TestPersistentSurvivesCachePressure(t *testing.T) {
+	// A persistent registration must not be evicted by churning user
+	// buffers, even on a tight cache.
+	c := newCluster(t, core.StrategyKiobuf, 3)
+	const size = 8 * 1024
+	src, _ := c.procA.Malloc(size)
+	ps, err := c.epA.SendInit(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, _ := c.procB.Malloc(size)
+	// Churn: distinct user buffers through the same cache.
+	for i := 0; i < 6; i++ {
+		u, _ := c.procA.Malloc(size)
+		errc := make(chan error, 1)
+		go func() {
+			_, err := c.epA.Send(u, ZeroCopy)
+			errc <- err
+		}()
+		if _, err := c.epB.Recv(dst); err != nil {
+			t.Fatal(err)
+		}
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The persistent send still works without re-registering.
+	misses := c.epA.Cache().Stats().Misses
+	errc := make(chan error, 1)
+	go func() {
+		_, err := ps.Start()
+		errc <- err
+	}()
+	if _, err := c.epB.Recv(dst); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+	if got := c.epA.Cache().Stats().Misses; got != misses {
+		t.Fatalf("persistent send re-registered (misses %d -> %d)", misses, got)
+	}
+	_ = ps.Free()
+}

@@ -1,0 +1,253 @@
+// Package pgtable implements two-level page tables in the style of IA-32
+// Linux 2.2/2.4: a page directory of page-table pages, each entry mapping
+// one 4 KiB virtual page to either a physical frame (present) or a swap
+// entry (not present), with protection and accessed/dirty software bits.
+package pgtable
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/phys"
+	"repro/internal/swapdev"
+)
+
+// Virtual address geometry: 10-bit directory index, 10-bit table index,
+// 12-bit offset — the classic 32-bit two-level split.
+const (
+	ptBits    = 10
+	ptEntries = 1 << ptBits // 1024 entries per table
+	pdEntries = 1 << ptBits // 1024 tables per directory
+
+	// MaxVPN is the highest mappable virtual page number (4 GiB space).
+	MaxVPN = pdEntries*ptEntries - 1
+)
+
+// VAddr is a virtual byte address within one address space.
+type VAddr uint64
+
+// VPN is a virtual page number.
+type VPN uint32
+
+// PageOf returns the virtual page containing the address.
+func PageOf(a VAddr) VPN { return VPN(a >> phys.PageShift) }
+
+// Offset returns the in-page offset of the address.
+func Offset(a VAddr) int { return int(a & phys.PageMask) }
+
+// Addr returns the first byte address of the virtual page.
+func (v VPN) Addr() VAddr { return VAddr(v) << phys.PageShift }
+
+// PTE is one page-table entry.
+//
+// Layout (software-defined, 64 bits):
+//
+//	bit  0      present
+//	bit  1      writable
+//	bit  2      user
+//	bit  3      accessed
+//	bit  4      dirty
+//	bits 32..63 pfn (present) or swap slot (not present, swap bit set)
+//	bit  5      swap entry valid (only meaningful when not present)
+type PTE uint64
+
+const (
+	pteTargetShift = 32
+
+	// FlagPresent marks the entry as mapping a resident frame.
+	FlagPresent PTE = 1 << 0
+	// FlagWrite permits stores through the mapping.
+	FlagWrite PTE = 1 << 1
+	// FlagUser permits user-mode access.
+	FlagUser PTE = 1 << 2
+	// FlagAccessed is set on every translation (the MMU's A bit).
+	FlagAccessed PTE = 1 << 3
+	// FlagDirty is set on every store translation (the MMU's D bit).
+	FlagDirty PTE = 1 << 4
+	// FlagSwap marks a non-present entry holding a swap slot.
+	FlagSwap PTE = 1 << 5
+)
+
+// Present reports whether the entry maps a resident frame.
+func (p PTE) Present() bool { return p&FlagPresent != 0 }
+
+// Writable reports whether stores are permitted.
+func (p PTE) Writable() bool { return p&FlagWrite != 0 }
+
+// Swapped reports whether the entry holds a swap slot.
+func (p PTE) Swapped() bool { return !p.Present() && p&FlagSwap != 0 }
+
+// None reports whether the entry is entirely empty.
+func (p PTE) None() bool { return p == 0 }
+
+// PFN returns the mapped frame; only valid when Present.
+func (p PTE) PFN() phys.PFN { return phys.PFN(p >> pteTargetShift) }
+
+// SwapSlot returns the swap slot; only valid when Swapped.
+func (p PTE) SwapSlot() swapdev.Slot { return swapdev.Slot(p >> pteTargetShift) }
+
+// MakePresent builds a present entry for the frame with the given flags.
+func MakePresent(pfn phys.PFN, flags PTE) PTE {
+	return PTE(pfn)<<pteTargetShift | (flags & ((1 << pteTargetShift) - 1)) | FlagPresent
+}
+
+// MakeSwap builds a non-present entry recording the swap slot.  The
+// protection bits are preserved so the fault handler can restore them.
+func MakeSwap(slot swapdev.Slot, flags PTE) PTE {
+	f := flags &^ (FlagPresent | FlagAccessed)
+	return PTE(slot)<<pteTargetShift | (f & (FlagWrite | FlagUser | FlagDirty)) | FlagSwap
+}
+
+func (p PTE) String() string {
+	if p.None() {
+		return "none"
+	}
+	if p.Present() {
+		return fmt.Sprintf("pfn=%d%s%s%s%s", p.PFN(),
+			cond(p&FlagWrite != 0, " w"), cond(p&FlagUser != 0, " u"),
+			cond(p&FlagAccessed != 0, " a"), cond(p&FlagDirty != 0, " d"))
+	}
+	if p.Swapped() {
+		return fmt.Sprintf("swap=%d", p.SwapSlot())
+	}
+	return fmt.Sprintf("raw=%#x", uint64(p))
+}
+
+func cond(b bool, s string) string {
+	if b {
+		return s
+	}
+	return ""
+}
+
+// Table is a two-level page table for one address space.  It is not
+// internally synchronized: package mm serializes all access under the
+// kernel lock, matching the original global-kernel-lock discipline.
+type Table struct {
+	dir      [pdEntries]*[ptEntries]PTE
+	resident int // number of present entries (the RSS counter)
+}
+
+// ErrBadVPN reports a virtual page outside the 4 GiB space.
+var ErrBadVPN = errors.New("pgtable: VPN out of range")
+
+// New returns an empty page table.
+func New() *Table { return &Table{} }
+
+// Resident reports the number of present entries (RSS in pages).
+func (t *Table) Resident() int { return t.resident }
+
+// Lookup returns the entry for the page, which is the zero PTE for pages
+// never mapped.  Lookup never allocates intermediate tables.
+func (t *Table) Lookup(v VPN) (PTE, error) {
+	if v > MaxVPN {
+		return 0, fmt.Errorf("%w: %d", ErrBadVPN, v)
+	}
+	pt := t.dir[v>>ptBits]
+	if pt == nil {
+		return 0, nil
+	}
+	return pt[v&(ptEntries-1)], nil
+}
+
+// Set installs the entry for the page, allocating the intermediate table
+// if needed, and maintains the resident counter.
+func (t *Table) Set(v VPN, e PTE) error {
+	if v > MaxVPN {
+		return fmt.Errorf("%w: %d", ErrBadVPN, v)
+	}
+	di, ti := v>>ptBits, v&(ptEntries-1)
+	pt := t.dir[di]
+	if pt == nil {
+		if e.None() {
+			return nil
+		}
+		pt = new([ptEntries]PTE)
+		t.dir[di] = pt
+	}
+	old := pt[ti]
+	pt[ti] = e
+	switch {
+	case old.Present() && !e.Present():
+		t.resident--
+	case !old.Present() && e.Present():
+		t.resident++
+	}
+	return nil
+}
+
+// Clear removes the entry for the page and returns the previous value.
+func (t *Table) Clear(v VPN) (PTE, error) {
+	old, err := t.Lookup(v)
+	if err != nil {
+		return 0, err
+	}
+	if !old.None() {
+		if err := t.Set(v, 0); err != nil {
+			return 0, err
+		}
+	}
+	return old, nil
+}
+
+// SetFlags ors flags into an existing entry (used for A/D bit updates).
+func (t *Table) SetFlags(v VPN, f PTE) error {
+	e, err := t.Lookup(v)
+	if err != nil {
+		return err
+	}
+	if e.None() {
+		return fmt.Errorf("pgtable: SetFlags on empty entry for vpn %d", v)
+	}
+	return t.Set(v, e|f)
+}
+
+// ClearFlags removes flags from an existing entry.
+func (t *Table) ClearFlags(v VPN, f PTE) error {
+	e, err := t.Lookup(v)
+	if err != nil {
+		return err
+	}
+	if e.None() {
+		return nil
+	}
+	return t.Set(v, e&^f)
+}
+
+// Range calls fn for every non-empty entry in [start, end), in ascending
+// VPN order, skipping unallocated intermediate tables wholesale.  fn may
+// not modify the table; collect then mutate.
+func (t *Table) Range(start, end VPN, fn func(v VPN, e PTE) bool) {
+	if end > MaxVPN+1 {
+		end = MaxVPN + 1
+	}
+	for v := start; v < end; {
+		di := v >> ptBits
+		pt := t.dir[di]
+		if pt == nil {
+			// Skip to the start of the next table.
+			v = (di + 1) << ptBits
+			continue
+		}
+		for ; v < end && v>>ptBits == di; v++ {
+			e := pt[v&(ptEntries-1)]
+			if !e.None() {
+				if !fn(v, e) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// CountPresent reports how many entries in [start, end) are present.
+func (t *Table) CountPresent(start, end VPN) int {
+	n := 0
+	t.Range(start, end, func(_ VPN, e PTE) bool {
+		if e.Present() {
+			n++
+		}
+		return true
+	})
+	return n
+}

@@ -1,0 +1,266 @@
+package pgtable
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/phys"
+	"repro/internal/swapdev"
+)
+
+func TestAddressGeometry(t *testing.T) {
+	if got := PageOf(VAddr(3*phys.PageSize + 5)); got != 3 {
+		t.Fatalf("PageOf = %d", got)
+	}
+	if got := Offset(VAddr(3*phys.PageSize + 5)); got != 5 {
+		t.Fatalf("Offset = %d", got)
+	}
+	if got := VPN(7).Addr(); got != VAddr(7*phys.PageSize) {
+		t.Fatalf("Addr = %d", got)
+	}
+}
+
+func TestPTEPresentEncoding(t *testing.T) {
+	e := MakePresent(1234, FlagWrite|FlagUser)
+	if !e.Present() || !e.Writable() {
+		t.Fatalf("flags lost: %v", e)
+	}
+	if e.PFN() != 1234 {
+		t.Fatalf("pfn = %d", e.PFN())
+	}
+	if e.Swapped() {
+		t.Fatal("present entry reported swapped")
+	}
+}
+
+func TestPTESwapEncoding(t *testing.T) {
+	e := MakeSwap(777, FlagWrite|FlagUser|FlagAccessed)
+	if e.Present() {
+		t.Fatal("swap entry reported present")
+	}
+	if !e.Swapped() {
+		t.Fatal("swap entry not recognized")
+	}
+	if e.SwapSlot() != swapdev.Slot(777) {
+		t.Fatalf("slot = %d", e.SwapSlot())
+	}
+	// Protection is preserved, the accessed bit is dropped.
+	if e&FlagWrite == 0 {
+		t.Fatal("write protection lost across swap encoding")
+	}
+	if e&FlagAccessed != 0 {
+		t.Fatal("accessed bit must not survive swap encoding")
+	}
+}
+
+func TestPTEZeroIsNone(t *testing.T) {
+	var e PTE
+	if !e.None() || e.Present() || e.Swapped() {
+		t.Fatal("zero PTE must be none")
+	}
+}
+
+func TestSetLookupClear(t *testing.T) {
+	tb := New()
+	if err := tb.Set(100, MakePresent(5, FlagUser)); err != nil {
+		t.Fatal(err)
+	}
+	e, err := tb.Lookup(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.Present() || e.PFN() != 5 {
+		t.Fatalf("lookup = %v", e)
+	}
+	old, err := tb.Clear(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old.PFN() != 5 {
+		t.Fatalf("clear returned %v", old)
+	}
+	e, _ = tb.Lookup(100)
+	if !e.None() {
+		t.Fatalf("entry survives clear: %v", e)
+	}
+}
+
+func TestLookupNeverAllocates(t *testing.T) {
+	tb := New()
+	for v := VPN(0); v < 10000; v += 997 {
+		e, err := tb.Lookup(v)
+		if err != nil || !e.None() {
+			t.Fatalf("lookup(%d) = %v, %v", v, e, err)
+		}
+	}
+}
+
+func TestResidentCounter(t *testing.T) {
+	tb := New()
+	_ = tb.Set(1, MakePresent(1, 0))
+	_ = tb.Set(2, MakePresent(2, 0))
+	_ = tb.Set(3, MakeSwap(3, 0))
+	if got := tb.Resident(); got != 2 {
+		t.Fatalf("resident = %d, want 2", got)
+	}
+	// present -> swap decrements
+	_ = tb.Set(1, MakeSwap(9, 0))
+	if got := tb.Resident(); got != 1 {
+		t.Fatalf("resident = %d, want 1", got)
+	}
+	// swap -> present increments
+	_ = tb.Set(3, MakePresent(5, 0))
+	if got := tb.Resident(); got != 2 {
+		t.Fatalf("resident = %d, want 2", got)
+	}
+	_, _ = tb.Clear(3)
+	_, _ = tb.Clear(2)
+	if got := tb.Resident(); got != 0 {
+		t.Fatalf("resident = %d, want 0", got)
+	}
+}
+
+func TestBadVPN(t *testing.T) {
+	tb := New()
+	if _, err := tb.Lookup(MaxVPN + 1); !errors.Is(err, ErrBadVPN) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := tb.Set(MaxVPN+1, MakePresent(1, 0)); !errors.Is(err, ErrBadVPN) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSetFlagsClearFlags(t *testing.T) {
+	tb := New()
+	_ = tb.Set(10, MakePresent(1, FlagUser))
+	if err := tb.SetFlags(10, FlagAccessed|FlagDirty); err != nil {
+		t.Fatal(err)
+	}
+	e, _ := tb.Lookup(10)
+	if e&FlagAccessed == 0 || e&FlagDirty == 0 {
+		t.Fatalf("flags not set: %v", e)
+	}
+	if err := tb.ClearFlags(10, FlagAccessed); err != nil {
+		t.Fatal(err)
+	}
+	e, _ = tb.Lookup(10)
+	if e&FlagAccessed != 0 {
+		t.Fatalf("accessed still set: %v", e)
+	}
+	if e.PFN() != 1 {
+		t.Fatalf("pfn corrupted by flag ops: %v", e)
+	}
+}
+
+func TestSetFlagsOnEmptyFails(t *testing.T) {
+	tb := New()
+	if err := tb.SetFlags(10, FlagAccessed); err == nil {
+		t.Fatal("SetFlags on empty entry should fail")
+	}
+	// ClearFlags on empty is a harmless no-op.
+	if err := tb.ClearFlags(10, FlagAccessed); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRangeOrderAndSkip(t *testing.T) {
+	tb := New()
+	// Spread entries across several second-level tables.
+	vpns := []VPN{3, 1024, 1030, 5000, 123456}
+	for i, v := range vpns {
+		_ = tb.Set(v, MakePresent(phys.PFN(i+1), 0))
+	}
+	var seen []VPN
+	tb.Range(0, MaxVPN+1, func(v VPN, e PTE) bool {
+		seen = append(seen, v)
+		return true
+	})
+	if len(seen) != len(vpns) {
+		t.Fatalf("range saw %d entries, want %d", len(seen), len(vpns))
+	}
+	for i := 1; i < len(seen); i++ {
+		if seen[i] <= seen[i-1] {
+			t.Fatalf("range out of order: %v", seen)
+		}
+	}
+}
+
+func TestRangeBounds(t *testing.T) {
+	tb := New()
+	_ = tb.Set(10, MakePresent(1, 0))
+	_ = tb.Set(20, MakePresent(2, 0))
+	_ = tb.Set(30, MakePresent(3, 0))
+	var seen []VPN
+	tb.Range(11, 30, func(v VPN, e PTE) bool {
+		seen = append(seen, v)
+		return true
+	})
+	if len(seen) != 1 || seen[0] != 20 {
+		t.Fatalf("range [11,30) saw %v", seen)
+	}
+}
+
+func TestRangeEarlyStop(t *testing.T) {
+	tb := New()
+	for v := VPN(0); v < 10; v++ {
+		_ = tb.Set(v, MakePresent(phys.PFN(v+1), 0))
+	}
+	n := 0
+	tb.Range(0, 100, func(VPN, PTE) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestCountPresent(t *testing.T) {
+	tb := New()
+	_ = tb.Set(1, MakePresent(1, 0))
+	_ = tb.Set(2, MakeSwap(1, 0))
+	_ = tb.Set(3, MakePresent(2, 0))
+	if got := tb.CountPresent(0, 10); got != 2 {
+		t.Fatalf("CountPresent = %d", got)
+	}
+}
+
+func TestPTEString(t *testing.T) {
+	if got := PTE(0).String(); got != "none" {
+		t.Fatalf("zero string = %q", got)
+	}
+	e := MakePresent(9, FlagWrite)
+	if got := e.String(); got != "pfn=9 w" {
+		t.Fatalf("present string = %q", got)
+	}
+	s := MakeSwap(4, 0)
+	if got := s.String(); got != "swap=4" {
+		t.Fatalf("swap string = %q", got)
+	}
+}
+
+// TestResidentMatchesScan: property — the resident counter always equals
+// the number of present entries found by a full scan.
+func TestResidentMatchesScan(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tb := New()
+		for i := 0; i < 200; i++ {
+			v := VPN(rng.Intn(4096))
+			switch rng.Intn(3) {
+			case 0:
+				_ = tb.Set(v, MakePresent(phys.PFN(rng.Intn(100)), FlagUser))
+			case 1:
+				_ = tb.Set(v, MakeSwap(swapdev.Slot(rng.Intn(100)), FlagUser))
+			case 2:
+				_, _ = tb.Clear(v)
+			}
+		}
+		return tb.Resident() == tb.CountPresent(0, MaxVPN+1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

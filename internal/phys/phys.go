@@ -1,0 +1,450 @@
+// Package phys simulates the physical memory of one node: a fixed number
+// of 4 KiB frames backed by real bytes, plus the Linux-style page map
+// (mem_map) holding per-frame reference counts and PG_* flags.
+//
+// Everything the paper's analysis hinges on lives here:
+//
+//   - page->count semantics: __free_page decrements the count and only a
+//     count of zero returns the frame to the free list, so a frame whose
+//     count was raised by a sloppy "locking" scheme is orphaned — still
+//     allocated, but no longer mapped by anyone — instead of being pinned;
+//   - PG_locked / PG_reserved: frames carrying either flag are skipped by
+//     both the clock scan (shrink_mmap) and the swap-out path;
+//   - Pins: the kernel-internal pin count maintained exclusively by the
+//     kiobuf facility (package kiobuf).  Drivers never touch it directly;
+//     that is precisely the paper's point.
+//
+// DMA by the simulated NIC goes through ReadPhys/WritePhys using raw
+// physical addresses, bypassing all page tables — as bus-master DMA does.
+package phys
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Page geometry.  4 KiB pages as on IA-32, the paper's primary target.
+const (
+	PageShift = 12
+	PageSize  = 1 << PageShift // 4096
+	PageMask  = PageSize - 1
+)
+
+// Addr is a physical byte address.
+type Addr uint64
+
+// PFN is a physical frame number.
+type PFN uint32
+
+// NoPFN is the sentinel for "no frame".
+const NoPFN PFN = ^PFN(0)
+
+// Addr returns the physical byte address of the start of the frame.
+func (p PFN) Addr() Addr { return Addr(p) << PageShift }
+
+// FrameOf returns the frame containing the physical address.
+func FrameOf(a Addr) PFN { return PFN(a >> PageShift) }
+
+// PageFlags mirrors the relevant mem_map_t flag bits.
+type PageFlags uint32
+
+const (
+	// PGLocked marks a page locked for kernel I/O.  The swap path and the
+	// clock scan leave such pages untouched.  The flag is owned by the
+	// kernel I/O layer; a driver setting or clearing it behind the
+	// kernel's back is the "risky and unclean" Giganet approach.
+	PGLocked PageFlags = 1 << iota
+	// PGReserved marks pages not available to the memory system at all.
+	PGReserved
+	// PGDirty marks pages modified since the last writeback.
+	PGDirty
+	// PGReferenced is the clock algorithm's second-chance bit.
+	PGReferenced
+	// PGSwapCache marks a page that also lives in the swap cache.
+	PGSwapCache
+)
+
+func (f PageFlags) String() string {
+	s := ""
+	add := func(bit PageFlags, name string) {
+		if f&bit != 0 {
+			if s != "" {
+				s += "|"
+			}
+			s += name
+		}
+	}
+	add(PGLocked, "locked")
+	add(PGReserved, "reserved")
+	add(PGDirty, "dirty")
+	add(PGReferenced, "referenced")
+	add(PGSwapCache, "swapcache")
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+// Page is one entry of the page map (the mem_map_t of the paper's §2.1).
+type Page struct {
+	// Count is the reference count.  Zero means the frame is free.
+	Count int32
+	// Flags holds the PG_* bits.
+	Flags PageFlags
+	// Pins is the kernel-maintained pin count (kiobuf mappings).  A frame
+	// with Pins > 0 is never reclaimed or swapped.  Only package kiobuf
+	// writes this field, via the Pin/Unpin methods.
+	Pins int32
+}
+
+// Stats aggregates allocator activity for the experiments.
+type Stats struct {
+	Allocs      uint64 // successful frame allocations
+	Frees       uint64 // frames returned to the free list
+	FailedAlloc uint64 // allocations that found the free list empty
+}
+
+// Memory is the physical memory of one simulated node.
+type Memory struct {
+	mu     sync.Mutex
+	frames []byte // nframes * PageSize backing bytes
+	pages  []Page // the page map
+	free   []PFN  // LIFO free list
+	stats  Stats
+}
+
+// Errors returned by the allocator and accessors.
+var (
+	ErrOutOfMemory = errors.New("phys: out of memory")
+	ErrBadPFN      = errors.New("phys: bad frame number")
+	ErrBadAddr     = errors.New("phys: physical address out of range")
+	ErrFrameFree   = errors.New("phys: operation on free frame")
+)
+
+// New creates a node with nframes physical frames, all free.
+func New(nframes int) *Memory {
+	if nframes <= 0 {
+		panic("phys: nframes must be positive")
+	}
+	m := &Memory{
+		frames: make([]byte, nframes*PageSize),
+		pages:  make([]Page, nframes),
+		free:   make([]PFN, 0, nframes),
+	}
+	// Hand out low frames first: push in reverse so the LIFO pops 0,1,2…
+	for i := nframes - 1; i >= 0; i-- {
+		m.free = append(m.free, PFN(i))
+	}
+	return m
+}
+
+// NumFrames reports the total number of frames.
+func (m *Memory) NumFrames() int { return len(m.pages) }
+
+// FreeFrames reports how many frames are currently on the free list.
+func (m *Memory) FreeFrames() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.free)
+}
+
+// Stats returns a snapshot of allocator statistics.
+func (m *Memory) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// AllocFrame takes a frame off the free list with Count=1 and cleared
+// flags.  It fails with ErrOutOfMemory when the free list is empty —
+// reclaim is the caller's job (mm.GetFreePage wraps this with
+// try_to_free_pages, exactly like get_free_pages in the kernel).
+func (m *Memory) AllocFrame() (PFN, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.free) == 0 {
+		m.stats.FailedAlloc++
+		return NoPFN, ErrOutOfMemory
+	}
+	pfn := m.free[len(m.free)-1]
+	m.free = m.free[:len(m.free)-1]
+	pg := &m.pages[pfn]
+	pg.Count = 1
+	pg.Flags = 0
+	pg.Pins = 0
+	m.stats.Allocs++
+	// Zero the frame: get_free_page hands out zeroed memory.
+	b := m.frameBytes(pfn)
+	for i := range b {
+		b[i] = 0
+	}
+	return pfn, nil
+}
+
+// Get increments the frame's reference count (get_page).
+func (m *Memory) Get(pfn PFN) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	pg, err := m.page(pfn)
+	if err != nil {
+		return err
+	}
+	if pg.Count == 0 {
+		return fmt.Errorf("%w: get on pfn %d", ErrFrameFree, pfn)
+	}
+	pg.Count++
+	return nil
+}
+
+// Put decrements the frame's reference count (__free_page) and returns
+// the frame to the free list when the count reaches zero.  It reports
+// whether the frame was actually freed.
+//
+// This is the exact behaviour the locktest experiment exploits: a frame
+// whose count was raised stays allocated after the swap path "frees" it,
+// so it is never reused — but it is no longer mapped either.
+func (m *Memory) Put(pfn PFN) (freed bool, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	pg, err := m.page(pfn)
+	if err != nil {
+		return false, err
+	}
+	if pg.Count <= 0 {
+		return false, fmt.Errorf("%w: put on pfn %d", ErrFrameFree, pfn)
+	}
+	pg.Count--
+	if pg.Count == 0 {
+		if pg.Pins != 0 {
+			// A pinned frame must always hold a reference; reaching zero
+			// with pins outstanding indicates a broken locking strategy.
+			pg.Count++ // restore so the invariant checker can see it
+			return false, fmt.Errorf("phys: pfn %d refcount reached zero with %d pins", pfn, pg.Pins)
+		}
+		pg.Flags = 0
+		m.free = append(m.free, pfn)
+		m.stats.Frees++
+		return true, nil
+	}
+	return false, nil
+}
+
+// RefCount reports the frame's reference count.
+func (m *Memory) RefCount(pfn PFN) int32 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if int(pfn) >= len(m.pages) {
+		return 0
+	}
+	return m.pages[pfn].Count
+}
+
+// Flags reports the frame's PG_* flags.
+func (m *Memory) Flags(pfn PFN) PageFlags {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if int(pfn) >= len(m.pages) {
+		return 0
+	}
+	return m.pages[pfn].Flags
+}
+
+// SetFlags ors the given flags into the frame's flag word.
+// Note: offering this unconditionally is deliberate — it is the unchecked
+// interface the Giganet-style driver abuses.  The kernel-internal users go
+// through the same entry point but follow the ownership protocol.
+func (m *Memory) SetFlags(pfn PFN, f PageFlags) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	pg, err := m.page(pfn)
+	if err != nil {
+		return err
+	}
+	pg.Flags |= f
+	return nil
+}
+
+// ClearFlags removes the given flags from the frame's flag word.
+func (m *Memory) ClearFlags(pfn PFN, f PageFlags) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	pg, err := m.page(pfn)
+	if err != nil {
+		return err
+	}
+	pg.Flags &^= f
+	return nil
+}
+
+// TestFlags reports whether all of the given flags are set on the frame.
+func (m *Memory) TestFlags(pfn PFN, f PageFlags) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if int(pfn) >= len(m.pages) {
+		return false
+	}
+	return m.pages[pfn].Flags&f == f
+}
+
+// Pin increments the kernel pin count of the frame.  Pinned frames are
+// excluded from reclaim and swap.  Only the kiobuf facility calls this.
+func (m *Memory) Pin(pfn PFN) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	pg, err := m.page(pfn)
+	if err != nil {
+		return err
+	}
+	if pg.Count == 0 {
+		return fmt.Errorf("%w: pin on pfn %d", ErrFrameFree, pfn)
+	}
+	pg.Pins++
+	return nil
+}
+
+// Unpin decrements the kernel pin count of the frame.
+func (m *Memory) Unpin(pfn PFN) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	pg, err := m.page(pfn)
+	if err != nil {
+		return err
+	}
+	if pg.Pins <= 0 {
+		return fmt.Errorf("phys: unpin on pfn %d with no pins", pfn)
+	}
+	pg.Pins--
+	return nil
+}
+
+// Pins reports the frame's kernel pin count.
+func (m *Memory) Pins(pfn PFN) int32 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if int(pfn) >= len(m.pages) {
+		return 0
+	}
+	return m.pages[pfn].Pins
+}
+
+// Reclaimable reports whether the swap path may take the frame away:
+// it must be in use, unpinned, and carry neither PG_locked nor
+// PG_reserved.  (The refcount is deliberately NOT consulted here — that
+// is the paper's §3.1 finding: swap_out ignores the count and the count
+// only matters at the final __free_page.)
+func (m *Memory) Reclaimable(pfn PFN) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if int(pfn) >= len(m.pages) {
+		return false
+	}
+	pg := &m.pages[pfn]
+	return pg.Count > 0 && pg.Pins == 0 && pg.Flags&(PGLocked|PGReserved) == 0
+}
+
+// PageInfo returns a copy of the page-map entry for inspection.
+func (m *Memory) PageInfo(pfn PFN) (Page, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	pg, err := m.page(pfn)
+	if err != nil {
+		return Page{}, err
+	}
+	return *pg, nil
+}
+
+// ReadPhys copies len(buf) bytes starting at physical address a into buf.
+// It is the bus-master read path of the simulated NIC: no page tables, no
+// protection — exactly like real DMA.
+func (m *Memory) ReadPhys(a Addr, buf []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if int(a)+len(buf) > len(m.frames) {
+		return ErrBadAddr
+	}
+	copy(buf, m.frames[a:int(a)+len(buf)])
+	return nil
+}
+
+// WritePhys copies buf to physical address a.  The bus-master write path.
+func (m *Memory) WritePhys(a Addr, buf []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if int(a)+len(buf) > len(m.frames) {
+		return ErrBadAddr
+	}
+	copy(m.frames[a:int(a)+len(buf)], buf)
+	return nil
+}
+
+// CopyPhys copies n bytes from physical address src to physical address
+// dst within this memory (page-copy, COW, bounce buffers).
+func (m *Memory) CopyPhys(dst, src Addr, n int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if int(src)+n > len(m.frames) || int(dst)+n > len(m.frames) {
+		return ErrBadAddr
+	}
+	copy(m.frames[dst:int(dst)+n], m.frames[src:int(src)+n])
+	return nil
+}
+
+// FrameBytes returns the live backing bytes of a frame.  The caller must
+// treat the slice as volatile shared memory; it is exposed so the swap
+// device and page-copy paths avoid double buffering.
+func (m *Memory) FrameBytes(pfn PFN) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, err := m.page(pfn); err != nil {
+		return nil, err
+	}
+	return m.frameBytes(pfn), nil
+}
+
+// CheckInvariants validates the global page-map invariants and returns a
+// descriptive error on the first violation.  Property tests call it after
+// every randomized operation sequence.
+func (m *Memory) CheckInvariants() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	onFree := make(map[PFN]bool, len(m.free))
+	for _, pfn := range m.free {
+		if onFree[pfn] {
+			return fmt.Errorf("phys: pfn %d on free list twice", pfn)
+		}
+		onFree[pfn] = true
+	}
+	for i := range m.pages {
+		pg := &m.pages[i]
+		pfn := PFN(i)
+		switch {
+		case pg.Count < 0:
+			return fmt.Errorf("phys: pfn %d negative refcount %d", pfn, pg.Count)
+		case pg.Pins < 0:
+			return fmt.Errorf("phys: pfn %d negative pin count %d", pfn, pg.Pins)
+		case pg.Pins > 0 && pg.Count == 0:
+			return fmt.Errorf("phys: pfn %d pinned but free", pfn)
+		case pg.Count == 0 && !onFree[pfn]:
+			return fmt.Errorf("phys: pfn %d count==0 but not on free list", pfn)
+		case pg.Count > 0 && onFree[pfn]:
+			return fmt.Errorf("phys: pfn %d count==%d but on free list", pfn, pg.Count)
+		}
+	}
+	return nil
+}
+
+// page validates a PFN and returns its page-map entry.  Caller holds mu.
+func (m *Memory) page(pfn PFN) (*Page, error) {
+	if int(pfn) >= len(m.pages) {
+		return nil, fmt.Errorf("%w: %d (of %d)", ErrBadPFN, pfn, len(m.pages))
+	}
+	return &m.pages[pfn], nil
+}
+
+// frameBytes returns the backing slice of a frame.  Caller holds mu or
+// accepts volatile semantics.
+func (m *Memory) frameBytes(pfn PFN) []byte {
+	off := int(pfn) * PageSize
+	return m.frames[off : off+PageSize : off+PageSize]
+}

@@ -1,0 +1,160 @@
+// Package pressure generates the memory pressure the locktest experiment
+// needs: the *allocator* process of §3.1, which "allocates as much memory
+// as possible forcing a large amount of pages to be swapped out", plus
+// graded pressure levels for the survival sweep (experiment E5).
+package pressure
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/mm"
+	"repro/internal/pgtable"
+	"repro/internal/vma"
+)
+
+// Result summarizes one pressure run.
+type Result struct {
+	// PagesRequested is the size of the allocation attempted.
+	PagesRequested int
+	// PagesTouched is how many pages were actually written before the
+	// allocator stopped (OOM or completion).
+	PagesTouched int
+	// SwapOuts is the number of pages the kernel evicted during the run.
+	SwapOuts uint64
+	// HitOOM reports whether the allocator died of OOM.
+	HitOOM bool
+}
+
+// Allocator runs one allocator process: it maps `pages` pages, writes to
+// every one (forcing copy-on-write/demand-zero and thereby eviction of
+// other memory), then exits, releasing everything.  Per the paper, the
+// demand paging means it must *write* to consume physical memory.
+func Allocator(k *mm.Kernel, pages int) (Result, error) {
+	res := Result{PagesRequested: pages}
+	before := k.Stats().SwapOuts
+	as := k.CreateProcess("allocator", false)
+	defer func() { _ = k.DestroyProcess(as) }()
+
+	addr, err := k.MMap(as, pages, vma.Read|vma.Write)
+	if err != nil {
+		return res, err
+	}
+	// Touch page by page so an OOM mid-way still counts progress.
+	for i := 0; i < pages; i++ {
+		if err := k.Touch(as, addr+pgtable.VAddr(i*pgPageSize), 1); err != nil {
+			if errors.Is(err, mm.ErrOOM) {
+				res.HitOOM = true
+				break
+			}
+			return res, err
+		}
+		res.PagesTouched++
+	}
+	res.SwapOuts = k.Stats().SwapOuts - before
+	return res, nil
+}
+
+// pgPageSize mirrors phys.PageSize without importing it (kept local so
+// the loop reads naturally in address units).
+const pgPageSize = 1 << 12
+
+// Level applies pressure proportional to RAM: fraction 1.0 touches as
+// many pages as the node has frames; 1.5 touches half again as many.
+// Returns the allocator result.
+func Level(k *mm.Kernel, fraction float64) (Result, error) {
+	if fraction < 0 {
+		return Result{}, fmt.Errorf("pressure: negative fraction %f", fraction)
+	}
+	pages := int(fraction * float64(k.Config().RAMPages))
+	if pages == 0 {
+		return Result{}, nil
+	}
+	return Allocator(k, pages)
+}
+
+// Hog is a long-lived allocator whose footprint grows across calls, for
+// experiments that need cumulative pressure (E10's decay curve).  Unlike
+// Allocator it does not exit between steps, so earlier allocations keep
+// competing for frames.
+type Hog struct {
+	k     *mm.Kernel
+	as    *mm.AddressSpace
+	spans []span
+}
+
+type span struct {
+	addr  pgtable.VAddr
+	pages int
+}
+
+// NewHog starts the hog process.
+func NewHog(k *mm.Kernel) *Hog {
+	return &Hog{k: k, as: k.CreateProcess("hog", false)}
+}
+
+// Grow extends the hog by pages pages and touches them all.  An OOM
+// stops the touch loop but is not an error (the hog simply holds what it
+// got).  It reports how many new pages were touched.
+func (h *Hog) Grow(pages int) (int, error) {
+	addr, err := h.k.MMap(h.as, pages, vma.Read|vma.Write)
+	if err != nil {
+		return 0, err
+	}
+	h.spans = append(h.spans, span{addr: addr, pages: pages})
+	touched := 0
+	for i := 0; i < pages; i++ {
+		if err := h.k.Touch(h.as, addr+pgtable.VAddr(i*pgPageSize), 1); err != nil {
+			if errors.Is(err, mm.ErrOOM) {
+				return touched, nil
+			}
+			return touched, err
+		}
+		touched++
+	}
+	return touched, nil
+}
+
+// Churn re-touches every span the hog holds, keeping its working set hot
+// so other processes' pages stay the preferred eviction victims.
+func (h *Hog) Churn() error {
+	for _, s := range h.spans {
+		for i := 0; i < s.pages; i++ {
+			if err := h.k.Touch(h.as, s.addr+pgtable.VAddr(i*pgPageSize), 1); err != nil {
+				if errors.Is(err, mm.ErrOOM) {
+					return nil
+				}
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Pages reports the hog's total mapped footprint.
+func (h *Hog) Pages() int {
+	n := 0
+	for _, s := range h.spans {
+		n += s.pages
+	}
+	return n
+}
+
+// Release ends the hog and frees everything it held.
+func (h *Hog) Release() error {
+	return h.k.DestroyProcess(h.as)
+}
+
+// Exhaust keeps allocating until OOM, in chunks, and reports the total
+// number of pages it managed to touch — the paper's "allocates as much
+// memory as possible".
+func Exhaust(k *mm.Kernel) (Result, error) {
+	total := Result{}
+	// RAM + swap bounds how far an allocator can possibly get.
+	bound := k.Config().RAMPages + k.Config().SwapPages
+	res, err := Allocator(k, bound)
+	if err != nil {
+		return total, err
+	}
+	return res, nil
+}

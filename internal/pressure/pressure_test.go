@@ -1,0 +1,143 @@
+package pressure
+
+import (
+	"testing"
+
+	"repro/internal/mm"
+	"repro/internal/simtime"
+)
+
+func node() *mm.Kernel {
+	return mm.NewKernel(mm.Config{
+		RAMPages: 256, SwapPages: 1024, ClockBatch: 64, SwapBatch: 16,
+	}, simtime.NewMeter())
+}
+
+func TestAllocatorWithinRAM(t *testing.T) {
+	k := node()
+	res, err := Allocator(k, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PagesTouched != 64 {
+		t.Fatalf("touched %d", res.PagesTouched)
+	}
+	if res.HitOOM {
+		t.Fatal("OOM on a quarter of RAM")
+	}
+	// The allocator exited: memory must be back.
+	if k.FreePages() != 256 {
+		t.Fatalf("frames leaked: %d free", k.FreePages())
+	}
+}
+
+func TestAllocatorBeyondRAMSwaps(t *testing.T) {
+	k := node()
+	res, err := Allocator(k, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PagesTouched != 512 {
+		t.Fatalf("touched %d of 512", res.PagesTouched)
+	}
+	if res.SwapOuts == 0 {
+		t.Fatal("no swap-outs despite 2x overcommit")
+	}
+}
+
+func TestLevelFractions(t *testing.T) {
+	k := node()
+	res, err := Level(k, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PagesRequested != 128 {
+		t.Fatalf("requested %d", res.PagesRequested)
+	}
+	if res.SwapOuts != 0 {
+		t.Fatalf("half-RAM pressure caused %d swapouts", res.SwapOuts)
+	}
+	if _, err := Level(k, -1); err == nil {
+		t.Fatal("negative fraction accepted")
+	}
+	zero, err := Level(k, 0)
+	if err != nil || zero.PagesRequested != 0 {
+		t.Fatalf("zero level: %+v, %v", zero, err)
+	}
+}
+
+func TestExhaustStopsAtOOM(t *testing.T) {
+	k := node()
+	res, err := Exhaust(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// RAM + swap bound the touchable set; the allocator must have OOMed
+	// or filled everything.
+	if !res.HitOOM && res.PagesTouched != res.PagesRequested {
+		t.Fatalf("neither OOM nor complete: %+v", res)
+	}
+	if res.PagesTouched < 256 {
+		t.Fatalf("touched only %d pages — swap unused?", res.PagesTouched)
+	}
+	if err := k.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHogCumulativeGrowth(t *testing.T) {
+	k := node()
+	h := NewHog(k)
+	if h.Pages() != 0 {
+		t.Fatalf("fresh hog holds %d pages", h.Pages())
+	}
+	for i := 0; i < 3; i++ {
+		touched, err := h.Grow(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if touched != 64 {
+			t.Fatalf("grow %d touched %d", i, touched)
+		}
+	}
+	if h.Pages() != 192 {
+		t.Fatalf("footprint = %d", h.Pages())
+	}
+	// 192 of 256 frames claimed: the hog's own older spans were the
+	// only eviction candidates.
+	if err := h.Churn(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if k.FreePages() != 256 {
+		t.Fatalf("frames leaked: %d free", k.FreePages())
+	}
+}
+
+func TestHogGrowToleratesOOM(t *testing.T) {
+	// RAM 256 + swap 1024 = 1280 pages ceiling; asking for more must
+	// stop quietly at OOM, not error.
+	k := node()
+	h := NewHog(k)
+	defer func() {
+		if err := h.Release(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	touched, err := h.Grow(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if touched >= 2000 {
+		t.Fatalf("touched %d, expected OOM before the full request", touched)
+	}
+	if touched < 1000 {
+		t.Fatalf("touched only %d — swap unused?", touched)
+	}
+	// Churn over a partially-OOMed hog must also stay quiet.
+	if err := h.Churn(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,192 @@
+// Package proc wraps an mm.AddressSpace into a convenient simulated user
+// process: typed memory access, malloc-style buffer management, and the
+// helpers experiments need (fill/verify patterns, page touching).
+package proc
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/mm"
+	"repro/internal/pgtable"
+	"repro/internal/phys"
+	"repro/internal/vma"
+)
+
+// Process is one simulated user process.
+type Process struct {
+	kernel *mm.Kernel
+	as     *mm.AddressSpace
+}
+
+// New creates a process on the node.  root grants the full capability
+// set (needed by the plain-mlock path).
+func New(k *mm.Kernel, name string, root bool) *Process {
+	return &Process{kernel: k, as: k.CreateProcess(name, root)}
+}
+
+// AS exposes the underlying address space for kernel-agent calls.
+func (p *Process) AS() *mm.AddressSpace { return p.as }
+
+// Kernel exposes the node's kernel.
+func (p *Process) Kernel() *mm.Kernel { return p.kernel }
+
+// ID returns the process id.
+func (p *Process) ID() int { return p.as.ID() }
+
+func (p *Process) String() string { return p.as.String() }
+
+// Exit destroys the process and releases all its memory.
+func (p *Process) Exit() error { return p.kernel.DestroyProcess(p.as) }
+
+// Buffer is an allocated range of the process's address space.
+type Buffer struct {
+	proc *Process
+	// Addr is the buffer's base virtual address (page aligned).
+	Addr pgtable.VAddr
+	// Bytes is the buffer length.
+	Bytes int
+}
+
+// Pages reports the buffer length in pages.
+func (b *Buffer) Pages() int { return (b.Bytes + phys.PageSize - 1) / phys.PageSize }
+
+func (b *Buffer) String() string {
+	return fmt.Sprintf("%v buf[%#x,+%d)", b.proc, uint64(b.Addr), b.Bytes)
+}
+
+// Malloc maps an anonymous read-write buffer of the given size, rounded
+// up to whole pages.  Pages materialize lazily on first touch, exactly
+// like user-space malloc over mmap.
+func (p *Process) Malloc(size int) (*Buffer, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("proc: malloc(%d)", size)
+	}
+	npages := (size + phys.PageSize - 1) / phys.PageSize
+	addr, err := p.kernel.MMap(p.as, npages, vma.Read|vma.Write)
+	if err != nil {
+		return nil, err
+	}
+	return &Buffer{proc: p, Addr: addr, Bytes: size}, nil
+}
+
+// Free unmaps the buffer.
+func (p *Process) Free(b *Buffer) error {
+	return p.kernel.Munmap(p.as, b.Addr, b.Pages())
+}
+
+// Write stores data at offset off within the buffer.
+func (b *Buffer) Write(off int, data []byte) error {
+	if off < 0 || off+len(data) > b.Bytes {
+		return fmt.Errorf("proc: write [%d,+%d) outside %v", off, len(data), b)
+	}
+	return b.proc.kernel.CopyToUser(b.proc.as, b.Addr+pgtable.VAddr(off), data)
+}
+
+// Read loads len(dst) bytes from offset off within the buffer.
+func (b *Buffer) Read(off int, dst []byte) error {
+	if off < 0 || off+len(dst) > b.Bytes {
+		return fmt.Errorf("proc: read [%d,+%d) outside %v", off, len(dst), b)
+	}
+	return b.proc.kernel.CopyFromUser(b.proc.as, b.Addr+pgtable.VAddr(off), dst)
+}
+
+// WriteUint32 stores a little-endian uint32 at offset off.
+func (b *Buffer) WriteUint32(off int, v uint32) error {
+	var tmp [4]byte
+	binary.LittleEndian.PutUint32(tmp[:], v)
+	return b.Write(off, tmp[:])
+}
+
+// ReadUint32 loads a little-endian uint32 from offset off.
+func (b *Buffer) ReadUint32(off int) (uint32, error) {
+	var tmp [4]byte
+	if err := b.Read(off, tmp[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(tmp[:]), nil
+}
+
+// FillPattern writes a deterministic per-page pattern over the whole
+// buffer (step 1 of the locktest experiment: "fills it with data" so
+// every virtual page maps a distinct physical page).
+func (b *Buffer) FillPattern(seed byte) error {
+	page := make([]byte, phys.PageSize)
+	for pg := 0; pg < b.Pages(); pg++ {
+		n := b.Bytes - pg*phys.PageSize
+		if n > phys.PageSize {
+			n = phys.PageSize
+		}
+		pattern(page[:n], seed, pg)
+		if err := b.Write(pg*phys.PageSize, page[:n]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// VerifyPattern checks the buffer against FillPattern's output and
+// returns the indices of pages whose contents diverge.
+func (b *Buffer) VerifyPattern(seed byte) (badPages []int, err error) {
+	got := make([]byte, phys.PageSize)
+	want := make([]byte, phys.PageSize)
+	for pg := 0; pg < b.Pages(); pg++ {
+		n := b.Bytes - pg*phys.PageSize
+		if n > phys.PageSize {
+			n = phys.PageSize
+		}
+		if err := b.Read(pg*phys.PageSize, got[:n]); err != nil {
+			return badPages, err
+		}
+		pattern(want[:n], seed, pg)
+		if !bytes.Equal(got[:n], want[:n]) {
+			badPages = append(badPages, pg)
+		}
+	}
+	return badPages, nil
+}
+
+// Touch stores to every page of the buffer (step 4 of the experiment:
+// "writes again to each page of the memory block").
+func (b *Buffer) Touch() error {
+	return b.proc.kernel.Touch(b.proc.as, b.Addr, b.Pages())
+}
+
+// ResidentPFNs returns the frame backing each page of the buffer
+// (phys.NoPFN where swapped out), without perturbing residency.
+func (b *Buffer) ResidentPFNs() ([]phys.PFN, error) {
+	out := make([]phys.PFN, b.Pages())
+	for i := range out {
+		pfn, err := b.proc.kernel.ResidentPFN(b.proc.as, b.Addr+pgtable.VAddr(i*phys.PageSize))
+		if err != nil {
+			return nil, err
+		}
+		out[i] = pfn
+	}
+	return out, nil
+}
+
+// PhysAddrs walks the page tables for every page of the buffer (faulting
+// pages in) — this is how the non-kiobuf registration paths learn the
+// physical layout at registration time.
+func (b *Buffer) PhysAddrs() ([]phys.Addr, error) {
+	out := make([]phys.Addr, b.Pages())
+	for i := range out {
+		a, err := b.proc.kernel.WalkPhys(b.proc.as, b.Addr+pgtable.VAddr(i*phys.PageSize))
+		if err != nil {
+			return nil, err
+		}
+		out[i] = a
+	}
+	return out, nil
+}
+
+// pattern fills dst with a reproducible byte sequence for (seed, page).
+func pattern(dst []byte, seed byte, page int) {
+	s := uint32(seed)*2654435761 + uint32(page)*40503 + 0x9e3779b9
+	for i := range dst {
+		s = s*1664525 + 1013904223
+		dst[i] = byte(s >> 24)
+	}
+}

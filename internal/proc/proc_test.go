@@ -1,0 +1,217 @@
+package proc
+
+import (
+	"testing"
+
+	"repro/internal/mm"
+	"repro/internal/phys"
+	"repro/internal/simtime"
+)
+
+func node(t *testing.T) *mm.Kernel {
+	t.Helper()
+	return mm.NewKernel(mm.Config{
+		RAMPages: 128, SwapPages: 512, ClockBatch: 64, SwapBatch: 16,
+	}, simtime.NewMeter())
+}
+
+func TestMallocFree(t *testing.T) {
+	k := node(t)
+	p := New(k, "app", false)
+	b, err := p.Malloc(10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Pages() != 3 {
+		t.Fatalf("pages = %d, want 3", b.Pages())
+	}
+	if err := p.Free(b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMallocInvalidSize(t *testing.T) {
+	k := node(t)
+	p := New(k, "app", false)
+	if _, err := p.Malloc(0); err == nil {
+		t.Fatal("malloc(0) succeeded")
+	}
+	if _, err := p.Malloc(-1); err == nil {
+		t.Fatal("malloc(-1) succeeded")
+	}
+}
+
+func TestBufferReadWrite(t *testing.T) {
+	k := node(t)
+	p := New(k, "app", false)
+	b, _ := p.Malloc(3 * phys.PageSize)
+	msg := []byte("hello, cluster")
+	if err := b.Write(phys.PageSize-5, msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if err := b.Read(phys.PageSize-5, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(msg) {
+		t.Fatalf("read %q", got)
+	}
+}
+
+func TestBufferBoundsChecked(t *testing.T) {
+	k := node(t)
+	p := New(k, "app", false)
+	b, _ := p.Malloc(100)
+	if err := b.Write(90, make([]byte, 20)); err == nil {
+		t.Fatal("out-of-bounds write accepted")
+	}
+	if err := b.Read(-1, make([]byte, 4)); err == nil {
+		t.Fatal("negative read offset accepted")
+	}
+}
+
+func TestUint32Accessors(t *testing.T) {
+	k := node(t)
+	p := New(k, "app", false)
+	b, _ := p.Malloc(64)
+	if err := b.WriteUint32(8, 0xdeadbeef); err != nil {
+		t.Fatal(err)
+	}
+	v, err := b.ReadUint32(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0xdeadbeef {
+		t.Fatalf("got %#x", v)
+	}
+}
+
+func TestFillVerifyPattern(t *testing.T) {
+	k := node(t)
+	p := New(k, "app", false)
+	b, _ := p.Malloc(5 * phys.PageSize)
+	if err := b.FillPattern(7); err != nil {
+		t.Fatal(err)
+	}
+	bad, err := b.VerifyPattern(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bad) != 0 {
+		t.Fatalf("bad pages: %v", bad)
+	}
+	// A different seed must NOT verify.
+	bad, err = b.VerifyPattern(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bad) != 5 {
+		t.Fatalf("wrong-seed bad pages = %v, want all 5", bad)
+	}
+}
+
+func TestVerifyDetectsDMATampering(t *testing.T) {
+	k := node(t)
+	p := New(k, "app", false)
+	b, _ := p.Malloc(2 * phys.PageSize)
+	if err := b.FillPattern(1); err != nil {
+		t.Fatal(err)
+	}
+	// Tamper with page 1 through physical memory (simulated DMA).
+	pfns, err := b.ResidentPFNs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Phys().WritePhys(pfns[1].Addr()+10, []byte{0xff, 0xfe}); err != nil {
+		t.Fatal(err)
+	}
+	bad, err := b.VerifyPattern(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bad) != 1 || bad[0] != 1 {
+		t.Fatalf("bad pages = %v, want [1]", bad)
+	}
+}
+
+func TestResidentPFNsDoNotFault(t *testing.T) {
+	k := node(t)
+	p := New(k, "app", false)
+	b, _ := p.Malloc(4 * phys.PageSize)
+	pfns, err := b.ResidentPFNs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pfn := range pfns {
+		if pfn != phys.NoPFN {
+			t.Fatalf("untouched page %d reported resident (%d)", i, pfn)
+		}
+	}
+	if k.RSS(p.AS()) != 0 {
+		t.Fatal("probe faulted pages in")
+	}
+}
+
+func TestPhysAddrsFaultsIn(t *testing.T) {
+	k := node(t)
+	p := New(k, "app", false)
+	b, _ := p.Malloc(2 * phys.PageSize)
+	addrs, err := b.PhysAddrs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(addrs) != 2 {
+		t.Fatalf("addrs = %v", addrs)
+	}
+	if k.RSS(p.AS()) != 2 {
+		t.Fatalf("rss = %d, want 2", k.RSS(p.AS()))
+	}
+}
+
+func TestTouchMakesResident(t *testing.T) {
+	k := node(t)
+	p := New(k, "app", false)
+	b, _ := p.Malloc(6 * phys.PageSize)
+	if err := b.Touch(); err != nil {
+		t.Fatal(err)
+	}
+	if got := k.RSS(p.AS()); got != 6 {
+		t.Fatalf("rss = %d", got)
+	}
+}
+
+func TestExitReleasesEverything(t *testing.T) {
+	k := node(t)
+	p := New(k, "app", false)
+	b, _ := p.Malloc(20 * phys.PageSize)
+	if err := b.Touch(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Exit(); err != nil {
+		t.Fatal(err)
+	}
+	if k.FreePages() != k.Config().RAMPages {
+		t.Fatalf("frames leaked: %d free", k.FreePages())
+	}
+}
+
+func TestTwoProcessesIsolated(t *testing.T) {
+	k := node(t)
+	a := New(k, "a", false)
+	b := New(k, "b", false)
+	ba, _ := a.Malloc(phys.PageSize)
+	bb, _ := b.Malloc(phys.PageSize)
+	if err := ba.Write(0, []byte("aaaa")); err != nil {
+		t.Fatal(err)
+	}
+	if err := bb.Write(0, []byte("bbbb")); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 4)
+	if err := ba.Read(0, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "aaaa" {
+		t.Fatalf("process a sees %q", got)
+	}
+}

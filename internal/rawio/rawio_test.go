@@ -1,0 +1,217 @@
+package rawio
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mm"
+	"repro/internal/phys"
+	"repro/internal/proc"
+	"repro/internal/simtime"
+)
+
+func node() *mm.Kernel {
+	return mm.NewKernel(mm.Config{
+		RAMPages: 256, SwapPages: 512, ClockBatch: 64, SwapBatch: 16,
+	}, simtime.NewMeter())
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	k := node()
+	d := NewDevice(k, 64*1024)
+	p := proc.New(k, "app", false)
+	src, _ := p.Malloc(2 * phys.PageSize)
+	dst, _ := p.Malloc(2 * phys.PageSize)
+	if err := src.FillPattern(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Write(p.AS(), src.Addr, 0, 2*phys.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Read(p.AS(), dst.Addr, 0, 2*phys.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	bad, err := dst.VerifyPattern(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bad) != 0 {
+		t.Fatalf("corrupted pages: %v", bad)
+	}
+	st := d.Stats()
+	if st.Requests != 2 || st.SectorsWritten != 16 || st.SectorsRead != 16 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestUnalignedUserBuffer(t *testing.T) {
+	// The user buffer may sit at any offset within its pages; sectors
+	// must be split correctly at physical page edges.
+	k := node()
+	d := NewDevice(k, 64*1024)
+	p := proc.New(k, "app", false)
+	buf, _ := p.Malloc(3 * phys.PageSize)
+	payload := bytes.Repeat([]byte("sector straddling "), 200) // 3600 B
+	payload = payload[:3584]                                   // 7 sectors
+	off := 100                                                 // deliberately unaligned in the page
+	if err := buf.Write(off, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Write(p.AS(), buf.Addr+100, 512, len(payload)); err != nil {
+		t.Fatal(err)
+	}
+	// Read back into a different, also unaligned location.
+	back, _ := p.Malloc(2 * phys.PageSize)
+	if err := d.Read(p.AS(), back.Addr+4000, 512, len(payload)); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(payload))
+	if err := back.Read(4000, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("round trip through unaligned buffers corrupted data")
+	}
+}
+
+func TestAlignmentChecks(t *testing.T) {
+	k := node()
+	d := NewDevice(k, 8192)
+	p := proc.New(k, "app", false)
+	b, _ := p.Malloc(phys.PageSize)
+	if err := d.Read(p.AS(), b.Addr, 100, 512); !errors.Is(err, ErrAlignment) {
+		t.Fatalf("unaligned offset err = %v", err)
+	}
+	if err := d.Read(p.AS(), b.Addr, 0, 100); !errors.Is(err, ErrAlignment) {
+		t.Fatalf("unaligned length err = %v", err)
+	}
+}
+
+func TestBoundsChecks(t *testing.T) {
+	k := node()
+	d := NewDevice(k, 4096)
+	p := proc.New(k, "app", false)
+	b, _ := p.Malloc(2 * phys.PageSize)
+	if err := d.Read(p.AS(), b.Addr, 4096, 512); !errors.Is(err, ErrBounds) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := d.Write(p.AS(), b.Addr, 3584, 1024); !errors.Is(err, ErrBounds) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSizeRoundsToSectors(t *testing.T) {
+	k := node()
+	d := NewDevice(k, 1000)
+	if d.Size() != 512 {
+		t.Fatalf("size = %d", d.Size())
+	}
+}
+
+func TestPagesUnpinnedAfterIO(t *testing.T) {
+	k := node()
+	d := NewDevice(k, 64*1024)
+	p := proc.New(k, "app", false)
+	b, _ := p.Malloc(2 * phys.PageSize)
+	if err := b.Touch(); err != nil {
+		t.Fatal(err)
+	}
+	pfns, err := b.ResidentPFNs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Write(p.AS(), b.Addr, 0, 2*phys.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	for _, pfn := range pfns {
+		if k.Phys().Pins(pfn) != 0 {
+			t.Fatalf("frame %d still pinned after I/O", pfn)
+		}
+		if k.Phys().TestFlags(pfn, phys.PGLocked) {
+			t.Fatalf("frame %d still PG_locked after I/O", pfn)
+		}
+	}
+	if err := k.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIOFromSwappedBufferFaultsIn(t *testing.T) {
+	k := node()
+	d := NewDevice(k, 64*1024)
+	p := proc.New(k, "app", false)
+	b, _ := p.Malloc(2 * phys.PageSize)
+	if err := b.FillPattern(3); err != nil {
+		t.Fatal(err)
+	}
+	// Evict the buffer, then raw-write it to the device: the kiobuf map
+	// must page it back in first.
+	k.SwapOut(16)
+	k.SwapOut(16)
+	if err := d.Write(p.AS(), b.Addr, 0, 2*phys.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	dst, _ := p.Malloc(2 * phys.PageSize)
+	if err := d.Read(p.AS(), dst.Addr, 0, 2*phys.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	bad, err := dst.VerifyPattern(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bad) != 0 {
+		t.Fatalf("swap round trip lost data: %v", bad)
+	}
+}
+
+// TestPageFlagRegistrationClobbersRawIO reproduces the §3.1 race with a
+// real kernel I/O path: a Giganet-style registration over a buffer that
+// is concurrently the target of raw I/O clears the I/O's PG_locked bit
+// on deregistration.
+func TestPageFlagRegistrationClobbersRawIO(t *testing.T) {
+	k := node()
+	p := proc.New(k, "app", false)
+	b, _ := p.Malloc(phys.PageSize)
+	if err := b.Touch(); err != nil {
+		t.Fatal(err)
+	}
+	pfns, _ := b.ResidentPFNs()
+
+	// Start a kernel I/O on the page (as the raw device does).
+	if err := k.LockPageIO(pfns[0]); err != nil {
+		t.Fatal(err)
+	}
+	// A pageflag registration + deregistration races in between.
+	locker := core.MustNew(core.StrategyPageFlag)
+	l, err := locker.Lock(k, p.AS(), b.Addr, phys.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Unlock(); err != nil {
+		t.Fatal(err)
+	}
+	// The I/O completes and finds its lock bit gone.
+	if err := k.UnlockPageIO(pfns[0]); err != nil {
+		t.Fatal(err)
+	}
+	if got := k.IOClobberCount(); got != 1 {
+		t.Fatalf("clobbers = %d, want 1", got)
+	}
+}
+
+func TestVirtualTimeCharged(t *testing.T) {
+	k := node()
+	d := NewDevice(k, 64*1024)
+	p := proc.New(k, "app", false)
+	b, _ := p.Malloc(phys.PageSize)
+	before := k.Meter().Now()
+	if err := d.Write(p.AS(), b.Addr, 0, phys.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := k.Meter().Now() - before
+	if elapsed < 8*sectorCost {
+		t.Fatalf("elapsed %v < device floor %v", elapsed, 8*sectorCost)
+	}
+}

@@ -1,0 +1,295 @@
+// Package regcache implements registration caching: keeping user buffers
+// registered "as long as possible" so that repeated zero-copy transfers
+// skip the kernel call, the page pinning and the TPT update.  The paper
+// names this the remedy for on-the-fly registration cost; the companion
+// CHEMPI article adds the eviction rule implemented here — when TPT
+// space runs out, evict the region "with the smallest probability for
+// reuse", i.e. plain user buffers before persistent/library buffers.
+package regcache
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/pgtable"
+	"repro/internal/proc"
+	"repro/internal/via"
+	"repro/internal/vipl"
+)
+
+// Class ranks a buffer's reuse probability (CHEMPI §3.2).
+type Class uint8
+
+const (
+	// ClassUser is a normal user buffer, "used only once in most cases" —
+	// first to be evicted.
+	ClassUser Class = iota
+	// ClassPersistent is memory behind an MPI persistent request.
+	ClassPersistent
+	// ClassLibrary is the library's own bounce/system memory — evicted
+	// last.
+	ClassLibrary
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassUser:
+		return "user"
+	case ClassPersistent:
+		return "persistent"
+	case ClassLibrary:
+		return "library"
+	default:
+		return fmt.Sprintf("class(%d)", uint8(c))
+	}
+}
+
+// Policy selects the eviction order.
+type Policy uint8
+
+const (
+	// PolicyClassLRU evicts the least-recently-used region of the lowest
+	// class first (the CHEMPI rule; the default).
+	PolicyClassLRU Policy = iota
+	// PolicyGlobalLRU ignores classes and evicts the globally
+	// least-recently-used region (the ablation baseline).
+	PolicyGlobalLRU
+)
+
+// Stats counts cache behaviour.
+type Stats struct {
+	Hits      uint64 // Acquire satisfied from the cache
+	Misses    uint64 // Acquire had to register
+	Evictions uint64 // cached regions deregistered to make room
+	Failures  uint64 // registrations that failed even after eviction
+}
+
+// key identifies a cacheable registration.
+type key struct {
+	addr   pgtable.VAddr
+	length int
+	attrs  via.MemAttrs
+}
+
+type entry struct {
+	key     key
+	class   Class
+	region  *vipl.MemRegion
+	refs    int           // active holders
+	lruElem *list.Element // position in its class's LRU list (refs==0 only)
+}
+
+// Cache is a registration cache for one process's NIC handle.
+type Cache struct {
+	nic *vipl.Nic
+
+	mu sync.Mutex
+	// MaxRegions bounds the number of cached regions (a proxy for TPT
+	// budget); 0 means bounded only by TPT capacity.
+	maxRegions int
+	policy     Policy
+	entries    map[key]*entry
+	// One LRU list per class; eviction scans classes in order.  Under
+	// PolicyGlobalLRU every entry lives on list 0.
+	lru   [3]*list.List
+	stats Stats
+}
+
+// ErrBusy reports an eviction attempt that found only in-use regions.
+var ErrBusy = errors.New("regcache: all cached regions are in use")
+
+// New creates a cache over the NIC handle.  maxRegions bounds the cache
+// (0 = unbounded, rely on TPT capacity).
+func New(nic *vipl.Nic, maxRegions int) *Cache {
+	c := &Cache{nic: nic, maxRegions: maxRegions, entries: make(map[key]*entry)}
+	for i := range c.lru {
+		c.lru[i] = list.New()
+	}
+	return c
+}
+
+// NewWithPolicy creates a cache with an explicit eviction policy.
+func NewWithPolicy(nic *vipl.Nic, maxRegions int, p Policy) *Cache {
+	c := New(nic, maxRegions)
+	c.policy = p
+	return c
+}
+
+// lruIndex maps an entry class to its LRU list under the active policy.
+func (c *Cache) lruIndex(cl Class) int {
+	if c.policy == PolicyGlobalLRU {
+		return 0
+	}
+	return int(cl)
+}
+
+// Stats returns a snapshot of cache statistics.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Len reports the number of cached regions (in use or idle).
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Acquire returns a registration covering [off, off+length) of the
+// buffer, registering it on a miss.  The caller must call Release when
+// the transfer completes; the registration then stays cached for reuse
+// until evicted.
+func (c *Cache) Acquire(b *proc.Buffer, off, length int, attrs via.MemAttrs, class Class) (*vipl.MemRegion, error) {
+	k := key{addr: b.Addr + pgtable.VAddr(off), length: length, attrs: attrs}
+
+	c.mu.Lock()
+	if e, ok := c.entries[k]; ok {
+		e.refs++
+		if e.lruElem != nil {
+			c.lru[c.lruIndex(e.class)].Remove(e.lruElem)
+			e.lruElem = nil
+		}
+		// Reuse upgrades the class estimate (a reused "user" buffer
+		// behaves like a persistent one).
+		if class > e.class {
+			e.class = class
+		}
+		c.stats.Hits++
+		c.mu.Unlock()
+		return e.region, nil
+	}
+	c.stats.Misses++
+	c.mu.Unlock()
+
+	region, err := c.registerWithEviction(b, off, length, attrs)
+	if err != nil {
+		c.mu.Lock()
+		c.stats.Failures++
+		c.mu.Unlock()
+		return nil, err
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[k]; ok {
+		// Lost a race with a concurrent Acquire: keep theirs.
+		e.refs++
+		if e.lruElem != nil {
+			c.lru[c.lruIndex(e.class)].Remove(e.lruElem)
+			e.lruElem = nil
+		}
+		go func() { _ = c.nic.DeregisterMem(region) }()
+		return e.region, nil
+	}
+	c.entries[k] = &entry{key: k, class: class, region: region, refs: 1}
+	return region, nil
+}
+
+// Release marks a transfer over the region finished.  The registration
+// stays cached (idle) until capacity pressure evicts it.
+func (c *Cache) Release(r *vipl.MemRegion) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, e := range c.entries {
+		if e.region == r {
+			if e.refs <= 0 {
+				return fmt.Errorf("regcache: release of idle region")
+			}
+			e.refs--
+			if e.refs == 0 {
+				e.lruElem = c.lru[c.lruIndex(e.class)].PushBack(e)
+				c.enforceCapLocked()
+			}
+			return nil
+		}
+	}
+	return fmt.Errorf("regcache: release of unknown region")
+}
+
+// Flush deregisters every idle cached region and reports how many were
+// dropped.  In-use regions are left alone.
+func (c *Cache) Flush() (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dropped := 0
+	var firstErr error
+	for idx := range c.lru {
+		for c.lru[idx].Len() > 0 {
+			if err := c.evictOneLocked(idx); err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				break
+			}
+			dropped++
+		}
+	}
+	return dropped, firstErr
+}
+
+// registerWithEviction registers the range, evicting idle cached regions
+// (cheapest class first) when the TPT is full.
+func (c *Cache) registerWithEviction(b *proc.Buffer, off, length int, attrs via.MemAttrs) (*vipl.MemRegion, error) {
+	for {
+		region, err := c.nic.RegisterMemRange(b, off, length, attrs)
+		if err == nil {
+			return region, nil
+		}
+		if !errors.Is(err, via.ErrTPTFull) {
+			return nil, err
+		}
+		if evictErr := c.evictAny(); evictErr != nil {
+			return nil, fmt.Errorf("%w (original: %v)", evictErr, err)
+		}
+	}
+}
+
+// evictAny evicts one idle region, preferring the lowest class.
+func (c *Cache) evictAny() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for idx := range c.lru {
+		if c.lru[idx].Len() > 0 {
+			return c.evictOneLocked(idx)
+		}
+	}
+	return ErrBusy
+}
+
+// enforceCapLocked trims idle regions beyond maxRegions.
+func (c *Cache) enforceCapLocked() {
+	if c.maxRegions <= 0 {
+		return
+	}
+	for len(c.entries) > c.maxRegions {
+		evicted := false
+		for idx := range c.lru {
+			if c.lru[idx].Len() > 0 {
+				if err := c.evictOneLocked(idx); err == nil {
+					evicted = true
+				}
+				break
+			}
+		}
+		if !evicted {
+			return // everything in use; nothing to trim
+		}
+	}
+}
+
+// evictOneLocked drops the least-recently-used idle region of the list.
+func (c *Cache) evictOneLocked(idx int) error {
+	elem := c.lru[idx].Front()
+	if elem == nil {
+		return ErrBusy
+	}
+	e := elem.Value.(*entry)
+	c.lru[idx].Remove(elem)
+	delete(c.entries, e.key)
+	c.stats.Evictions++
+	return c.nic.DeregisterMem(e.region)
+}

@@ -1,0 +1,198 @@
+package sci
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/phys"
+	"repro/internal/pressure"
+	"repro/internal/proc"
+)
+
+// dmaRig builds a two-node fabric with one export on each node and an
+// import window on node A over node B's export, all tagged.
+type dmaRig struct {
+	*rig
+	localBuf  *proc.Buffer // node A memory, exported locally
+	remoteBuf *proc.Buffer // node B memory, exported to the fabric
+	localExp  *Export
+	remoteExp *Export
+	imp       *Import
+}
+
+const appTag Tag = 77
+
+func newDMARig(t *testing.T, strategy core.Strategy) *dmaRig {
+	t.Helper()
+	base := newRig(t, strategy)
+	d := &dmaRig{rig: base}
+	var err error
+	// Node A's process exports 4 pages of its own memory for DMA use.
+	procA := proc.New(base.kernelA, "dma-app", false)
+	d.localBuf, err = procA.Malloc(4 * phys.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.localExp, err = base.bridgeA.Export(procA.AS(), d.localBuf.Addr, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.localExp.SetTag(appTag)
+	// Node B exports the communication buffer.
+	d.remoteBuf, err = d.procB.Malloc(4 * phys.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.remoteExp, err = base.bridgeB.Export(d.procB.AS(), d.remoteBuf.Addr, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.remoteExp.SetTag(appTag)
+	// Node A imports it.
+	d.imp, err = base.bridgeA.Import(2, d.remoteExp.SCIPage, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.imp.SetTag(appTag)
+	return d
+}
+
+func TestDMAWriteReadRoundTrip(t *testing.T) {
+	d := newDMARig(t, core.StrategyKiobuf)
+	if err := d.localBuf.FillPattern(4); err != nil {
+		t.Fatal(err)
+	}
+	// DMA the whole local export into the remote window...
+	if err := d.bridgeA.PostDMA(d.localExp, 0, d.imp, 0, 4*phys.PageSize, DMAWrite, appTag); err != nil {
+		t.Fatal(err)
+	}
+	// ...the remote process sees it...
+	bad, err := d.remoteBuf.VerifyPattern(4)
+	if err != nil || len(bad) != 0 {
+		t.Fatalf("remote pattern bad=%v err=%v", bad, err)
+	}
+	// ...and DMA it back into a scrubbed local buffer.
+	if err := d.localBuf.FillPattern(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.bridgeA.PostDMA(d.localExp, 0, d.imp, 0, 4*phys.PageSize, DMARead, appTag); err != nil {
+		t.Fatal(err)
+	}
+	bad, err = d.localBuf.VerifyPattern(4)
+	if err != nil || len(bad) != 0 {
+		t.Fatalf("local pattern bad=%v err=%v", bad, err)
+	}
+	st := d.bridgeA.DMAStats()
+	if st.Transfers != 2 || st.BytesMoved != 8*phys.PageSize {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestDMAUnalignedSubRange(t *testing.T) {
+	d := newDMARig(t, core.StrategyKiobuf)
+	msg := bytes.Repeat([]byte("combined via/sci "), 300) // 5100 B, crosses pages
+	if err := d.localBuf.Write(123, msg); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.bridgeA.PostDMA(d.localExp, 123, d.imp, 777, len(msg), DMAWrite, appTag); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if err := d.remoteBuf.Read(777, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("unaligned DMA corrupted payload")
+	}
+}
+
+func TestDMATagChecks(t *testing.T) {
+	d := newDMARig(t, core.StrategyKiobuf)
+	// Wrong access tag.
+	err := d.bridgeA.PostDMA(d.localExp, 0, d.imp, 0, 64, DMAWrite, appTag+1)
+	if !errors.Is(err, ErrTagViolation) {
+		t.Fatalf("err = %v", err)
+	}
+	// Import tagged for another process.
+	d.imp.SetTag(appTag + 1)
+	err = d.bridgeA.PostDMA(d.localExp, 0, d.imp, 0, 64, DMAWrite, appTag)
+	if !errors.Is(err, ErrTagViolation) {
+		t.Fatalf("err = %v", err)
+	}
+	d.imp.SetTag(appTag)
+	// Untagged export refuses DMA outright.
+	d.localExp.SetTag(NoTag)
+	err = d.bridgeA.PostDMA(d.localExp, 0, d.imp, 0, 64, DMAWrite, appTag)
+	if !errors.Is(err, ErrUntagged) {
+		t.Fatalf("err = %v", err)
+	}
+	if got := d.bridgeA.DMAStats().TagViolations; got != 3 {
+		t.Fatalf("violations = %d", got)
+	}
+}
+
+func TestDMABounds(t *testing.T) {
+	d := newDMARig(t, core.StrategyKiobuf)
+	if err := d.bridgeA.PostDMA(d.localExp, 4*phys.PageSize-10, d.imp, 0, 64, DMAWrite, appTag); !errors.Is(err, ErrBounds) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := d.bridgeA.PostDMA(d.localExp, 0, d.imp, 4*phys.PageSize-10, 64, DMAWrite, appTag); !errors.Is(err, ErrBounds) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := d.bridgeA.PostDMA(d.localExp, 0, d.imp, 0, 0, DMAWrite, appTag); err == nil {
+		t.Fatal("zero-length DMA accepted")
+	}
+}
+
+func TestDMASurvivesPressureWithKiobuf(t *testing.T) {
+	d := newDMARig(t, core.StrategyKiobuf)
+	if err := d.localBuf.FillPattern(8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pressure.Level(d.kernelA, 1.5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pressure.Level(d.kernelB, 1.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.bridgeA.PostDMA(d.localExp, 0, d.imp, 0, 4*phys.PageSize, DMAWrite, appTag); err != nil {
+		t.Fatal(err)
+	}
+	bad, err := d.remoteBuf.VerifyPattern(8)
+	if err != nil || len(bad) != 0 {
+		t.Fatalf("bad=%v err=%v", bad, err)
+	}
+}
+
+func TestDMAGoesStaleWithRefcountLocking(t *testing.T) {
+	// The full combined-hardware version of the paper's failure: with
+	// refcount "locking" on the exporting side, pressure + re-touch
+	// desynchronizes the upstream table and the DMA write disappears
+	// from the process's view.
+	d := newDMARig(t, core.StrategyRefcount)
+	if err := d.localBuf.FillPattern(2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pressure.Level(d.kernelB, 1.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.remoteBuf.Touch(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.bridgeA.PostDMA(d.localExp, 0, d.imp, 0, phys.PageSize, DMAWrite, appTag); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 64)
+	if err := d.remoteBuf.Read(0, got); err != nil {
+		t.Fatal(err)
+	}
+	want := make([]byte, 64)
+	if err := d.localBuf.Read(0, want); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(got, want) {
+		t.Fatal("DMA write visible despite refcount locking on the exporter")
+	}
+}

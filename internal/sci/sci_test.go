@@ -1,0 +1,308 @@
+package sci
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mm"
+	"repro/internal/phys"
+	"repro/internal/pressure"
+	"repro/internal/proc"
+	"repro/internal/simtime"
+)
+
+// rig is a two-node SCI test bed.
+type rig struct {
+	fabric           *Fabric
+	kernelA, kernelB *mm.Kernel
+	bridgeA, bridgeB *Bridge
+	procA, procB     *proc.Process
+}
+
+func newRig(t *testing.T, strategy core.Strategy) *rig {
+	t.Helper()
+	meter := simtime.NewMeter()
+	cfg := mm.Config{RAMPages: 512, SwapPages: 2048, ClockBatch: 64, SwapBatch: 16}
+	r := &rig{
+		fabric:  NewFabric(),
+		kernelA: mm.NewKernel(cfg, meter),
+		kernelB: mm.NewKernel(cfg, meter),
+	}
+	locker := core.MustNew(strategy)
+	r.bridgeA = NewBridge(1, r.kernelA, locker, 256)
+	r.bridgeB = NewBridge(2, r.kernelB, locker, 256)
+	if err := r.fabric.Attach(r.bridgeA); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.fabric.Attach(r.bridgeB); err != nil {
+		t.Fatal(err)
+	}
+	r.procA = proc.New(r.kernelA, "importer", false)
+	r.procB = proc.New(r.kernelB, "exporter", false)
+	return r
+}
+
+func TestExportImportWriteRead(t *testing.T) {
+	r := newRig(t, core.StrategyKiobuf)
+	buf, _ := r.procB.Malloc(4 * phys.PageSize)
+	exp, err := r.bridgeB.Export(r.procB.AS(), buf.Addr, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp, err := r.bridgeA.Import(2, exp.SCIPage, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("remote store through the window")
+	if err := imp.Write(phys.PageSize-8, msg); err != nil {
+		t.Fatal(err)
+	}
+	// The exporting process sees the data through ordinary loads.
+	got := make([]byte, len(msg))
+	if err := buf.Read(phys.PageSize-8, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("exporter sees %q", got)
+	}
+	// And the importer can read it back remotely.
+	back := make([]byte, len(msg))
+	if err := imp.Read(phys.PageSize-8, back); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, msg) {
+		t.Fatalf("remote read returned %q", back)
+	}
+	st := r.bridgeB.Stats()
+	if st.RemoteWrites == 0 || st.RemoteReads == 0 {
+		t.Fatalf("stats %+v", st)
+	}
+	if err := r.bridgeB.Unexport(exp); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.bridgeA.Unimport(imp); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExportPinsMemory(t *testing.T) {
+	r := newRig(t, core.StrategyKiobuf)
+	buf, _ := r.procB.Malloc(4 * phys.PageSize)
+	exp, err := r.bridgeB.Export(r.procB.AS(), buf.Addr, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pressure.Level(r.kernelB, 1.5); err != nil {
+		t.Fatal(err)
+	}
+	ok, total, err := exp.Consistent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok != total {
+		t.Fatalf("export consistency %d/%d under kiobuf locking", ok, total)
+	}
+	if err := r.bridgeB.Unexport(exp); err != nil {
+		t.Fatal(err)
+	}
+	// After unexport the pages are evictable again.
+	if _, err := pressure.Level(r.kernelB, 1.5); err != nil {
+		t.Fatal(err)
+	}
+	pfns, _ := buf.ResidentPFNs()
+	resident := 0
+	for _, pfn := range pfns {
+		if pfn != phys.NoPFN {
+			resident++
+		}
+	}
+	if resident == 4 {
+		t.Fatal("pages still pinned after unexport")
+	}
+}
+
+func TestRefcountExportCorruptsUnderPressure(t *testing.T) {
+	// The same §3.1 failure, through the SCI path: with refcount-only
+	// locking, pressure relocates the exported pages, the upstream table
+	// goes stale, and a remote PIO write becomes invisible to the
+	// exporting process.
+	r := newRig(t, core.StrategyRefcount)
+	buf, _ := r.procB.Malloc(4 * phys.PageSize)
+	if err := buf.FillPattern(1); err != nil {
+		t.Fatal(err)
+	}
+	exp, err := r.bridgeB.Export(r.procB.AS(), buf.Addr, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp, err := r.bridgeA.Import(2, exp.SCIPage, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pressure.Level(r.kernelB, 1.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := buf.Touch(); err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("ghost write")
+	if err := imp.Write(0, msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if err := buf.Read(0, got); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(got, msg) {
+		t.Fatal("remote write visible despite refcount locking — failure did not reproduce")
+	}
+	ok, total, err := exp.Consistent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok == total {
+		t.Fatal("upstream table stayed consistent")
+	}
+}
+
+func TestExportUpstreamTableExhaustion(t *testing.T) {
+	r := newRig(t, core.StrategyKiobuf)
+	buf, _ := r.procB.Malloc(300 * phys.PageSize)
+	if _, err := r.bridgeB.Export(r.procB.AS(), buf.Addr, 300); !errors.Is(err, ErrTableFull) {
+		t.Fatalf("err = %v, want ErrTableFull", err)
+	}
+	// Slots must have been returned.
+	small, err := r.bridgeB.Export(r.procB.AS(), buf.Addr, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = r.bridgeB.Unexport(small)
+}
+
+func TestImportValidation(t *testing.T) {
+	r := newRig(t, core.StrategyKiobuf)
+	if _, err := r.bridgeA.Import(99, 1, 1); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := r.bridgeA.Import(2, 1, 0); err == nil {
+		t.Fatal("zero-page import accepted")
+	}
+}
+
+func TestWindowBounds(t *testing.T) {
+	r := newRig(t, core.StrategyKiobuf)
+	buf, _ := r.procB.Malloc(phys.PageSize)
+	exp, err := r.bridgeB.Export(r.procB.AS(), buf.Addr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp, err := r.bridgeA.Import(2, exp.SCIPage, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := imp.Write(phys.PageSize-2, []byte("abc")); !errors.Is(err, ErrBounds) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := imp.Read(-1, make([]byte, 2)); !errors.Is(err, ErrBounds) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestStaleImportRejected(t *testing.T) {
+	r := newRig(t, core.StrategyKiobuf)
+	buf, _ := r.procB.Malloc(phys.PageSize)
+	exp, _ := r.bridgeB.Export(r.procB.AS(), buf.Addr, 1)
+	imp, _ := r.bridgeA.Import(2, exp.SCIPage, 1)
+	if err := r.bridgeA.Unimport(imp); err != nil {
+		t.Fatal(err)
+	}
+	if err := imp.Write(0, []byte("x")); !errors.Is(err, ErrStaleMapping) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := r.bridgeA.Unimport(imp); !errors.Is(err, ErrBadImport) {
+		t.Fatalf("double unimport err = %v", err)
+	}
+}
+
+func TestAccessAfterUnexportFails(t *testing.T) {
+	r := newRig(t, core.StrategyKiobuf)
+	buf, _ := r.procB.Malloc(phys.PageSize)
+	exp, _ := r.bridgeB.Export(r.procB.AS(), buf.Addr, 1)
+	imp, _ := r.bridgeA.Import(2, exp.SCIPage, 1)
+	if err := r.bridgeB.Unexport(exp); err != nil {
+		t.Fatal(err)
+	}
+	if err := imp.Write(0, []byte("x")); err == nil {
+		t.Fatal("write through dead upstream mapping succeeded")
+	}
+}
+
+func TestPIOLatencyShape(t *testing.T) {
+	// Era calibration: a small remote write should land in the low
+	// single-digit microseconds (Dolphin quotes 2.3 µs), and remote
+	// reads should cost noticeably more than writes.
+	r := newRig(t, core.StrategyKiobuf)
+	buf, _ := r.procB.Malloc(phys.PageSize)
+	exp, _ := r.bridgeB.Export(r.procB.AS(), buf.Addr, 1)
+	imp, _ := r.bridgeA.Import(2, exp.SCIPage, 1)
+	meter := r.kernelA.Meter()
+
+	start := meter.Now()
+	if err := imp.Write(0, make([]byte, 8)); err != nil {
+		t.Fatal(err)
+	}
+	writeLat := meter.Now() - start
+	if writeLat < simtime.Microsecond || writeLat > 5*simtime.Microsecond {
+		t.Fatalf("small remote write latency %v outside [1µs,5µs]", writeLat)
+	}
+
+	start = meter.Now()
+	if err := imp.Read(0, make([]byte, 8)); err != nil {
+		t.Fatal(err)
+	}
+	readLat := meter.Now() - start
+	if readLat <= writeLat {
+		t.Fatalf("remote read (%v) should cost more than remote write (%v)", readLat, writeLat)
+	}
+	_ = exp
+}
+
+func TestTwoExportsIndependentSCIRanges(t *testing.T) {
+	r := newRig(t, core.StrategyKiobuf)
+	b1, _ := r.procB.Malloc(2 * phys.PageSize)
+	b2, _ := r.procB.Malloc(2 * phys.PageSize)
+	e1, err := r.bridgeB.Export(r.procB.AS(), b1.Addr, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := r.bridgeB.Export(r.procB.AS(), b2.Addr, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1.SCIPage == e2.SCIPage {
+		t.Fatal("exports share SCI pages")
+	}
+	imp1, _ := r.bridgeA.Import(2, e1.SCIPage, 2)
+	imp2, _ := r.bridgeA.Import(2, e2.SCIPage, 2)
+	if err := imp1.Write(0, []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := imp2.Write(0, []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 3)
+	if err := b1.Read(0, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "one" {
+		t.Fatalf("export 1 holds %q", got)
+	}
+	if err := b2.Read(0, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "two" {
+		t.Fatalf("export 2 holds %q", got)
+	}
+}

@@ -1,0 +1,175 @@
+package simtime
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestClockStartsAtZero(t *testing.T) {
+	c := NewClock()
+	if got := c.Now(); got != 0 {
+		t.Fatalf("new clock at %v, want 0", got)
+	}
+}
+
+func TestClockAdvance(t *testing.T) {
+	c := NewClock()
+	if got := c.Advance(5 * Microsecond); got != 5*Microsecond {
+		t.Fatalf("advance returned %v, want 5µs", got)
+	}
+	c.Advance(3 * Millisecond)
+	want := 5*Microsecond + 3*Millisecond
+	if got := c.Now(); got != want {
+		t.Fatalf("clock at %v, want %v", got, want)
+	}
+}
+
+func TestClockNegativeAdvanceIgnored(t *testing.T) {
+	c := NewClock()
+	c.Advance(10)
+	c.Advance(-100)
+	if got := c.Now(); got != 10 {
+		t.Fatalf("negative advance changed clock to %v", got)
+	}
+}
+
+func TestClockReset(t *testing.T) {
+	c := NewClock()
+	c.Advance(Second)
+	c.Reset()
+	if got := c.Now(); got != 0 {
+		t.Fatalf("after reset clock at %v", got)
+	}
+}
+
+func TestClockConcurrentAdvances(t *testing.T) {
+	c := NewClock()
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Advance(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Now(); got != workers*perWorker {
+		t.Fatalf("concurrent advances lost: %v, want %d", got, workers*perWorker)
+	}
+}
+
+func TestClockMonotone(t *testing.T) {
+	// Property: any sequence of advances keeps the clock non-decreasing.
+	f := func(steps []int16) bool {
+		c := NewClock()
+		prev := c.Now()
+		for _, s := range steps {
+			now := c.Advance(Duration(s))
+			if now < prev {
+				return false
+			}
+			prev = now
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{500, "500ns"},
+		{2 * Microsecond, "2.000µs"},
+		{2300 * Nanosecond, "2.300µs"},
+		{6 * Millisecond, "6.000ms"},
+		{3 * Second, "3.000s"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", int64(c.d), got, c.want)
+		}
+	}
+}
+
+func TestDurationMicros(t *testing.T) {
+	if got := (2300 * Nanosecond).Micros(); got != 2.3 {
+		t.Fatalf("Micros() = %v, want 2.3", got)
+	}
+}
+
+func TestMeterNilSafe(t *testing.T) {
+	var m *Meter
+	m.Charge(Second) // must not panic
+	if got := m.Now(); got != 0 {
+		t.Fatalf("nil meter Now() = %v", got)
+	}
+}
+
+func TestMeterCharge(t *testing.T) {
+	m := NewMeter()
+	m.Charge(3 * Microsecond)
+	m.ChargeN(2*Microsecond, 4)
+	if got := m.Now(); got != 11*Microsecond {
+		t.Fatalf("meter at %v, want 11µs", got)
+	}
+}
+
+func TestMeterChargeNNonPositive(t *testing.T) {
+	m := NewMeter()
+	m.ChargeN(Second, 0)
+	m.ChargeN(Second, -3)
+	if got := m.Now(); got != 0 {
+		t.Fatalf("non-positive ChargeN advanced clock to %v", got)
+	}
+}
+
+func TestStopwatch(t *testing.T) {
+	m := NewMeter()
+	sw := m.Start()
+	m.Charge(7 * Microsecond)
+	if got := sw.Elapsed(); got != 7*Microsecond {
+		t.Fatalf("stopwatch elapsed %v, want 7µs", got)
+	}
+}
+
+func TestDefaultCostsPositive(t *testing.T) {
+	c := DefaultCosts()
+	for name, d := range map[string]Duration{
+		"KernelCall": c.KernelCall, "PTEWalk": c.PTEWalk, "PageAlloc": c.PageAlloc,
+		"PinPage": c.PinPage, "PageOut": c.PageOut, "PageIn": c.PageIn,
+		"PageZero": c.PageZero, "PageCopy": c.PageCopy, "TPTUpdate": c.TPTUpdate,
+		"Doorbell": c.Doorbell, "DMAStartup": c.DMAStartup, "DMAPerByte": c.DMAPerByte,
+		"PIOPerByte": c.PIOPerByte, "WireLatency": c.WireLatency, "VMAOp": c.VMAOp,
+		"CapabilityOp": c.CapabilityOp,
+	} {
+		if d <= 0 {
+			t.Errorf("default cost %s is %v, want positive", name, d)
+		}
+	}
+}
+
+func TestDefaultCostsEraShape(t *testing.T) {
+	// Sanity constraints from the paper's context: a swap-in costs
+	// milliseconds, a kernel call costs microseconds, and the per-page
+	// pin is cheaper than the kernel call — so registration cost is
+	// dominated by the constant offset for small buffers and by the
+	// linear term for large ones.
+	c := DefaultCosts()
+	if c.PageIn < Millisecond {
+		t.Errorf("PageIn %v should be disk-scale (>= 1ms)", c.PageIn)
+	}
+	if c.KernelCall < Microsecond {
+		t.Errorf("KernelCall %v should be µs-scale", c.KernelCall)
+	}
+	if c.PinPage >= c.KernelCall {
+		t.Errorf("PinPage %v should be cheaper than KernelCall %v", c.PinPage, c.KernelCall)
+	}
+}

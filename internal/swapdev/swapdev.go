@@ -1,0 +1,194 @@
+// Package swapdev simulates a swap partition: a fixed number of
+// page-sized slots with allocation, per-slot use counts (a swap entry can
+// be shared after fork, so slots are reference counted like the kernel's
+// swap_map), and read/write of page images.
+package swapdev
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Slot identifies one page-sized slot on the swap device.
+type Slot uint32
+
+// NoSlot is the sentinel for "no slot".
+const NoSlot Slot = ^Slot(0)
+
+// Stats aggregates device activity.
+type Stats struct {
+	Writes uint64 // pages written out
+	Reads  uint64 // pages read back
+	Allocs uint64 // slots allocated
+	Frees  uint64 // slots released
+}
+
+// Device is a simulated swap partition.
+type Device struct {
+	mu       sync.Mutex
+	pageSize int
+	data     []byte  // nslots * pageSize
+	useCount []int32 // swap_map: 0 = free
+	free     []Slot
+	stats    Stats
+}
+
+// Errors returned by the device.
+var (
+	ErrFull     = errors.New("swapdev: no free swap slots")
+	ErrBadSlot  = errors.New("swapdev: bad slot")
+	ErrFreeSlot = errors.New("swapdev: operation on free slot")
+	ErrSize     = errors.New("swapdev: buffer is not one page")
+)
+
+// New creates a device with nslots page-sized slots.
+func New(nslots, pageSize int) *Device {
+	if nslots <= 0 || pageSize <= 0 {
+		panic("swapdev: invalid geometry")
+	}
+	d := &Device{
+		pageSize: pageSize,
+		data:     make([]byte, nslots*pageSize),
+		useCount: make([]int32, nslots),
+		free:     make([]Slot, 0, nslots),
+	}
+	for i := nslots - 1; i >= 0; i-- {
+		d.free = append(d.free, Slot(i))
+	}
+	return d
+}
+
+// NumSlots reports the device capacity in pages.
+func (d *Device) NumSlots() int { return len(d.useCount) }
+
+// FreeSlots reports the number of unallocated slots.
+func (d *Device) FreeSlots() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.free)
+}
+
+// Stats returns a snapshot of device statistics.
+func (d *Device) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// Alloc reserves a slot with use count 1.
+func (d *Device) Alloc() (Slot, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.free) == 0 {
+		return NoSlot, ErrFull
+	}
+	s := d.free[len(d.free)-1]
+	d.free = d.free[:len(d.free)-1]
+	d.useCount[s] = 1
+	d.stats.Allocs++
+	return s, nil
+}
+
+// Dup increments the slot's use count (swap_duplicate, used by fork).
+func (d *Device) Dup(s Slot) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.check(s); err != nil {
+		return err
+	}
+	d.useCount[s]++
+	return nil
+}
+
+// Free decrements the slot's use count (swap_free) and releases the slot
+// when it reaches zero.  It reports whether the slot was released.
+func (d *Device) Free(s Slot) (bool, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.check(s); err != nil {
+		return false, err
+	}
+	d.useCount[s]--
+	if d.useCount[s] == 0 {
+		d.free = append(d.free, s)
+		d.stats.Frees++
+		return true, nil
+	}
+	return false, nil
+}
+
+// UseCount reports a slot's use count (0 = free).
+func (d *Device) UseCount(s Slot) int32 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if int(s) >= len(d.useCount) {
+		return 0
+	}
+	return d.useCount[s]
+}
+
+// Write stores one page image into the slot.
+func (d *Device) Write(s Slot, page []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.check(s); err != nil {
+		return err
+	}
+	if len(page) != d.pageSize {
+		return ErrSize
+	}
+	copy(d.data[int(s)*d.pageSize:], page)
+	d.stats.Writes++
+	return nil
+}
+
+// Read loads one page image from the slot.
+func (d *Device) Read(s Slot, page []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.check(s); err != nil {
+		return err
+	}
+	if len(page) != d.pageSize {
+		return ErrSize
+	}
+	copy(page, d.data[int(s)*d.pageSize:int(s+1)*d.pageSize])
+	d.stats.Reads++
+	return nil
+}
+
+// CheckInvariants validates slot accounting.
+func (d *Device) CheckInvariants() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	onFree := make(map[Slot]bool, len(d.free))
+	for _, s := range d.free {
+		if onFree[s] {
+			return fmt.Errorf("swapdev: slot %d on free list twice", s)
+		}
+		onFree[s] = true
+	}
+	for i, uc := range d.useCount {
+		s := Slot(i)
+		switch {
+		case uc < 0:
+			return fmt.Errorf("swapdev: slot %d negative use count %d", s, uc)
+		case uc == 0 && !onFree[s]:
+			return fmt.Errorf("swapdev: slot %d free but not on free list", s)
+		case uc > 0 && onFree[s]:
+			return fmt.Errorf("swapdev: slot %d in use but on free list", s)
+		}
+	}
+	return nil
+}
+
+func (d *Device) check(s Slot) error {
+	if int(s) >= len(d.useCount) {
+		return fmt.Errorf("%w: %d (of %d)", ErrBadSlot, s, len(d.useCount))
+	}
+	if d.useCount[s] == 0 {
+		return fmt.Errorf("%w: %d", ErrFreeSlot, s)
+	}
+	return nil
+}

@@ -1,0 +1,176 @@
+package swapdev
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const pageSize = 4096
+
+func TestAllocFree(t *testing.T) {
+	d := New(4, pageSize)
+	if d.FreeSlots() != 4 {
+		t.Fatalf("FreeSlots = %d", d.FreeSlots())
+	}
+	s, err := d.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.UseCount(s) != 1 {
+		t.Fatalf("use count = %d", d.UseCount(s))
+	}
+	released, err := d.Free(s)
+	if err != nil || !released {
+		t.Fatalf("free: released=%v err=%v", released, err)
+	}
+	if d.FreeSlots() != 4 {
+		t.Fatalf("FreeSlots after free = %d", d.FreeSlots())
+	}
+}
+
+func TestExhaustion(t *testing.T) {
+	d := New(2, pageSize)
+	if _, err := d.Alloc(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Alloc(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Alloc(); !errors.Is(err, ErrFull) {
+		t.Fatalf("err = %v, want ErrFull", err)
+	}
+}
+
+func TestDupSharing(t *testing.T) {
+	d := New(2, pageSize)
+	s, _ := d.Alloc()
+	if err := d.Dup(s); err != nil {
+		t.Fatal(err)
+	}
+	released, err := d.Free(s)
+	if err != nil || released {
+		t.Fatalf("first free: released=%v err=%v, want kept", released, err)
+	}
+	released, err = d.Free(s)
+	if err != nil || !released {
+		t.Fatalf("second free: released=%v err=%v, want released", released, err)
+	}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	d := New(3, pageSize)
+	s, _ := d.Alloc()
+	page := make([]byte, pageSize)
+	for i := range page {
+		page[i] = byte(i * 7)
+	}
+	if err := d.Write(s, page); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, pageSize)
+	if err := d.Read(s, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, page) {
+		t.Fatal("round trip mismatch")
+	}
+	st := d.Stats()
+	if st.Writes != 1 || st.Reads != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestWrongBufferSize(t *testing.T) {
+	d := New(1, pageSize)
+	s, _ := d.Alloc()
+	if err := d.Write(s, make([]byte, 100)); !errors.Is(err, ErrSize) {
+		t.Fatalf("err = %v, want ErrSize", err)
+	}
+	if err := d.Read(s, make([]byte, pageSize+1)); !errors.Is(err, ErrSize) {
+		t.Fatalf("err = %v, want ErrSize", err)
+	}
+}
+
+func TestFreeSlotOperationsFail(t *testing.T) {
+	d := New(2, pageSize)
+	page := make([]byte, pageSize)
+	if err := d.Write(0, page); !errors.Is(err, ErrFreeSlot) {
+		t.Fatalf("write on free slot err = %v", err)
+	}
+	if err := d.Read(0, page); !errors.Is(err, ErrFreeSlot) {
+		t.Fatalf("read on free slot err = %v", err)
+	}
+	if err := d.Dup(0); !errors.Is(err, ErrFreeSlot) {
+		t.Fatalf("dup on free slot err = %v", err)
+	}
+	if _, err := d.Free(0); !errors.Is(err, ErrFreeSlot) {
+		t.Fatalf("free on free slot err = %v", err)
+	}
+}
+
+func TestBadSlot(t *testing.T) {
+	d := New(1, pageSize)
+	if err := d.Dup(42); !errors.Is(err, ErrBadSlot) {
+		t.Fatalf("err = %v, want ErrBadSlot", err)
+	}
+}
+
+func TestSlotIsolation(t *testing.T) {
+	d := New(2, pageSize)
+	a, _ := d.Alloc()
+	b, _ := d.Alloc()
+	pa := bytes.Repeat([]byte{0xaa}, pageSize)
+	pb := bytes.Repeat([]byte{0xbb}, pageSize)
+	if err := d.Write(a, pa); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Write(b, pb); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, pageSize)
+	if err := d.Read(a, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, pa) {
+		t.Fatal("slot a corrupted by write to slot b")
+	}
+}
+
+func TestRandomOpsInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := New(8, pageSize)
+		var live []Slot
+		for step := 0; step < 200; step++ {
+			switch op := rng.Intn(3); {
+			case op == 0:
+				if s, err := d.Alloc(); err == nil {
+					live = append(live, s)
+				}
+			case op == 1 && len(live) > 0:
+				s := live[rng.Intn(len(live))]
+				if err := d.Dup(s); err != nil {
+					return false
+				}
+				live = append(live, s)
+			case op == 2 && len(live) > 0:
+				i := rng.Intn(len(live))
+				if _, err := d.Free(live[i]); err != nil {
+					return false
+				}
+				live = append(live[:i], live[i+1:]...)
+			}
+			if err := d.CheckInvariants(); err != nil {
+				t.Logf("invariant violated at step %d: %v", step, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

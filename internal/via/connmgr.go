@@ -1,0 +1,129 @@
+package via
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// The VIA connection model is client/server: a server publishes a
+// discriminator on its NIC and waits (VipConnectWait); a client directed
+// at (NIC address, discriminator) requests a connection
+// (VipConnectRequest); the server accepts, pairing the two VIs.
+
+// Errors returned by the connection manager.
+var (
+	ErrAddrInUse      = errors.New("via: discriminator already being listened on")
+	ErrNoListener     = errors.New("via: no listener for discriminator")
+	ErrListenerClosed = errors.New("via: listener closed")
+	ErrConnTimeout    = errors.New("via: connection request timed out")
+)
+
+// connReq is one pending connection request.
+type connReq struct {
+	clientVI *VI
+	reply    chan error
+}
+
+// Listener accepts connection requests for one (NIC, discriminator).
+type Listener struct {
+	nw            *Network
+	nicName       string
+	discriminator string
+	reqs          chan connReq
+	closeOnce     sync.Once
+	closed        chan struct{}
+}
+
+// listenerKey addresses a listener on the fabric.
+type listenerKey struct {
+	nic           string
+	discriminator string
+}
+
+// Listen publishes a discriminator on the NIC (VipConnectWait's setup
+// half).  Incoming requests queue until Accept consumes them.
+func (nw *Network) Listen(n *NIC, discriminator string) (*Listener, error) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	if nw.listeners == nil {
+		nw.listeners = make(map[listenerKey]*Listener)
+	}
+	k := listenerKey{nic: n.name, discriminator: discriminator}
+	if _, ok := nw.listeners[k]; ok {
+		return nil, fmt.Errorf("%w: %s/%s", ErrAddrInUse, n.name, discriminator)
+	}
+	l := &Listener{
+		nw:            nw,
+		nicName:       n.name,
+		discriminator: discriminator,
+		reqs:          make(chan connReq, 16),
+		closed:        make(chan struct{}),
+	}
+	nw.listeners[k] = l
+	return l, nil
+}
+
+// Accept waits for one connection request and pairs it with the given
+// idle local VI (the completing half of VipConnectWait).
+func (l *Listener) Accept(serverVI *VI) error {
+	select {
+	case req := <-l.reqs:
+		err := l.nw.Connect(serverVI, req.clientVI)
+		req.reply <- err
+		return err
+	case <-l.closed:
+		return ErrListenerClosed
+	}
+}
+
+// Close stops the listener; queued requests are refused.
+func (l *Listener) Close() {
+	l.closeOnce.Do(func() {
+		close(l.closed)
+		l.nw.mu.Lock()
+		delete(l.nw.listeners, listenerKey{nic: l.nicName, discriminator: l.discriminator})
+		l.nw.mu.Unlock()
+		// Refuse whatever is queued.
+		for {
+			select {
+			case req := <-l.reqs:
+				req.reply <- ErrListenerClosed
+			default:
+				return
+			}
+		}
+	})
+}
+
+// Dial requests a connection from the client VI to the listener at
+// (nicName, discriminator) and blocks until accepted, refused, or the
+// timeout elapses (VipConnectRequest).
+func (nw *Network) Dial(clientVI *VI, nicName, discriminator string, timeout time.Duration) error {
+	nw.mu.Lock()
+	l, ok := nw.listeners[listenerKey{nic: nicName, discriminator: discriminator}]
+	nw.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s/%s", ErrNoListener, nicName, discriminator)
+	}
+	req := connReq{clientVI: clientVI, reply: make(chan error, 1)}
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case l.reqs <- req:
+	case <-l.closed:
+		return ErrListenerClosed
+	case <-timer.C:
+		return ErrConnTimeout
+	}
+	select {
+	case err := <-req.reply:
+		return err
+	case <-timer.C:
+		return ErrConnTimeout
+	}
+}

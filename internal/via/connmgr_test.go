@@ -1,0 +1,119 @@
+package via
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestListenDialAccept(t *testing.T) {
+	r := newRig(t)
+	l, err := r.net.Listen(r.nicB, "mpi-job-7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serverVI, _ := r.nicB.CreateVI(tagB)
+	clientVI, _ := r.nicA.CreateVI(tagA)
+
+	done := make(chan error, 1)
+	go func() { done <- l.Accept(serverVI) }()
+	if err := r.net.Dial(clientVI, "nodeB", "mpi-job-7", time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if clientVI.State() != VIConnected || serverVI.State() != VIConnected {
+		t.Fatal("VIs not connected after accept")
+	}
+	// Traffic flows.
+	hA, _ := regFrames(t, r.nicA, r.memA, 1, tagA, MemAttrs{})
+	hB, _ := regFrames(t, r.nicB, r.memB, 1, tagB, MemAttrs{})
+	rd := NewDescriptor(OpRecv, Segment{Handle: hB, Offset: 0, Length: 64})
+	if err := serverVI.PostRecv(rd); err != nil {
+		t.Fatal(err)
+	}
+	sd := NewDescriptor(OpSend, Segment{Handle: hA, Offset: 0, Length: 8})
+	if err := clientVI.PostSend(sd); err != nil {
+		t.Fatal(err)
+	}
+	if st := sd.Wait(); st != StatusSuccess {
+		t.Fatalf("send %v", st)
+	}
+}
+
+func TestDialNoListener(t *testing.T) {
+	r := newRig(t)
+	clientVI, _ := r.nicA.CreateVI(tagA)
+	if err := r.net.Dial(clientVI, "nodeB", "nothing", time.Second); !errors.Is(err, ErrNoListener) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDuplicateDiscriminator(t *testing.T) {
+	r := newRig(t)
+	if _, err := r.net.Listen(r.nicB, "svc"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.net.Listen(r.nicB, "svc"); !errors.Is(err, ErrAddrInUse) {
+		t.Fatalf("err = %v", err)
+	}
+	// Same discriminator on a different NIC is fine.
+	if _, err := r.net.Listen(r.nicA, "svc"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestListenerClose(t *testing.T) {
+	r := newRig(t)
+	l, err := r.net.Listen(r.nicB, "svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serverVI, _ := r.nicB.CreateVI(tagB)
+	done := make(chan error, 1)
+	go func() { done <- l.Accept(serverVI) }()
+	time.Sleep(5 * time.Millisecond)
+	l.Close()
+	if err := <-done; !errors.Is(err, ErrListenerClosed) {
+		t.Fatalf("accept err = %v", err)
+	}
+	// The discriminator is free again.
+	if _, err := r.net.Listen(r.nicB, "svc"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDialTimeoutWhenNobodyAccepts(t *testing.T) {
+	r := newRig(t)
+	if _, err := r.net.Listen(r.nicB, "slow"); err != nil {
+		t.Fatal(err)
+	}
+	clientVI, _ := r.nicA.CreateVI(tagA)
+	start := time.Now()
+	err := r.net.Dial(clientVI, "nodeB", "slow", 30*time.Millisecond)
+	if !errors.Is(err, ErrConnTimeout) {
+		t.Fatalf("err = %v", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("timeout took too long")
+	}
+}
+
+func TestDialBusyVIRefused(t *testing.T) {
+	r := newRig(t)
+	l, err := r.net.Listen(r.nicB, "svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serverVI, _ := r.nicB.CreateVI(tagB)
+	done := make(chan error, 1)
+	go func() { done <- l.Accept(serverVI) }()
+	// r.viA is already connected from the rig setup: the accept fails.
+	if err := r.net.Dial(r.viA, "nodeB", "svc", time.Second); !errors.Is(err, ErrBusy) {
+		t.Fatalf("dial err = %v", err)
+	}
+	if err := <-done; !errors.Is(err, ErrBusy) {
+		t.Fatalf("accept err = %v", err)
+	}
+}

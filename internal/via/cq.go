@@ -1,0 +1,136 @@
+package via
+
+import (
+	"errors"
+	"sync"
+)
+
+// Completion is one completion-queue entry: which VI completed which
+// descriptor, and on which of its queues.
+type Completion struct {
+	// VI is the virtual interface the work belonged to.
+	VI *VI
+	// Desc is the completed descriptor (Status already final).
+	Desc *Descriptor
+	// Recv reports whether the descriptor came off the receive queue.
+	Recv bool
+}
+
+// CQ is a completion queue.  VIs created with CreateVIWithCQ deposit a
+// completion notification for every descriptor they finish, so one
+// thread can wait on many VIs at once (VipCQWait in the VIPL).
+type CQ struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	entries []Completion
+	depth   int
+	dropped uint64
+	closed  bool
+}
+
+// Errors returned by completion queues.
+var (
+	ErrCQEmpty  = errors.New("via: completion queue empty")
+	ErrCQClosed = errors.New("via: completion queue closed")
+)
+
+// DefaultCQDepth bounds a queue when no depth is given.
+const DefaultCQDepth = 256
+
+// CreateCQ creates a completion queue holding up to depth entries.
+// Overflow drops the oldest entry and counts it — matching hardware
+// behaviour where CQ overflow is a programming error the card reports.
+func (n *NIC) CreateCQ(depth int) *CQ {
+	if depth <= 0 {
+		depth = DefaultCQDepth
+	}
+	q := &CQ{depth: depth}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// CreateVIWithCQ creates a VI whose send and receive completions are
+// delivered to the given queues.  Either queue may be nil (no
+// notification for that direction), and both may be the same queue.
+func (n *NIC) CreateVIWithCQ(tag ProtectionTag, sendCQ, recvCQ *CQ) (*VI, error) {
+	v, err := n.CreateVI(tag)
+	if err != nil {
+		return nil, err
+	}
+	v.sendCQ = sendCQ
+	v.recvCQ = recvCQ
+	return v, nil
+}
+
+// push deposits a completion (called by the NIC with no locks held).
+func (q *CQ) push(c Completion) {
+	if q == nil {
+		return
+	}
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return
+	}
+	if len(q.entries) >= q.depth {
+		q.entries = q.entries[1:]
+		q.dropped++
+	}
+	q.entries = append(q.entries, c)
+	q.mu.Unlock()
+	q.cond.Signal()
+}
+
+// Poll removes the oldest completion without blocking.
+func (q *CQ) Poll() (Completion, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.entries) == 0 {
+		if q.closed {
+			return Completion{}, ErrCQClosed
+		}
+		return Completion{}, ErrCQEmpty
+	}
+	c := q.entries[0]
+	q.entries = q.entries[1:]
+	return c, nil
+}
+
+// Wait blocks until a completion is available (VipCQWait) or the queue
+// is closed.
+func (q *CQ) Wait() (Completion, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.entries) == 0 {
+		if q.closed {
+			return Completion{}, ErrCQClosed
+		}
+		q.cond.Wait()
+	}
+	c := q.entries[0]
+	q.entries = q.entries[1:]
+	return c, nil
+}
+
+// Len reports the number of queued completions.
+func (q *CQ) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.entries)
+}
+
+// Dropped reports how many completions were lost to overflow.
+func (q *CQ) Dropped() uint64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.dropped
+}
+
+// Close wakes all waiters with ErrCQClosed.  Pending entries can still
+// be drained with Poll.
+func (q *CQ) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}

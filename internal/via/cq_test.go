@@ -1,0 +1,223 @@
+package via
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/phys"
+	"repro/internal/simtime"
+)
+
+// cqRig builds a connected VI pair where both ends notify CQs.
+type cqRig struct {
+	*rig
+	sendCQ, recvCQ *CQ
+	viAq, viBq     *VI
+	hA, hB         MemHandle
+}
+
+func newCQRig(t *testing.T) *cqRig {
+	t.Helper()
+	base := newRig(t)
+	r := &cqRig{rig: base}
+	r.sendCQ = base.nicA.CreateCQ(16)
+	r.recvCQ = base.nicB.CreateCQ(16)
+	var err error
+	if r.viAq, err = base.nicA.CreateVIWithCQ(tagA, r.sendCQ, nil); err != nil {
+		t.Fatal(err)
+	}
+	if r.viBq, err = base.nicB.CreateVIWithCQ(tagB, nil, r.recvCQ); err != nil {
+		t.Fatal(err)
+	}
+	if err := base.net.Connect(r.viAq, r.viBq); err != nil {
+		t.Fatal(err)
+	}
+	r.hA, _ = regFrames(t, base.nicA, base.memA, 1, tagA, MemAttrs{})
+	r.hB, _ = regFrames(t, base.nicB, base.memB, 1, tagB, MemAttrs{})
+	return r
+}
+
+func TestCQDeliversCompletions(t *testing.T) {
+	r := newCQRig(t)
+	rd := NewDescriptor(OpRecv, Segment{Handle: r.hB, Offset: 0, Length: 128})
+	if err := r.viBq.PostRecv(rd); err != nil {
+		t.Fatal(err)
+	}
+	sd := NewDescriptor(OpSend, Segment{Handle: r.hA, Offset: 0, Length: 64})
+	if err := r.viAq.PostSend(sd); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := r.sendCQ.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Desc != sd || sc.Recv || sc.VI != r.viAq {
+		t.Fatalf("send completion %+v", sc)
+	}
+	rc, err := r.recvCQ.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.Desc != rd || !rc.Recv || rc.VI != r.viBq {
+		t.Fatalf("recv completion %+v", rc)
+	}
+	if rc.Desc.Status != StatusSuccess || rc.Desc.Transferred != 64 {
+		t.Fatalf("descriptor %v/%d", rc.Desc.Status, rc.Desc.Transferred)
+	}
+}
+
+func TestCQPollEmpty(t *testing.T) {
+	r := newCQRig(t)
+	if _, err := r.sendCQ.Poll(); !errors.Is(err, ErrCQEmpty) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCQSharedBetweenDirections(t *testing.T) {
+	// One CQ can serve both queues of a VI.
+	base := newRig(t)
+	cq := base.nicA.CreateCQ(8)
+	viA, err := base.nicA.CreateVIWithCQ(tagA, cq, cq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viB, err := base.nicB.CreateVI(tagB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := base.net.Connect(viA, viB); err != nil {
+		t.Fatal(err)
+	}
+	hA, _ := regFrames(t, base.nicA, base.memA, 1, tagA, MemAttrs{})
+	hB, _ := regFrames(t, base.nicB, base.memB, 1, tagB, MemAttrs{})
+
+	// A receives one message and sends one.
+	ra := NewDescriptor(OpRecv, Segment{Handle: hA, Offset: 0, Length: 64})
+	if err := viA.PostRecv(ra); err != nil {
+		t.Fatal(err)
+	}
+	sb := NewDescriptor(OpSend, Segment{Handle: hB, Offset: 0, Length: 8})
+	if err := viB.PostSend(sb); err != nil {
+		t.Fatal(err)
+	}
+	rb := NewDescriptor(OpRecv, Segment{Handle: hB, Offset: 0, Length: 64})
+	if err := viB.PostRecv(rb); err != nil {
+		t.Fatal(err)
+	}
+	sa := NewDescriptor(OpSend, Segment{Handle: hA, Offset: 0, Length: 8})
+	if err := viA.PostSend(sa); err != nil {
+		t.Fatal(err)
+	}
+	if cq.Len() != 2 {
+		t.Fatalf("cq len = %d, want recv+send", cq.Len())
+	}
+	first, _ := cq.Poll()
+	second, _ := cq.Poll()
+	if !first.Recv || second.Recv {
+		t.Fatalf("completion order/flags wrong: %+v %+v", first, second)
+	}
+}
+
+func TestCQOverflowDropsOldest(t *testing.T) {
+	r := newRig(t)
+	cq := r.nicA.CreateCQ(2)
+	viA, _ := r.nicA.CreateVIWithCQ(tagA, cq, nil)
+	viB, _ := r.nicB.CreateVI(tagB)
+	if err := r.net.Connect(viA, viB); err != nil {
+		t.Fatal(err)
+	}
+	hA, _ := regFrames(t, r.nicA, r.memA, 1, tagA, MemAttrs{})
+	hB, _ := regFrames(t, r.nicB, r.memB, 1, tagB, MemAttrs{})
+	for i := 0; i < 4; i++ {
+		rd := NewDescriptor(OpRecv, Segment{Handle: hB, Offset: 0, Length: 64})
+		if err := viB.PostRecv(rd); err != nil {
+			t.Fatal(err)
+		}
+		sd := NewDescriptor(OpSend, Segment{Handle: hA, Offset: 0, Length: 8})
+		if err := viA.PostSend(sd); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cq.Len() != 2 {
+		t.Fatalf("len = %d", cq.Len())
+	}
+	if cq.Dropped() != 2 {
+		t.Fatalf("dropped = %d", cq.Dropped())
+	}
+}
+
+func TestCQWaitBlocksUntilCompletion(t *testing.T) {
+	r := newCQRig(t)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	got := make(chan Completion, 1)
+	go func() {
+		defer wg.Done()
+		c, err := r.recvCQ.Wait()
+		if err == nil {
+			got <- c
+		}
+	}()
+	// Give the waiter a moment to block.
+	time.Sleep(10 * time.Millisecond)
+	rd := NewDescriptor(OpRecv, Segment{Handle: r.hB, Offset: 0, Length: 64})
+	if err := r.viBq.PostRecv(rd); err != nil {
+		t.Fatal(err)
+	}
+	sd := NewDescriptor(OpSend, Segment{Handle: r.hA, Offset: 0, Length: 8})
+	if err := r.viAq.PostSend(sd); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	select {
+	case c := <-got:
+		if c.Desc != rd {
+			t.Fatal("wrong completion")
+		}
+	default:
+		t.Fatal("waiter returned without a completion")
+	}
+}
+
+func TestCQClose(t *testing.T) {
+	n := NewNIC("x", phys.New(4), simtime.NewMeter(), 4)
+	cq := n.CreateCQ(4)
+	done := make(chan error, 1)
+	go func() {
+		_, err := cq.Wait()
+		done <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	cq.Close()
+	if err := <-done; !errors.Is(err, ErrCQClosed) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := cq.Poll(); !errors.Is(err, ErrCQClosed) {
+		t.Fatalf("poll err = %v", err)
+	}
+	// push after close is a no-op.
+	cq.push(Completion{})
+	if cq.Len() != 0 {
+		t.Fatal("push after close stored an entry")
+	}
+}
+
+func TestCQNotifiedOnCancel(t *testing.T) {
+	r := newCQRig(t)
+	rd := NewDescriptor(OpRecv, Segment{Handle: r.hB, Offset: 0, Length: 64})
+	if err := r.viBq.PostRecv(rd); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.net.Disconnect(r.viAq); err != nil {
+		t.Fatal(err)
+	}
+	c, err := r.recvCQ.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Desc.Status != StatusCancelled {
+		t.Fatalf("status %v", c.Desc.Status)
+	}
+}

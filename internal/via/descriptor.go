@@ -1,0 +1,175 @@
+package via
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Op is the operation a descriptor requests.
+type Op uint8
+
+// Descriptor operations.
+const (
+	// OpSend transmits the described buffer to the connected peer VI.
+	OpSend Op = iota
+	// OpRecv provides a buffer for one incoming send.
+	OpRecv
+	// OpRDMAWrite writes the local buffer into remote registered memory.
+	OpRDMAWrite
+	// OpRDMARead reads remote registered memory into the local buffer.
+	OpRDMARead
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpSend:
+		return "send"
+	case OpRecv:
+		return "recv"
+	case OpRDMAWrite:
+		return "rdma-write"
+	case OpRDMARead:
+		return "rdma-read"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// Status is a completed descriptor's result.
+type Status uint8
+
+// Descriptor completion statuses.
+const (
+	// StatusPending means the descriptor has not completed yet.
+	StatusPending Status = iota
+	// StatusSuccess means the operation completed.
+	StatusSuccess
+	// StatusProtectionError means a tag or attribute check failed.
+	StatusProtectionError
+	// StatusLengthError means the message did not fit the buffer.
+	StatusLengthError
+	// StatusConnectionError means the VI was not connected or broke.
+	StatusConnectionError
+	// StatusCancelled means the descriptor was flushed off a queue.
+	StatusCancelled
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusPending:
+		return "pending"
+	case StatusSuccess:
+		return "success"
+	case StatusProtectionError:
+		return "protection-error"
+	case StatusLengthError:
+		return "length-error"
+	case StatusConnectionError:
+		return "connection-error"
+	case StatusCancelled:
+		return "cancelled"
+	default:
+		return fmt.Sprintf("status(%d)", uint8(s))
+	}
+}
+
+// Segment describes one piece of local registered memory.
+type Segment struct {
+	// Handle is the memory handle from registration.
+	Handle MemHandle
+	// Offset is the byte offset within the registered region.
+	Offset int
+	// Length is the segment length in bytes.
+	Length int
+}
+
+// RemoteSegment names a location in the peer's registered memory for
+// RDMA operations.
+type RemoteSegment struct {
+	// Handle is the peer's memory handle, communicated out of band.
+	Handle MemHandle
+	// Offset is the byte offset within the peer's region.
+	Offset int
+}
+
+// ImmediateLen is the number of immediate-data bytes a descriptor can
+// carry inline (the VIA spec allows four).
+const ImmediateLen = 4
+
+// Descriptor is one work request.  The process builds it in (conceptually
+// registered) memory, posts it to a VI work queue and rings the doorbell;
+// the NIC fills Status and Transferred on completion.
+type Descriptor struct {
+	// Op selects the operation.
+	Op Op
+	// Segs are the local buffer segments (gather on send, scatter on recv).
+	Segs []Segment
+	// Remote is the target of an RDMA operation.
+	Remote RemoteSegment
+	// Immediate carries up to four bytes inline, avoiding the data DMA
+	// for tiny payloads.  Valid when HasImmediate is set.
+	Immediate [ImmediateLen]byte
+	// HasImmediate marks the immediate data as meaningful.
+	HasImmediate bool
+
+	// Status is the completion result, StatusPending until then.
+	Status Status
+	// Transferred is the number of payload bytes moved.
+	Transferred int
+
+	// done is closed exactly once on completion.
+	done chan struct{}
+	once sync.Once
+}
+
+// ErrDescriptorBusy reports a descriptor posted twice concurrently.
+var ErrDescriptorBusy = errors.New("via: descriptor already posted")
+
+// NewDescriptor builds a descriptor for op over the given segments.
+func NewDescriptor(op Op, segs ...Segment) *Descriptor {
+	return &Descriptor{Op: op, Segs: segs, done: make(chan struct{})}
+}
+
+// TotalLength sums the segment lengths.
+func (d *Descriptor) TotalLength() int {
+	n := 0
+	for _, s := range d.Segs {
+		n += s.Length
+	}
+	return n
+}
+
+// complete finalizes the descriptor.
+func (d *Descriptor) complete(st Status, transferred int) {
+	d.once.Do(func() {
+		d.Status = st
+		d.Transferred = transferred
+		close(d.done)
+	})
+}
+
+// Done returns a channel closed when the descriptor completes.
+func (d *Descriptor) Done() <-chan struct{} { return d.done }
+
+// Wait blocks until the descriptor completes and returns its status.
+func (d *Descriptor) Wait() Status {
+	<-d.done
+	return d.Status
+}
+
+// reset re-arms a completed descriptor for reuse (the descriptor-reuse
+// pattern VIA encourages for persistent operations).
+func (d *Descriptor) Reset() {
+	select {
+	case <-d.done:
+	default:
+		// Still pending: refuse to reset silently; replace channels anyway
+		// would lose a completion.  Callers must only reset finished work.
+		panic("via: Reset on pending descriptor")
+	}
+	d.Status = StatusPending
+	d.Transferred = 0
+	d.done = make(chan struct{})
+	d.once = sync.Once{}
+}

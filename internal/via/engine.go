@@ -1,0 +1,98 @@
+package via
+
+import "sync"
+
+// The NIC's default descriptor processing is synchronous: PostSend runs
+// the DMA engine inline and the descriptor is complete on return, which
+// keeps single-threaded tests deterministic.  Real hardware is
+// asynchronous — the doorbell enqueues work and the engine runs it in
+// the background while the CPU continues (the whole point of the E11
+// analysis).  StartEngine switches a NIC to that mode.
+
+// engine is the background descriptor processor.
+type engine struct {
+	mu      sync.Mutex
+	work    chan engineItem
+	done    chan struct{}
+	stopped chan struct{}
+}
+
+type engineItem struct {
+	vi *VI
+	d  *Descriptor
+}
+
+// engineQueueDepth bounds the posted-but-unprocessed descriptor count
+// (the send-queue depth of the card).
+const engineQueueDepth = 256
+
+// StartEngine switches the NIC to asynchronous descriptor processing:
+// PostSend returns as soon as the descriptor is enqueued, and the
+// engine goroutine processes descriptors in posting order.  Callers
+// learn about completion through Descriptor.Wait/Done or a CQ.
+func (n *NIC) StartEngine() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.eng != nil {
+		return
+	}
+	e := &engine{
+		work:    make(chan engineItem, engineQueueDepth),
+		done:    make(chan struct{}),
+		stopped: make(chan struct{}),
+	}
+	n.eng = e
+	go func() {
+		defer close(e.stopped)
+		for {
+			select {
+			case item := <-e.work:
+				n.process(item.vi, item.d)
+			case <-e.done:
+				// Drain what is already queued, then stop.
+				for {
+					select {
+					case item := <-e.work:
+						n.process(item.vi, item.d)
+					default:
+						return
+					}
+				}
+			}
+		}
+	}()
+}
+
+// StopEngine drains the queue, stops the engine goroutine and returns
+// the NIC to synchronous processing.
+func (n *NIC) StopEngine() {
+	n.mu.Lock()
+	e := n.eng
+	n.eng = nil
+	n.mu.Unlock()
+	if e == nil {
+		return
+	}
+	close(e.done)
+	<-e.stopped
+}
+
+// EngineRunning reports whether asynchronous processing is active.
+func (n *NIC) EngineRunning() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.eng != nil
+}
+
+// dispatch routes a posted descriptor either inline (synchronous mode)
+// or onto the engine queue.
+func (n *NIC) dispatch(v *VI, d *Descriptor) {
+	n.mu.Lock()
+	e := n.eng
+	n.mu.Unlock()
+	if e == nil {
+		n.process(v, d)
+		return
+	}
+	e.work <- engineItem{vi: v, d: d}
+}

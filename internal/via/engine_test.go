@@ -1,0 +1,133 @@
+package via
+
+import (
+	"testing"
+)
+
+func TestEngineAsyncCompletion(t *testing.T) {
+	r := newRig(t)
+	r.nicA.StartEngine()
+	defer r.nicA.StopEngine()
+	if !r.nicA.EngineRunning() {
+		t.Fatal("engine not running")
+	}
+
+	hA, _ := regFrames(t, r.nicA, r.memA, 1, tagA, MemAttrs{})
+	hB, _ := regFrames(t, r.nicB, r.memB, 1, tagB, MemAttrs{})
+
+	const rounds = 10
+	rds := make([]*Descriptor, rounds)
+	for i := range rds {
+		rds[i] = NewDescriptor(OpRecv, Segment{Handle: hB, Offset: 0, Length: 64})
+		if err := r.viB.PostRecv(rds[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sds := make([]*Descriptor, rounds)
+	for i := range sds {
+		sds[i] = NewDescriptor(OpSend, Segment{Handle: hA, Offset: 0, Length: 8})
+		if err := r.viA.PostSend(sds[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// All complete eventually, in order.
+	for i, sd := range sds {
+		if st := sd.Wait(); st != StatusSuccess {
+			t.Fatalf("send %d: %v", i, st)
+		}
+	}
+	for i, rd := range rds {
+		if st := rd.Wait(); st != StatusSuccess {
+			t.Fatalf("recv %d: %v", i, st)
+		}
+	}
+	if got := r.nicA.Stats().Sends; got != rounds {
+		t.Fatalf("sends = %d", got)
+	}
+}
+
+func TestEngineStopDrainsQueue(t *testing.T) {
+	r := newRig(t)
+	r.nicA.StartEngine()
+	hA, _ := regFrames(t, r.nicA, r.memA, 1, tagA, MemAttrs{})
+	hB, _ := regFrames(t, r.nicB, r.memB, 1, tagB, MemAttrs{})
+	var sds []*Descriptor
+	for i := 0; i < 5; i++ {
+		rd := NewDescriptor(OpRecv, Segment{Handle: hB, Offset: 0, Length: 64})
+		if err := r.viB.PostRecv(rd); err != nil {
+			t.Fatal(err)
+		}
+		sd := NewDescriptor(OpSend, Segment{Handle: hA, Offset: 0, Length: 8})
+		if err := r.viA.PostSend(sd); err != nil {
+			t.Fatal(err)
+		}
+		sds = append(sds, sd)
+	}
+	r.nicA.StopEngine()
+	if r.nicA.EngineRunning() {
+		t.Fatal("engine still running")
+	}
+	// Everything posted before the stop must have been processed.
+	for i, sd := range sds {
+		select {
+		case <-sd.Done():
+		default:
+			t.Fatalf("descriptor %d not drained", i)
+		}
+	}
+	// Back in synchronous mode, traffic still works.
+	rd := NewDescriptor(OpRecv, Segment{Handle: hB, Offset: 0, Length: 64})
+	if err := r.viB.PostRecv(rd); err != nil {
+		t.Fatal(err)
+	}
+	sd := NewDescriptor(OpSend, Segment{Handle: hA, Offset: 0, Length: 8})
+	if err := r.viA.PostSend(sd); err != nil {
+		t.Fatal(err)
+	}
+	if st := sd.Status; st != StatusSuccess {
+		t.Fatalf("synchronous post not complete on return: %v", st)
+	}
+}
+
+func TestEngineDoubleStartStop(t *testing.T) {
+	r := newRig(t)
+	r.nicA.StartEngine()
+	r.nicA.StartEngine() // idempotent
+	r.nicA.StopEngine()
+	r.nicA.StopEngine() // idempotent
+}
+
+func TestEngineWithCQ(t *testing.T) {
+	r := newRig(t)
+	r.nicA.StartEngine()
+	defer r.nicA.StopEngine()
+	cq := r.nicA.CreateCQ(8)
+	viA, err := r.nicA.CreateVIWithCQ(tagA, cq, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viB, err := r.nicB.CreateVI(tagB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.net.Connect(viA, viB); err != nil {
+		t.Fatal(err)
+	}
+	hA, _ := regFrames(t, r.nicA, r.memA, 1, tagA, MemAttrs{})
+	hB, _ := regFrames(t, r.nicB, r.memB, 1, tagB, MemAttrs{})
+	rd := NewDescriptor(OpRecv, Segment{Handle: hB, Offset: 0, Length: 64})
+	if err := viB.PostRecv(rd); err != nil {
+		t.Fatal(err)
+	}
+	sd := NewDescriptor(OpSend, Segment{Handle: hA, Offset: 0, Length: 8})
+	if err := viA.PostSend(sd); err != nil {
+		t.Fatal(err)
+	}
+	c, err := cq.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Desc != sd || c.Desc.Status != StatusSuccess {
+		t.Fatalf("completion %+v", c)
+	}
+}

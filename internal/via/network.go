@@ -1,0 +1,99 @@
+package via
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Network wires NICs together and manages VI connections (the connection
+// manager of the VIPL's client/server model, reduced to its essentials).
+type Network struct {
+	mu        sync.Mutex
+	nics      map[string]*NIC
+	listeners map[listenerKey]*Listener
+}
+
+// Errors returned by the network.
+var (
+	ErrDuplicateNIC = errors.New("via: NIC name already attached")
+	ErrSameVI       = errors.New("via: cannot connect a VI to itself")
+)
+
+// NewNetwork creates an empty fabric.
+func NewNetwork() *Network {
+	return &Network{nics: make(map[string]*NIC)}
+}
+
+// Attach adds a NIC to the fabric.
+func (nw *Network) Attach(n *NIC) error {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	if _, ok := nw.nics[n.name]; ok {
+		return fmt.Errorf("%w: %s", ErrDuplicateNIC, n.name)
+	}
+	nw.nics[n.name] = n
+	return nil
+}
+
+// NIC looks up an attached NIC by name.
+func (nw *Network) NIC(name string) (*NIC, bool) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	n, ok := nw.nics[name]
+	return n, ok
+}
+
+// Connect pairs two idle VIs into a reliable point-to-point connection.
+// The two VIs may live on the same NIC (loopback) or different NICs.
+func (nw *Network) Connect(a, b *VI) error {
+	if a == b {
+		return ErrSameVI
+	}
+	// Lock in a stable order to avoid deadlock.
+	first, second := a, b
+	if fmt.Sprintf("%p", a) > fmt.Sprintf("%p", b) {
+		first, second = b, a
+	}
+	first.mu.Lock()
+	defer first.mu.Unlock()
+	second.mu.Lock()
+	defer second.mu.Unlock()
+	if a.state != VIIdle || b.state != VIIdle {
+		return ErrBusy
+	}
+	a.peer, b.peer = b, a
+	a.state, b.state = VIConnected, VIConnected
+	return nil
+}
+
+// Disconnect tears a connection down cleanly, flushing posted receive
+// descriptors on both sides with StatusCancelled.
+func (nw *Network) Disconnect(v *VI) error {
+	v.mu.Lock()
+	peer := v.peer
+	if v.state == VIIdle {
+		v.mu.Unlock()
+		return ErrNotConnected
+	}
+	pending := v.recvQ
+	v.recvQ = nil
+	v.peer = nil
+	v.state = VIIdle
+	v.mu.Unlock()
+	for _, d := range pending {
+		v.completeRecv(d, StatusCancelled, 0)
+	}
+	if peer != nil {
+		peer.mu.Lock()
+		ppending := peer.recvQ
+		peer.recvQ = nil
+		peer.peer = nil
+		peer.state = VIIdle
+		peer.mu.Unlock()
+		for _, d := range ppending {
+			peer.completeRecv(d, StatusCancelled, 0)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,193 @@
+// Package via simulates a Virtual Interface Architecture NIC as the
+// paper's companion articles describe it: virtual interfaces (VIs) with
+// send/receive work queues and doorbells, descriptor processing, a
+// Translation and Protection Table (TPT) holding the physical page
+// addresses recorded at registration time, protection tags checked on
+// every access, and a DMA engine that reads and writes the node's
+// physical memory directly — bypassing all page tables, exactly like
+// bus-master DMA.  If the kernel agent's locking is unreliable and the
+// pages move, the TPT silently goes stale and DMA touches orphaned
+// frames: the failure the paper demonstrates.
+package via
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/phys"
+)
+
+// ProtectionTag identifies a protection domain.  Every VI and every TPT
+// entry carries one; they must match for an access to proceed.
+type ProtectionTag uint32
+
+// InvalidTag is never assigned to a VI.
+const InvalidTag ProtectionTag = 0
+
+// MemAttrs are the per-registration access attributes.
+type MemAttrs struct {
+	// EnableRDMAWrite permits incoming RDMA writes to the region.
+	EnableRDMAWrite bool
+	// EnableRDMARead permits incoming RDMA reads from the region.
+	EnableRDMARead bool
+}
+
+// MemHandle names a registered memory region on one NIC.  The handle is
+// an index into the NIC's region table; the region in turn owns a
+// contiguous range of TPT slots.
+type MemHandle uint32
+
+// NoMemHandle is the sentinel for "no region".
+const NoMemHandle MemHandle = ^MemHandle(0)
+
+// tptEntry is one slot of the Translation and Protection Table: the
+// physical address of one page plus the protection tag and attributes.
+type tptEntry struct {
+	valid bool
+	frame phys.Addr // page-aligned physical address recorded at registration
+	tag   ProtectionTag
+	attrs MemAttrs
+}
+
+// region describes one registered memory region.
+type region struct {
+	handle   MemHandle
+	slots    []int // TPT slot indices, one per page, in order
+	offset   int   // byte offset of the buffer start within the first page
+	length   int   // registered length in bytes
+	tag      ProtectionTag
+	attrs    MemAttrs
+	released bool
+}
+
+// Errors reported by the TPT and the DMA paths.
+var (
+	ErrTPTFull        = errors.New("via: translation and protection table full")
+	ErrBadHandle      = errors.New("via: bad memory handle")
+	ErrTagMismatch    = errors.New("via: protection tag mismatch")
+	ErrOutOfRegion    = errors.New("via: access outside registered region")
+	ErrRDMADisabled   = errors.New("via: RDMA access not enabled on region")
+	ErrRegionReleased = errors.New("via: memory handle already deregistered")
+)
+
+// tpt is the NIC's translation and protection table plus region
+// directory.  It is guarded by the owning NIC's lock.
+type tpt struct {
+	mu      sync.Mutex
+	entries []tptEntry
+	free    []int // free slot indices (LIFO)
+	regions map[MemHandle]*region
+	nextH   MemHandle
+}
+
+func newTPT(slots int) *tpt {
+	t := &tpt{
+		entries: make([]tptEntry, slots),
+		free:    make([]int, 0, slots),
+		regions: make(map[MemHandle]*region),
+		nextH:   1,
+	}
+	for i := slots - 1; i >= 0; i-- {
+		t.free = append(t.free, i)
+	}
+	return t
+}
+
+// register enters the page list into the TPT and returns a handle.
+// pages are the page-aligned physical addresses of the buffer's frames;
+// offset/length describe the byte range within them.
+func (t *tpt) register(pages []phys.Addr, offset, length int, tag ProtectionTag, attrs MemAttrs) (MemHandle, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(pages) == 0 || length <= 0 {
+		return NoMemHandle, fmt.Errorf("via: empty registration")
+	}
+	if len(t.free) < len(pages) {
+		return NoMemHandle, fmt.Errorf("%w: need %d slots, %d free", ErrTPTFull, len(pages), len(t.free))
+	}
+	slots := make([]int, len(pages))
+	for i, pa := range pages {
+		s := t.free[len(t.free)-1]
+		t.free = t.free[:len(t.free)-1]
+		t.entries[s] = tptEntry{valid: true, frame: pa &^ phys.Addr(phys.PageMask), tag: tag, attrs: attrs}
+		slots[i] = s
+	}
+	h := t.nextH
+	t.nextH++
+	t.regions[h] = &region{
+		handle: h, slots: slots, offset: offset, length: length, tag: tag, attrs: attrs,
+	}
+	return h, nil
+}
+
+// deregister invalidates the region's slots and frees the handle.
+func (t *tpt) deregister(h MemHandle) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	r, ok := t.regions[h]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrBadHandle, h)
+	}
+	for _, s := range r.slots {
+		t.entries[s] = tptEntry{}
+		t.free = append(t.free, s)
+	}
+	r.released = true
+	delete(t.regions, h)
+	return nil
+}
+
+// translate resolves (handle, byte offset) to a physical address after
+// checking the protection tag.  needAttr selects the RDMA attribute an
+// incoming remote access must additionally satisfy (nil for local use).
+func (t *tpt) translate(h MemHandle, off int, tag ProtectionTag, needAttr func(MemAttrs) bool) (phys.Addr, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	r, ok := t.regions[h]
+	if !ok {
+		return 0, fmt.Errorf("%w: %d", ErrBadHandle, h)
+	}
+	if r.tag != tag {
+		return 0, fmt.Errorf("%w: region tag %d vs access tag %d", ErrTagMismatch, r.tag, tag)
+	}
+	if off < 0 || off >= r.length {
+		return 0, fmt.Errorf("%w: offset %d of %d", ErrOutOfRegion, off, r.length)
+	}
+	if needAttr != nil && !needAttr(r.attrs) {
+		return 0, ErrRDMADisabled
+	}
+	abs := r.offset + off
+	page := abs / phys.PageSize
+	slot := r.slots[page]
+	e := t.entries[slot]
+	if !e.valid {
+		return 0, fmt.Errorf("via: invalid TPT slot %d for handle %d", slot, h)
+	}
+	return e.frame + phys.Addr(abs%phys.PageSize), nil
+}
+
+// regionLength reports the registered length of a handle.
+func (t *tpt) regionLength(h MemHandle) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	r, ok := t.regions[h]
+	if !ok {
+		return 0, fmt.Errorf("%w: %d", ErrBadHandle, h)
+	}
+	return r.length, nil
+}
+
+// freeSlots reports the number of unused TPT slots.
+func (t *tpt) freeSlots() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.free)
+}
+
+// regionCount reports how many regions are currently registered.
+func (t *tpt) regionCount() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.regions)
+}

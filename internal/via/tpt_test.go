@@ -1,0 +1,198 @@
+package via
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/phys"
+)
+
+func TestTPTRegisterTranslate(t *testing.T) {
+	tb := newTPT(8)
+	pages := []phys.Addr{4 * phys.PageSize, 9 * phys.PageSize}
+	h, err := tb.register(pages, 100, 2*phys.PageSize-100, 5, MemAttrs{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Offset 0 maps to page 0 at in-page offset 100.
+	pa, err := tb.translate(h, 0, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa != pages[0]+100 {
+		t.Fatalf("translate(0) = %#x", pa)
+	}
+	// An offset landing in page 1.
+	pa, err = tb.translate(h, phys.PageSize, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa != pages[1]+100 {
+		t.Fatalf("translate = %#x, want %#x", pa, pages[1]+100)
+	}
+}
+
+func TestTPTUnalignedFrameAddressMasked(t *testing.T) {
+	// Registration masks frame addresses to page boundaries.
+	tb := newTPT(4)
+	h, err := tb.register([]phys.Addr{3*phys.PageSize + 7}, 0, 64, 1, MemAttrs{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, err := tb.translate(h, 0, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa != 3*phys.PageSize {
+		t.Fatalf("pa = %#x", pa)
+	}
+}
+
+func TestTPTEmptyRegistrationRejected(t *testing.T) {
+	tb := newTPT(4)
+	if _, err := tb.register(nil, 0, 8, 1, MemAttrs{}); err == nil {
+		t.Fatal("empty page list accepted")
+	}
+	if _, err := tb.register([]phys.Addr{0}, 0, 0, 1, MemAttrs{}); err == nil {
+		t.Fatal("zero length accepted")
+	}
+}
+
+func TestTPTAttrCheck(t *testing.T) {
+	tb := newTPT(4)
+	h, _ := tb.register([]phys.Addr{0}, 0, 64, 1, MemAttrs{EnableRDMARead: true})
+	if _, err := tb.translate(h, 0, 1, func(a MemAttrs) bool { return a.EnableRDMAWrite }); !errors.Is(err, ErrRDMADisabled) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := tb.translate(h, 0, 1, func(a MemAttrs) bool { return a.EnableRDMARead }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTPTRandomOps: property — random register/deregister/translate
+// sequences conserve slots and translations always agree with a model.
+func TestTPTRandomOps(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const slots = 32
+		tb := newTPT(slots)
+		type mreg struct {
+			h     MemHandle
+			pages []phys.Addr
+			off   int
+			len   int
+			tag   ProtectionTag
+		}
+		var regs []mreg
+		used := 0
+		for step := 0; step < 200; step++ {
+			switch rng.Intn(3) {
+			case 0: // register
+				n := rng.Intn(5) + 1
+				pages := make([]phys.Addr, n)
+				for i := range pages {
+					pages[i] = phys.Addr(rng.Intn(1000)) * phys.PageSize
+				}
+				off := rng.Intn(phys.PageSize)
+				length := rng.Intn(n*phys.PageSize-off) + 1
+				tag := ProtectionTag(rng.Intn(3) + 1)
+				h, err := tb.register(pages, off, length, tag, MemAttrs{})
+				if used+n <= slots {
+					if err != nil {
+						t.Logf("register failed with %d free: %v", slots-used, err)
+						return false
+					}
+					regs = append(regs, mreg{h: h, pages: pages, off: off, len: length, tag: tag})
+					used += n
+				} else if err == nil {
+					t.Log("register succeeded beyond capacity")
+					return false
+				}
+			case 1: // deregister
+				if len(regs) > 0 {
+					i := rng.Intn(len(regs))
+					r := regs[i]
+					if err := tb.deregister(r.h); err != nil {
+						t.Log(err)
+						return false
+					}
+					used -= len(r.pages)
+					regs = append(regs[:i], regs[i+1:]...)
+				}
+			case 2: // translate against the model
+				if len(regs) > 0 {
+					r := regs[rng.Intn(len(regs))]
+					off := rng.Intn(r.len)
+					pa, err := tb.translate(r.h, off, r.tag, nil)
+					if err != nil {
+						t.Logf("translate: %v", err)
+						return false
+					}
+					abs := r.off + off
+					want := (r.pages[abs/phys.PageSize] &^ phys.Addr(phys.PageMask)) + phys.Addr(abs%phys.PageSize)
+					if pa != want {
+						t.Logf("translate = %#x, want %#x", pa, want)
+						return false
+					}
+					// Wrong tag must be rejected.
+					if _, err := tb.translate(r.h, off, r.tag+100, nil); err == nil {
+						t.Log("wrong tag accepted")
+						return false
+					}
+				}
+			}
+			if tb.freeSlots() != slots-used {
+				t.Logf("slot accounting: free=%d want %d", tb.freeSlots(), slots-used)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDescriptorTotalLength(t *testing.T) {
+	d := NewDescriptor(OpSend,
+		Segment{Length: 10}, Segment{Length: 20}, Segment{Length: 30})
+	if d.TotalLength() != 60 {
+		t.Fatalf("total = %d", d.TotalLength())
+	}
+	if NewDescriptor(OpSend).TotalLength() != 0 {
+		t.Fatal("empty descriptor length")
+	}
+}
+
+func TestDescriptorResetPanicsWhilePending(t *testing.T) {
+	d := NewDescriptor(OpSend)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Reset on pending descriptor did not panic")
+		}
+	}()
+	d.Reset()
+}
+
+func TestDescriptorCompleteOnce(t *testing.T) {
+	d := NewDescriptor(OpSend)
+	d.complete(StatusSuccess, 5)
+	d.complete(StatusProtectionError, 9) // ignored
+	if d.Status != StatusSuccess || d.Transferred != 5 {
+		t.Fatalf("descriptor %v/%d", d.Status, d.Transferred)
+	}
+}
+
+func TestOpAndStatusStrings(t *testing.T) {
+	if OpSend.String() != "send" || OpRDMAWrite.String() != "rdma-write" {
+		t.Fatal("op strings")
+	}
+	if StatusSuccess.String() != "success" || StatusPending.String() != "pending" {
+		t.Fatal("status strings")
+	}
+	if VIConnected.String() != "connected" {
+		t.Fatal("state strings")
+	}
+}

@@ -1,0 +1,223 @@
+package via
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// VIState is the lifecycle state of a virtual interface.
+type VIState uint8
+
+// VI lifecycle states.
+const (
+	// VIIdle means created but not connected.
+	VIIdle VIState = iota
+	// VIConnected means paired with a peer VI.
+	VIConnected
+	// VIBroken means the reliable connection failed (e.g. a send arrived
+	// with no receive descriptor posted) and no further traffic flows.
+	VIBroken
+)
+
+func (s VIState) String() string {
+	switch s {
+	case VIIdle:
+		return "idle"
+	case VIConnected:
+		return "connected"
+	case VIBroken:
+		return "broken"
+	default:
+		return fmt.Sprintf("state(%d)", uint8(s))
+	}
+}
+
+// Errors returned by VI operations.
+var (
+	ErrNotConnected = errors.New("via: VI not connected")
+	ErrViBroken     = errors.New("via: VI connection broken")
+	ErrBusy         = errors.New("via: VI already connected")
+)
+
+// VI is one virtual interface: a pair of work queues, their doorbells,
+// and a protection tag.  A VI talks to exactly one peer VI.
+type VI struct {
+	nic *NIC
+	id  int
+	tag ProtectionTag
+
+	mu    sync.Mutex
+	state VIState
+	peer  *VI
+	recvQ []*Descriptor
+	// sendsInFlight is informational: descriptors posted but not complete.
+	sendsInFlight int
+
+	// Optional completion queues (set by CreateVIWithCQ).
+	sendCQ *CQ
+	recvCQ *CQ
+
+	// maxTransfer bounds a single descriptor's payload (the VIA
+	// MaxTransferSize attribute).
+	maxTransfer int
+}
+
+// DefaultMaxTransferSize is the per-descriptor payload bound a fresh VI
+// carries (4 MiB, a generous card of the era).
+const DefaultMaxTransferSize = 4 << 20
+
+// ErrTransferTooLarge reports a descriptor exceeding MaxTransferSize.
+var ErrTransferTooLarge = errors.New("via: descriptor exceeds MaxTransferSize")
+
+// MaxTransferSize reports the VI's per-descriptor payload bound.
+func (v *VI) MaxTransferSize() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.maxTransfer
+}
+
+// SetMaxTransferSize adjusts the bound (values <= 0 restore the default).
+func (v *VI) SetMaxTransferSize(n int) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if n <= 0 {
+		n = DefaultMaxTransferSize
+	}
+	v.maxTransfer = n
+}
+
+// completeSend finalizes a send-queue descriptor and notifies the CQ.
+func (v *VI) completeSend(d *Descriptor, st Status, n int) {
+	d.complete(st, n)
+	v.sendCQ.push(Completion{VI: v, Desc: d})
+}
+
+// completeRecv finalizes a receive descriptor and notifies the CQ.
+func (v *VI) completeRecv(d *Descriptor, st Status, n int) {
+	d.complete(st, n)
+	v.recvCQ.push(Completion{VI: v, Desc: d, Recv: true})
+}
+
+// ID returns the VI number on its NIC.
+func (v *VI) ID() int { return v.id }
+
+// Tag returns the VI's protection tag.
+func (v *VI) Tag() ProtectionTag { return v.tag }
+
+// NIC returns the owning NIC.
+func (v *VI) NIC() *NIC { return v.nic }
+
+// State returns the current lifecycle state.
+func (v *VI) State() VIState {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.state
+}
+
+func (v *VI) String() string {
+	return fmt.Sprintf("%s/vi%d", v.nic.name, v.id)
+}
+
+// PostRecv places a receive descriptor on the VI's receive queue and
+// rings the receive doorbell.  Per the VIA rules the descriptor must be
+// posted before the peer's matching send starts.
+func (v *VI) PostRecv(d *Descriptor) error {
+	if d.Op != OpRecv {
+		return fmt.Errorf("via: PostRecv with %v descriptor", d.Op)
+	}
+	v.nic.meter.Charge(v.nic.meter.Costs.Doorbell)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	switch v.state {
+	case VIBroken:
+		return ErrViBroken
+	case VIIdle:
+		return ErrNotConnected
+	}
+	v.recvQ = append(v.recvQ, d)
+	return nil
+}
+
+// PostSend places a send or RDMA descriptor on the send queue and rings
+// the send doorbell.  In the default synchronous mode the simulated DMA
+// engine processes the descriptor before PostSend returns; after
+// NIC.StartEngine it is processed in the background in posting order.
+// Either way, completion status and any data-path error are reported
+// through the descriptor (poll Status, Wait, or a CQ), as on real
+// hardware; PostSend itself only fails for posting errors.
+func (v *VI) PostSend(d *Descriptor) error {
+	switch d.Op {
+	case OpSend, OpRDMAWrite, OpRDMARead:
+	default:
+		return fmt.Errorf("via: PostSend with %v descriptor", d.Op)
+	}
+	if n := d.TotalLength(); n > v.MaxTransferSize() {
+		return fmt.Errorf("%w: %d > %d", ErrTransferTooLarge, n, v.MaxTransferSize())
+	}
+	v.nic.meter.Charge(v.nic.meter.Costs.Doorbell)
+	v.mu.Lock()
+	if v.state != VIConnected {
+		st := v.state
+		v.mu.Unlock()
+		if st == VIBroken {
+			return ErrViBroken
+		}
+		return ErrNotConnected
+	}
+	v.sendsInFlight++
+	v.mu.Unlock()
+
+	v.nic.dispatch(v, d)
+
+	v.mu.Lock()
+	v.sendsInFlight--
+	v.mu.Unlock()
+	return nil
+}
+
+// RecvQueueLen reports how many receive descriptors are posted.
+func (v *VI) RecvQueueLen() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return len(v.recvQ)
+}
+
+// popRecv takes the head of the receive queue (nil when empty).
+func (v *VI) popRecv() *Descriptor {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if len(v.recvQ) == 0 {
+		return nil
+	}
+	d := v.recvQ[0]
+	v.recvQ = v.recvQ[1:]
+	return d
+}
+
+// breakConnection transitions both ends to VIBroken and flushes pending
+// receive descriptors with StatusCancelled.
+func (v *VI) breakConnection() {
+	v.mu.Lock()
+	peer := v.peer
+	v.state = VIBroken
+	pending := v.recvQ
+	v.recvQ = nil
+	v.mu.Unlock()
+	for _, d := range pending {
+		v.completeRecv(d, StatusCancelled, 0)
+	}
+	if peer != nil {
+		peer.mu.Lock()
+		already := peer.state == VIBroken
+		peer.state = VIBroken
+		ppending := peer.recvQ
+		peer.recvQ = nil
+		peer.mu.Unlock()
+		if !already {
+			for _, d := range ppending {
+				peer.completeRecv(d, StatusCancelled, 0)
+			}
+		}
+	}
+}

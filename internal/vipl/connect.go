@@ -1,0 +1,45 @@
+package vipl
+
+import (
+	"time"
+
+	"repro/internal/via"
+)
+
+// The VIPL connection calls, thin wrappers over the fabric's connection
+// manager: a server publishes a discriminator and waits
+// (VipConnectWait); a client connects to (remote NIC, discriminator)
+// (VipConnectRequest).
+
+// ConnectWait listens on the discriminator, creates a fresh VI carrying
+// the process's tag, accepts exactly one connection into it and returns
+// the connected VI.  For a long-lived acceptor loop use Network.Listen
+// directly.
+func (n *Nic) ConnectWait(nw *via.Network, discriminator string) (*via.VI, error) {
+	l, err := nw.Listen(n.agent.NIC(), discriminator)
+	if err != nil {
+		return nil, err
+	}
+	defer l.Close()
+	vi, err := n.CreateVi()
+	if err != nil {
+		return nil, err
+	}
+	if err := l.Accept(vi); err != nil {
+		return nil, err
+	}
+	return vi, nil
+}
+
+// ConnectRequest creates a fresh VI and connects it to the server
+// listening at (remoteNic, discriminator), returning the connected VI.
+func (n *Nic) ConnectRequest(nw *via.Network, remoteNic, discriminator string, timeout time.Duration) (*via.VI, error) {
+	vi, err := n.CreateVi()
+	if err != nil {
+		return nil, err
+	}
+	if err := nw.Dial(vi, remoteNic, discriminator, timeout); err != nil {
+		return nil, err
+	}
+	return vi, nil
+}

@@ -1,0 +1,79 @@
+package vipl
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/via"
+)
+
+func TestConnectWaitRequest(t *testing.T) {
+	r := newRig(t)
+	type result struct {
+		vi  *via.VI
+		err error
+	}
+	serverDone := make(chan result, 1)
+	go func() {
+		vi, err := r.nicHB.ConnectWait(r.nw, "job-42")
+		serverDone <- result{vi, err}
+	}()
+	// Give the listener a moment to come up, then dial with retries
+	// (the VIPL client would retry on "no listener" the same way).
+	var clientVI *via.VI
+	var err error
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		clientVI, err = r.nicHA.ConnectRequest(r.nw, "b", "job-42", time.Second)
+		if err == nil || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := <-serverDone
+	if sr.err != nil {
+		t.Fatal(sr.err)
+	}
+	if clientVI.State() != via.VIConnected || sr.vi.State() != via.VIConnected {
+		t.Fatal("not connected")
+	}
+
+	// Exchange one message over the fresh pair.
+	src, _ := r.procA.Malloc(4096)
+	dst, _ := r.procB.Malloc(4096)
+	if err := src.Write(0, []byte("via connect")); err != nil {
+		t.Fatal(err)
+	}
+	regA, err := r.nicHA.RegisterMem(src, via.MemAttrs{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	regB, err := r.nicHB.RegisterMem(dst, via.MemAttrs{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := r.nicHB.PostRecv(sr.vi, regB, 0, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd, err := r.nicHA.PostSend(clientVI, regA, 0, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := sd.Wait(); st != via.StatusSuccess {
+		t.Fatalf("send %v", st)
+	}
+	if st := rd.Wait(); st != via.StatusSuccess {
+		t.Fatalf("recv %v", st)
+	}
+}
+
+func TestConnectRequestNoListener(t *testing.T) {
+	r := newRig(t)
+	if _, err := r.nicHA.ConnectRequest(r.nw, "b", "ghost", 50*time.Millisecond); err == nil {
+		t.Fatal("connected to nothing")
+	}
+}

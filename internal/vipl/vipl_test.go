@@ -1,0 +1,181 @@
+package vipl
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/kagent"
+	"repro/internal/mm"
+	"repro/internal/phys"
+	"repro/internal/proc"
+	"repro/internal/simtime"
+	"repro/internal/via"
+)
+
+type rig struct {
+	nw           *via.Network
+	nicHA, nicHB *Nic
+	procA, procB *proc.Process
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	meter := simtime.NewMeter()
+	cfg := mm.Config{RAMPages: 256, SwapPages: 512, ClockBatch: 64, SwapBatch: 16}
+	kA := mm.NewKernel(cfg, meter)
+	kB := mm.NewKernel(cfg, meter)
+	nw := via.NewNetwork()
+	nA := via.NewNIC("a", kA.Phys(), meter, 128)
+	nB := via.NewNIC("b", kB.Phys(), meter, 128)
+	if err := nw.Attach(nA); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Attach(nB); err != nil {
+		t.Fatal(err)
+	}
+	pA := proc.New(kA, "pa", false)
+	pB := proc.New(kB, "pb", false)
+	return &rig{
+		nw:    nw,
+		nicHA: OpenNic(kagent.New(kA, nA, core.MustNew(core.StrategyKiobuf)), pA),
+		nicHB: OpenNic(kagent.New(kB, nB, core.MustNew(core.StrategyKiobuf)), pB),
+		procA: pA,
+		procB: pB,
+	}
+}
+
+func TestOpenNicAssignsTag(t *testing.T) {
+	r := newRig(t)
+	if r.nicHA.Tag() == via.InvalidTag {
+		t.Fatal("invalid tag assigned")
+	}
+	if r.nicHA.Process() != r.procA {
+		t.Fatal("process accessor broken")
+	}
+}
+
+func TestRegisterWholeBuffer(t *testing.T) {
+	r := newRig(t)
+	b, err := r.procA.Malloc(3 * phys.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := r.nicHA.RegisterMem(b, via.MemAttrs{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.Length() != b.Bytes || reg.Addr() != b.Addr {
+		t.Fatalf("region %d@%#x", reg.Length(), uint64(reg.Addr()))
+	}
+	ok, total, err := reg.Consistent()
+	if err != nil || ok != total {
+		t.Fatalf("consistency %d/%d, %v", ok, total, err)
+	}
+	if err := r.nicHA.DeregisterMem(reg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegisterRangeValidation(t *testing.T) {
+	r := newRig(t)
+	b, _ := r.procA.Malloc(2 * phys.PageSize)
+	if _, err := r.nicHA.RegisterMemRange(b, -1, 100, via.MemAttrs{}); err == nil {
+		t.Fatal("negative offset accepted")
+	}
+	if _, err := r.nicHA.RegisterMemRange(b, 0, 0, via.MemAttrs{}); err == nil {
+		t.Fatal("zero length accepted")
+	}
+	if _, err := r.nicHA.RegisterMemRange(b, phys.PageSize, 2*phys.PageSize, via.MemAttrs{}); err == nil {
+		t.Fatal("range past buffer accepted")
+	}
+}
+
+func TestSendRecvHelpers(t *testing.T) {
+	r := newRig(t)
+	viA, err := r.nicHA.CreateVi()
+	if err != nil {
+		t.Fatal(err)
+	}
+	viB, err := r.nicHB.CreateVi()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.nw.Connect(viA, viB); err != nil {
+		t.Fatal(err)
+	}
+	src, _ := r.procA.Malloc(phys.PageSize)
+	dst, _ := r.procB.Malloc(phys.PageSize)
+	if err := src.Write(0, []byte("vipl helpers")); err != nil {
+		t.Fatal(err)
+	}
+	regA, err := r.nicHA.RegisterMem(src, via.MemAttrs{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	regB, err := r.nicHB.RegisterMem(dst, via.MemAttrs{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := r.nicHB.PostRecv(viB, regB, 0, phys.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd, err := r.nicHA.PostSend(viA, regA, 0, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := sd.Wait(); st != via.StatusSuccess {
+		t.Fatalf("send %v", st)
+	}
+	if st := rd.Wait(); st != via.StatusSuccess {
+		t.Fatalf("recv %v", st)
+	}
+	got := make([]byte, 12)
+	if err := dst.Read(0, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "vipl helpers" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestRDMAHelpers(t *testing.T) {
+	r := newRig(t)
+	viA, _ := r.nicHA.CreateVi()
+	viB, _ := r.nicHB.CreateVi()
+	if err := r.nw.Connect(viA, viB); err != nil {
+		t.Fatal(err)
+	}
+	src, _ := r.procA.Malloc(phys.PageSize)
+	dst, _ := r.procB.Malloc(phys.PageSize)
+	if err := src.Write(0, []byte("rdma")); err != nil {
+		t.Fatal(err)
+	}
+	regA, _ := r.nicHA.RegisterMem(src, via.MemAttrs{EnableRDMARead: true})
+	regB, _ := r.nicHB.RegisterMem(dst, via.MemAttrs{EnableRDMAWrite: true})
+
+	// Write A → B.
+	d, err := r.nicHA.PostRDMAWrite(viA, regA, 0, 4, regB.Handle(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := d.Wait(); st != via.StatusSuccess {
+		t.Fatalf("rdma write %v", st)
+	}
+	got := make([]byte, 4)
+	if err := dst.Read(10, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "rdma" {
+		t.Fatalf("got %q", got)
+	}
+
+	// Read back B → A into offset 100.
+	d2, err := r.nicHB.PostRDMARead(viB, regB, 10, 4, regA.Handle(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := d2.Wait(); st != via.StatusSuccess {
+		t.Fatalf("rdma read %v", st)
+	}
+}

@@ -1,0 +1,284 @@
+package vma
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/pgtable"
+)
+
+func area(start, end pgtable.VPN, f Flags) VMA {
+	return VMA{Start: start, End: end, Flags: f}
+}
+
+func TestInsertFind(t *testing.T) {
+	var s Set
+	if err := s.Insert(area(10, 20, Read|Write)); err != nil {
+		t.Fatal(err)
+	}
+	a, ok := s.Find(15)
+	if !ok || a.Start != 10 || a.End != 20 {
+		t.Fatalf("find = %v, %v", a, ok)
+	}
+	if _, ok := s.Find(20); ok {
+		t.Fatal("end is exclusive")
+	}
+	if _, ok := s.Find(9); ok {
+		t.Fatal("found before start")
+	}
+}
+
+func TestInsertOverlapRejected(t *testing.T) {
+	var s Set
+	_ = s.Insert(area(10, 20, Read))
+	for _, a := range []VMA{
+		area(5, 11, Read), area(19, 25, Read), area(12, 15, Read), area(0, 100, Read),
+	} {
+		if err := s.Insert(a); !errors.Is(err, ErrOverlap) {
+			t.Fatalf("insert %v err = %v, want ErrOverlap", a, err)
+		}
+	}
+	// Exactly adjacent is fine.
+	if err := s.Insert(area(20, 30, Exec)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Insert(area(5, 10, Exec)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertEmptyRejected(t *testing.T) {
+	var s Set
+	if err := s.Insert(area(10, 10, Read)); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestInsertMergesIdenticalNeighbours(t *testing.T) {
+	var s Set
+	_ = s.Insert(area(0, 10, Read))
+	_ = s.Insert(area(20, 30, Read))
+	_ = s.Insert(area(10, 20, Read))
+	if s.Len() != 1 {
+		t.Fatalf("len = %d, want 1 merged area: %v", s.Len(), s.Areas())
+	}
+	a := s.Areas()[0]
+	if a.Start != 0 || a.End != 30 {
+		t.Fatalf("merged = %v", a)
+	}
+}
+
+func TestInsertNoMergeDifferentFlags(t *testing.T) {
+	var s Set
+	_ = s.Insert(area(0, 10, Read))
+	_ = s.Insert(area(10, 20, Read|Write))
+	if s.Len() != 2 {
+		t.Fatalf("len = %d, want 2", s.Len())
+	}
+}
+
+func TestSetFlagsSplitsBorders(t *testing.T) {
+	var s Set
+	_ = s.Insert(area(0, 100, Read|Write))
+	splits, err := s.SetFlags(30, 60, Locked, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if splits != 2 {
+		t.Fatalf("splits = %d, want 2", splits)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("len = %d, want 3: %v", s.Len(), s.Areas())
+	}
+	mid, ok := s.Find(45)
+	if !ok || mid.Flags&Locked == 0 {
+		t.Fatalf("middle area %v not locked", mid)
+	}
+	left, _ := s.Find(10)
+	right, _ := s.Find(80)
+	if left.Flags&Locked != 0 || right.Flags&Locked != 0 {
+		t.Fatal("lock leaked outside range")
+	}
+}
+
+func TestSetFlagsMergesBack(t *testing.T) {
+	var s Set
+	_ = s.Insert(area(0, 100, Read|Write))
+	_, _ = s.SetFlags(30, 60, Locked, 0)
+	_, err := s.SetFlags(30, 60, 0, Locked) // munlock
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("len after unlock = %d, want 1 (merged): %v", s.Len(), s.Areas())
+	}
+}
+
+func TestSetFlagsRequiresCoverage(t *testing.T) {
+	var s Set
+	_ = s.Insert(area(0, 10, Read))
+	_ = s.Insert(area(20, 30, Read))
+	if _, err := s.SetFlags(5, 25, Locked, 0); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound (gap)", err)
+	}
+}
+
+func TestSetFlagsExactRange(t *testing.T) {
+	var s Set
+	_ = s.Insert(area(10, 20, Read))
+	splits, err := s.SetFlags(10, 20, Locked, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if splits != 0 {
+		t.Fatalf("splits = %d, want 0 for exact range", splits)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("len = %d", s.Len())
+	}
+}
+
+func TestMlockDoesNotNest(t *testing.T) {
+	// The §3.2 hazard in miniature: two "mlocks" then one "munlock"
+	// leaves the range unlocked, because the flag carries no count.
+	var s Set
+	_ = s.Insert(area(0, 10, Read|Write))
+	_, _ = s.SetFlags(0, 10, Locked, 0)
+	_, _ = s.SetFlags(0, 10, Locked, 0) // second lock: no-op
+	_, _ = s.SetFlags(0, 10, 0, Locked) // single unlock
+	if s.LockedPages() != 0 {
+		t.Fatal("Locked flag nested — it must not")
+	}
+}
+
+func TestRemoveWholeAndPartial(t *testing.T) {
+	var s Set
+	_ = s.Insert(area(0, 100, Read))
+	if err := s.Remove(20, 40); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("len = %d: %v", s.Len(), s.Areas())
+	}
+	if _, ok := s.Find(25); ok {
+		t.Fatal("hole still covered")
+	}
+	if !s.Covered(0, 20) || !s.Covered(40, 100) {
+		t.Fatal("remove took too much")
+	}
+	// Removing a range nothing covers is fine.
+	if err := s.Remove(200, 300); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCovered(t *testing.T) {
+	var s Set
+	_ = s.Insert(area(0, 10, Read))
+	_ = s.Insert(area(10, 20, Write))
+	if !s.Covered(0, 20) {
+		t.Fatal("adjacent areas should cover the union")
+	}
+	if s.Covered(0, 21) {
+		t.Fatal("coverage beyond end")
+	}
+}
+
+func TestLockedPages(t *testing.T) {
+	var s Set
+	_ = s.Insert(area(0, 10, Read|Locked))
+	_ = s.Insert(area(20, 25, Read))
+	if got := s.LockedPages(); got != 10 {
+		t.Fatalf("LockedPages = %d", got)
+	}
+}
+
+func TestFlagsString(t *testing.T) {
+	if got := (Read | Write | Locked).String(); got != "rw-Lp" {
+		t.Fatalf("flags string = %q", got)
+	}
+}
+
+// TestRandomOpsInvariants drives random insert/remove/setflags sequences
+// and validates ordering/disjointness plus a model of coverage.
+func TestRandomOpsInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var s Set
+		model := map[pgtable.VPN]Flags{} // page -> flags, absent = unmapped
+		const space = 200
+		for step := 0; step < 150; step++ {
+			lo := pgtable.VPN(rng.Intn(space))
+			hi := lo + pgtable.VPN(rng.Intn(20)+1)
+			switch rng.Intn(3) {
+			case 0: // insert if free
+				free := true
+				for p := lo; p < hi; p++ {
+					if _, ok := model[p]; ok {
+						free = false
+						break
+					}
+				}
+				err := s.Insert(area(lo, hi, Read|Write))
+				if free != (err == nil) {
+					t.Logf("insert [%d,%d): model free=%v err=%v", lo, hi, free, err)
+					return false
+				}
+				if err == nil {
+					for p := lo; p < hi; p++ {
+						model[p] = Read | Write
+					}
+				}
+			case 1: // remove
+				if err := s.Remove(lo, hi); err != nil {
+					return false
+				}
+				for p := lo; p < hi; p++ {
+					delete(model, p)
+				}
+			case 2: // lock if covered
+				covered := true
+				for p := lo; p < hi; p++ {
+					if _, ok := model[p]; !ok {
+						covered = false
+						break
+					}
+				}
+				_, err := s.SetFlags(lo, hi, Locked, 0)
+				if covered != (err == nil) {
+					t.Logf("setflags [%d,%d): covered=%v err=%v", lo, hi, covered, err)
+					return false
+				}
+				if err == nil {
+					for p := lo; p < hi; p++ {
+						model[p] |= Locked
+					}
+				}
+			}
+			if err := s.CheckInvariants(); err != nil {
+				t.Log(err)
+				return false
+			}
+			// Spot-check the model at a few pages.
+			for i := 0; i < 5; i++ {
+				p := pgtable.VPN(rng.Intn(space + 25))
+				a, ok := s.Find(p)
+				mf, mok := model[p]
+				if ok != mok {
+					t.Logf("page %d: set=%v model=%v", p, ok, mok)
+					return false
+				}
+				if ok && a.Flags != mf {
+					t.Logf("page %d: flags %v vs model %v", p, a.Flags, mf)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
