@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	viabench -table=regcost|deregcost|survival|protocols|regcache|multireg|divergence|all
+//	viabench -table=regcost|deregcost|survival|protocols|regcache|regconc|multireg|divergence|all
 package main
 
 import (
@@ -25,6 +25,7 @@ func main() {
 		"survival":   bench.Survival,
 		"protocols":  bench.Protocols,
 		"regcache":   bench.RegCache,
+		"regconc":    bench.RegConc,
 		"multireg":   bench.MultiReg,
 		"divergence": bench.Divergence,
 		"piodma":     bench.PIODMA,
@@ -32,7 +33,7 @@ func main() {
 		"ablation":   bench.Ablations,
 		"bigphys":    bench.Bigphys,
 	}
-	order := []string{"regcost", "deregcost", "survival", "protocols", "regcache", "multireg", "divergence", "piodma", "latency", "ablation", "bigphys"}
+	order := []string{"regcost", "deregcost", "survival", "protocols", "regcache", "regconc", "multireg", "divergence", "piodma", "latency", "ablation", "bigphys"}
 
 	run := func(name string) {
 		if err := runners[name](os.Stdout); err != nil {

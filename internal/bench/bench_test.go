@@ -225,6 +225,32 @@ func TestRegCachePointShape(t *testing.T) {
 	}
 }
 
+func TestRegConcPointShape(t *testing.T) {
+	kops, hit, err := regConcPoint(4, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kops <= 0 {
+		t.Fatalf("throughput %v kops/s", kops)
+	}
+	// 15/16 of the ops target the hot set; the hit rate must reflect it.
+	if hit < 80 {
+		t.Fatalf("hit rate %v%% on a 1/16-miss workload", hit)
+	}
+}
+
+func TestRegConcOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock sweep")
+	}
+	out := sweepOutput(t, func(w *strings.Builder) error { return RegConc(w) })
+	for _, want := range []string{"E15", "goroutines", "kops/s"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
 func TestProtocolPointShapes(t *testing.T) {
 	// Cold zero-copy must lose to eager at 4 KiB and win at 1 MiB (warm).
 	eagerSmall, err := protocolPoint(4<<10, "eager", true)

@@ -95,7 +95,7 @@ func RegCost(w io.Writer) error {
 func DeregCost(w io.Writer) error {
 	s := report.Series{
 		Title:  "E4: deregistration cost vs region size (simulated µs)",
-		Note:   "unlock paths are cheap; mlock pays the munlock kernel call, kiobuf the unmap call",
+		Note:   "one TPT invalidation per page plus the unlock path; mlock pays the munlock kernel call, kiobuf the unmap call",
 		XLabel: "region",
 		Lines:  strategyNames(),
 	}

@@ -6,12 +6,18 @@
 // The agent also supports the multiple registrations the VIA spec
 // demands: every RegisterMem call produces an independent registration
 // (its own lock, its own TPT region), even for identical ranges.
+//
+// The registration table is sharded so that concurrent registrations of
+// independent regions never serialize on one agent-wide lock: IDs come
+// from an atomic counter and each record lives in the shard its ID
+// hashes to.
 package kagent
 
 import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/mm"
@@ -39,15 +45,24 @@ type Registration struct {
 // Pages reports the physical page addresses recorded at registration.
 func (r *Registration) Pages() []phys.Addr { return r.lock.Pages }
 
+// regShards is the number of registration-table shards.  Power of two
+// so the shard index is a mask of the registration ID.
+const regShards = 16
+
+// regShard is one slice of the registration table with its own lock.
+type regShard struct {
+	mu   sync.Mutex
+	regs map[int]*Registration
+}
+
 // Agent is one node's kernel agent.
 type Agent struct {
 	kernel *mm.Kernel
 	nic    *via.NIC
 	locker core.Locker
 
-	mu     sync.Mutex
-	regs   map[int]*Registration
-	nextID int
+	nextID atomic.Int64
+	shards [regShards]regShard
 }
 
 // Errors returned by the agent.
@@ -57,8 +72,15 @@ var (
 
 // New creates a kernel agent using the given locking strategy.
 func New(k *mm.Kernel, nic *via.NIC, locker core.Locker) *Agent {
-	return &Agent{kernel: k, nic: nic, locker: locker, regs: make(map[int]*Registration), nextID: 1}
+	a := &Agent{kernel: k, nic: nic, locker: locker}
+	for i := range a.shards {
+		a.shards[i].regs = make(map[int]*Registration)
+	}
+	return a
 }
+
+// shard returns the shard owning a registration ID.
+func (a *Agent) shard(id int) *regShard { return &a.shards[id&(regShards-1)] }
 
 // Strategy reports the locking strategy in use.
 func (a *Agent) Strategy() core.Strategy { return a.locker.Name() }
@@ -86,9 +108,8 @@ func (a *Agent) RegisterMem(as *mm.AddressSpace, addr pgtable.VAddr, length int,
 		_ = lock.Unlock()
 		return nil, fmt.Errorf("kagent: TPT registration: %w", err)
 	}
-	a.mu.Lock()
 	reg := &Registration{
-		ID:     a.nextID,
+		ID:     int(a.nextID.Add(1)),
 		Handle: handle,
 		Addr:   addr,
 		Length: length,
@@ -96,9 +117,10 @@ func (a *Agent) RegisterMem(as *mm.AddressSpace, addr pgtable.VAddr, length int,
 		lock:   lock,
 		as:     as,
 	}
-	a.nextID++
-	a.regs[reg.ID] = reg
-	a.mu.Unlock()
+	s := a.shard(reg.ID)
+	s.mu.Lock()
+	s.regs[reg.ID] = reg
+	s.mu.Unlock()
 	return reg, nil
 }
 
@@ -109,13 +131,14 @@ func (a *Agent) DeregisterMem(reg *Registration) error {
 	if m := a.kernel.Meter(); m != nil {
 		m.Charge(m.Costs.KernelCall)
 	}
-	a.mu.Lock()
-	if _, ok := a.regs[reg.ID]; !ok {
-		a.mu.Unlock()
+	s := a.shard(reg.ID)
+	s.mu.Lock()
+	if _, ok := s.regs[reg.ID]; !ok {
+		s.mu.Unlock()
 		return fmt.Errorf("%w: %d", ErrUnknownRegistration, reg.ID)
 	}
-	delete(a.regs, reg.ID)
-	a.mu.Unlock()
+	delete(s.regs, reg.ID)
+	s.mu.Unlock()
 	if err := a.nic.DeregisterMemory(reg.Handle); err != nil {
 		_ = reg.lock.Unlock()
 		return err
@@ -125,9 +148,14 @@ func (a *Agent) DeregisterMem(reg *Registration) error {
 
 // Registrations reports how many registrations are live.
 func (a *Agent) Registrations() int {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return len(a.regs)
+	n := 0
+	for i := range a.shards {
+		s := &a.shards[i]
+		s.mu.Lock()
+		n += len(s.regs)
+		s.mu.Unlock()
+	}
+	return n
 }
 
 // ConsistentPages probes how many of the registration's pages are still

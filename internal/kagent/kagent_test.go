@@ -2,6 +2,7 @@ package kagent
 
 import (
 	"errors"
+	"sync"
 	"testing"
 
 	"repro/internal/core"
@@ -188,6 +189,55 @@ func TestDMAVisibilityThroughRegistration(t *testing.T) {
 	}
 	if string(got) != string(msg) {
 		t.Fatalf("process sees %q", got)
+	}
+}
+
+func TestConcurrentRegistrations(t *testing.T) {
+	// Many goroutines register and deregister independent ranges at once;
+	// the sharded registration table must neither lose nor leak records.
+	meter := simtime.NewMeter()
+	k := mm.NewKernel(mm.Config{RAMPages: 512, SwapPages: 1024, ClockBatch: 64, SwapBatch: 16}, meter)
+	nic := via.NewNIC("node", k.Phys(), meter, 256)
+	agent := New(k, nic, core.MustNew(core.StrategyKiobuf))
+	as := k.CreateProcess("app", false)
+
+	const workers = 8
+	const rounds = 40
+	addrs := make([]pgtable.VAddr, workers)
+	for w := range addrs {
+		addr, err := k.MMap(as, 2, vma.Read|vma.Write)
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[w] = addr
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				reg, err := agent.RegisterMem(as, addrs[w], 2*phys.PageSize, testTag, via.MemAttrs{})
+				if err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+				if err := agent.DeregisterMem(reg); err != nil {
+					t.Errorf("worker %d: dereg: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := agent.Registrations(); got != 0 {
+		t.Fatalf("%d registrations leaked", got)
+	}
+	if got := nic.Regions(); got != 0 {
+		t.Fatalf("%d NIC regions leaked", got)
+	}
+	if err := k.CheckInvariants(); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -1,0 +1,76 @@
+package regcache
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/kagent"
+	"repro/internal/mm"
+	"repro/internal/phys"
+	"repro/internal/proc"
+	"repro/internal/simtime"
+	"repro/internal/via"
+	"repro/internal/vipl"
+)
+
+// benchRig is newRig without the *testing.T plumbing so benchmarks can
+// build nodes too.
+func benchRig(tptSlots, ramPages int) (*proc.Process, *vipl.Nic) {
+	meter := simtime.NewMeter()
+	k := mm.NewKernel(mm.Config{RAMPages: ramPages, SwapPages: 2 * ramPages, ClockBatch: 64, SwapBatch: 16}, meter)
+	n := via.NewNIC("bench", k.Phys(), meter, tptSlots)
+	agent := kagent.New(k, n, core.MustNew(core.StrategyKiobuf))
+	p := proc.New(k, "bench", false)
+	return p, vipl.OpenNic(agent, p)
+}
+
+// BenchmarkConcurrentMixed is the regression guard for the concurrent
+// Acquire/Release fast path: every worker hammers a shared hot set
+// (cache hits) and cycles a private buffer set through a capped cache
+// (misses + evictions).  Run with -cpu 1,2,4,8,16 to see scaling.
+func BenchmarkConcurrentMixed(b *testing.B) {
+	const (
+		hotBufs     = 64
+		privPerProc = 4
+	)
+	p, nic := benchRig(16384, 16384)
+	cache := New(nic, hotBufs+16)
+
+	hot := make([]*proc.Buffer, hotBufs)
+	for i := range hot {
+		var err error
+		if hot[i], err = p.Malloc(phys.PageSize); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var nextWorker atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		id := int(nextWorker.Add(1))
+		priv := make([]*proc.Buffer, privPerProc)
+		for i := range priv {
+			var err error
+			if priv[i], err = p.Malloc(phys.PageSize); err != nil {
+				b.Fatal(err)
+			}
+		}
+		i := 0
+		for pb.Next() {
+			var buf *proc.Buffer
+			if i%16 == 15 {
+				buf = priv[i%privPerProc]
+			} else {
+				buf = hot[(i*7+id)%hotBufs]
+			}
+			reg, err := cache.Acquire(buf, 0, buf.Bytes, via.MemAttrs{}, ClassUser)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := cache.Release(reg); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+}

@@ -5,6 +5,18 @@
 // CHEMPI article adds the eviction rule implemented here — when TPT
 // space runs out, evict the region "with the smallest probability for
 // reuse", i.e. plain user buffers before persistent/library buffers.
+//
+// Concurrency semantics (see DESIGN.md §"Registration-cache concurrency"):
+//
+//   - Misses are single-flight: N concurrent Acquires of one
+//     (addr, length, attrs) key perform exactly one kernel registration;
+//     the other N−1 goroutines wait for it and share the region.  A
+//     failed registration is propagated to every waiter.
+//   - Release resolves the region through a reverse index in O(1) and
+//     returns typed errors (ErrDoubleRelease, ErrUnknownRegion).
+//   - Deregistration (eviction, flush) happens outside the cache lock so
+//     the slow NIC/kernel path never blocks concurrent hits; eviction
+//     deregistration failures are counted in Stats.EvictErrors.
 package regcache
 
 import (
@@ -60,10 +72,11 @@ const (
 
 // Stats counts cache behaviour.
 type Stats struct {
-	Hits      uint64 // Acquire satisfied from the cache
-	Misses    uint64 // Acquire had to register
-	Evictions uint64 // cached regions deregistered to make room
-	Failures  uint64 // registrations that failed even after eviction
+	Hits        uint64 // Acquire satisfied from the cache (incl. waiters)
+	Misses      uint64 // Acquire had to register (single-flight leaders)
+	Evictions   uint64 // cached regions dropped to make room
+	Failures    uint64 // registrations that failed even after eviction
+	EvictErrors uint64 // evicted regions whose deregistration failed
 }
 
 // key identifies a cacheable registration.
@@ -73,12 +86,19 @@ type key struct {
 	attrs  via.MemAttrs
 }
 
+// entry is one cache slot.  While a registration is in flight the entry
+// is a placeholder: region is nil and ready is the channel the
+// single-flight leader closes once the kernel call finishes (err is set
+// first on failure).  A materialized entry has ready == nil.
 type entry struct {
 	key     key
 	class   Class
 	region  *vipl.MemRegion
-	refs    int           // active holders
+	refs    int           // active holders (the in-flight leader counts)
 	lruElem *list.Element // position in its class's LRU list (refs==0 only)
+
+	ready chan struct{} // single-flight: closed when registration settles
+	err   error         // single-flight: leader's failure, read after ready
 }
 
 // Cache is a registration cache for one process's NIC handle.
@@ -91,19 +111,36 @@ type Cache struct {
 	maxRegions int
 	policy     Policy
 	entries    map[key]*entry
+	// regions is the reverse index: materialized region → entry, so
+	// Release is O(1) instead of scanning every entry under the lock.
+	regions map[*vipl.MemRegion]*entry
 	// One LRU list per class; eviction scans classes in order.  Under
 	// PolicyGlobalLRU every entry lives on list 0.
 	lru   [3]*list.List
 	stats Stats
 }
 
-// ErrBusy reports an eviction attempt that found only in-use regions.
-var ErrBusy = errors.New("regcache: all cached regions are in use")
+// Errors returned by the cache.
+var (
+	// ErrBusy reports an eviction attempt that found only in-use regions.
+	ErrBusy = errors.New("regcache: all cached regions are in use")
+	// ErrDoubleRelease reports a Release of a region that is cached but
+	// has no active holders.
+	ErrDoubleRelease = errors.New("regcache: release of idle region")
+	// ErrUnknownRegion reports a Release of a region the cache does not
+	// hold (never acquired, or already evicted).
+	ErrUnknownRegion = errors.New("regcache: release of unknown region")
+)
 
 // New creates a cache over the NIC handle.  maxRegions bounds the cache
 // (0 = unbounded, rely on TPT capacity).
 func New(nic *vipl.Nic, maxRegions int) *Cache {
-	c := &Cache{nic: nic, maxRegions: maxRegions, entries: make(map[key]*entry)}
+	c := &Cache{
+		nic:        nic,
+		maxRegions: maxRegions,
+		entries:    make(map[key]*entry),
+		regions:    make(map[*vipl.MemRegion]*entry),
+	}
 	for i := range c.lru {
 		c.lru[i] = list.New()
 	}
@@ -132,103 +169,148 @@ func (c *Cache) Stats() Stats {
 	return c.stats
 }
 
-// Len reports the number of cached regions (in use or idle).
+// Len reports the number of cached regions (in use, idle, or in flight).
 func (c *Cache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.entries)
 }
 
+// holdLocked records another active holder of a materialized entry.
+func (c *Cache) holdLocked(e *entry, class Class) {
+	e.refs++
+	if e.lruElem != nil {
+		c.lru[c.lruIndex(e.class)].Remove(e.lruElem)
+		e.lruElem = nil
+	}
+	// Reuse upgrades the class estimate (a reused "user" buffer behaves
+	// like a persistent one).
+	if class > e.class {
+		e.class = class
+	}
+}
+
 // Acquire returns a registration covering [off, off+length) of the
 // buffer, registering it on a miss.  The caller must call Release when
 // the transfer completes; the registration then stays cached for reuse
 // until evicted.
+//
+// Concurrent misses on one key are single-flight: the first goroutine
+// registers, the rest wait on the in-flight registration and share its
+// region (or its error).
 func (c *Cache) Acquire(b *proc.Buffer, off, length int, attrs via.MemAttrs, class Class) (*vipl.MemRegion, error) {
 	k := key{addr: b.Addr + pgtable.VAddr(off), length: length, attrs: attrs}
 
-	c.mu.Lock()
-	if e, ok := c.entries[k]; ok {
-		e.refs++
-		if e.lruElem != nil {
-			c.lru[c.lruIndex(e.class)].Remove(e.lruElem)
-			e.lruElem = nil
-		}
-		// Reuse upgrades the class estimate (a reused "user" buffer
-		// behaves like a persistent one).
-		if class > e.class {
-			e.class = class
-		}
-		c.stats.Hits++
-		c.mu.Unlock()
-		return e.region, nil
-	}
-	c.stats.Misses++
-	c.mu.Unlock()
-
-	region, err := c.registerWithEviction(b, off, length, attrs)
-	if err != nil {
+	for {
 		c.mu.Lock()
-		c.stats.Failures++
-		c.mu.Unlock()
-		return nil, err
-	}
-
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if e, ok := c.entries[k]; ok {
-		// Lost a race with a concurrent Acquire: keep theirs.
-		e.refs++
-		if e.lruElem != nil {
-			c.lru[c.lruIndex(e.class)].Remove(e.lruElem)
-			e.lruElem = nil
+		if e, ok := c.entries[k]; ok {
+			if e.ready != nil {
+				// Registration in flight: wait for the leader.
+				ready := e.ready
+				c.mu.Unlock()
+				<-ready
+				c.mu.Lock()
+				if e.err != nil {
+					c.mu.Unlock()
+					return nil, e.err
+				}
+				if c.entries[k] == e {
+					c.holdLocked(e, class)
+					c.stats.Hits++
+					c.mu.Unlock()
+					return e.region, nil
+				}
+				// Materialized and already evicted in the window before we
+				// re-took the lock: start over.
+				c.mu.Unlock()
+				continue
+			}
+			c.holdLocked(e, class)
+			c.stats.Hits++
+			c.mu.Unlock()
+			return e.region, nil
 		}
-		go func() { _ = c.nic.DeregisterMem(region) }()
-		return e.region, nil
+
+		// Miss: become the single-flight leader.  The placeholder keeps
+		// followers out of the kernel; refs==1 keeps eviction away.
+		e := &entry{key: k, class: class, refs: 1, ready: make(chan struct{})}
+		c.entries[k] = e
+		c.stats.Misses++
+		c.mu.Unlock()
+
+		region, err := c.registerWithEviction(b, off, length, attrs)
+
+		c.mu.Lock()
+		ready := e.ready
+		e.ready = nil
+		if err != nil {
+			e.err = err
+			delete(c.entries, k)
+			c.stats.Failures++
+			close(ready)
+			c.mu.Unlock()
+			return nil, err
+		}
+		e.region = region
+		c.regions[region] = e
+		victims := c.collectOverCapLocked()
+		close(ready)
+		c.mu.Unlock()
+		c.deregisterEvicted(victims)
+		return region, nil
 	}
-	c.entries[k] = &entry{key: k, class: class, region: region, refs: 1}
-	return region, nil
 }
 
 // Release marks a transfer over the region finished.  The registration
-// stays cached (idle) until capacity pressure evicts it.
+// stays cached (idle) until capacity pressure evicts it.  Releasing a
+// region twice returns ErrDoubleRelease; releasing a region the cache
+// does not hold returns ErrUnknownRegion.
 func (c *Cache) Release(r *vipl.MemRegion) error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	for _, e := range c.entries {
-		if e.region == r {
-			if e.refs <= 0 {
-				return fmt.Errorf("regcache: release of idle region")
-			}
-			e.refs--
-			if e.refs == 0 {
-				e.lruElem = c.lru[c.lruIndex(e.class)].PushBack(e)
-				c.enforceCapLocked()
-			}
-			return nil
-		}
+	e, ok := c.regions[r]
+	if !ok {
+		c.mu.Unlock()
+		return ErrUnknownRegion
 	}
-	return fmt.Errorf("regcache: release of unknown region")
+	if e.refs <= 0 {
+		c.mu.Unlock()
+		return ErrDoubleRelease
+	}
+	e.refs--
+	var victims []*entry
+	if e.refs == 0 {
+		e.lruElem = c.lru[c.lruIndex(e.class)].PushBack(e)
+		victims = c.collectOverCapLocked()
+	}
+	c.mu.Unlock()
+	c.deregisterEvicted(victims)
+	return nil
 }
 
 // Flush deregisters every idle cached region and reports how many were
-// dropped.  In-use regions are left alone.
+// dropped.  In-use and in-flight regions are left alone.
 func (c *Cache) Flush() (int, error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	dropped := 0
-	var firstErr error
+	var victims []*entry
 	for idx := range c.lru {
 		for c.lru[idx].Len() > 0 {
-			if err := c.evictOneLocked(idx); err != nil {
-				if firstErr == nil {
-					firstErr = err
-				}
-				break
-			}
-			dropped++
+			victims = append(victims, c.unlinkVictimLocked(idx))
 		}
 	}
-	return dropped, firstErr
+	c.mu.Unlock()
+
+	var firstErr error
+	for _, v := range victims {
+		if err := c.nic.DeregisterMem(v.region); err != nil {
+			c.mu.Lock()
+			c.stats.EvictErrors++
+			c.mu.Unlock()
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return len(victims), firstErr
 }
 
 // registerWithEviction registers the range, evicting idle cached regions
@@ -248,48 +330,80 @@ func (c *Cache) registerWithEviction(b *proc.Buffer, off, length int, attrs via.
 	}
 }
 
-// evictAny evicts one idle region, preferring the lowest class.
+// evictAny evicts one idle region, preferring the lowest class.  The
+// deregistration happens outside the cache lock.
 func (c *Cache) evictAny() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	var victim *entry
 	for idx := range c.lru {
 		if c.lru[idx].Len() > 0 {
-			return c.evictOneLocked(idx)
+			victim = c.unlinkVictimLocked(idx)
+			break
 		}
 	}
-	return ErrBusy
+	c.mu.Unlock()
+	if victim == nil {
+		return ErrBusy
+	}
+	if err := c.nic.DeregisterMem(victim.region); err != nil {
+		c.mu.Lock()
+		c.stats.EvictErrors++
+		c.mu.Unlock()
+		return err
+	}
+	return nil
 }
 
-// enforceCapLocked trims idle regions beyond maxRegions.
-func (c *Cache) enforceCapLocked() {
+// collectOverCapLocked unlinks idle regions beyond maxRegions (cheapest
+// class first) and returns them for deregistration outside the lock.
+func (c *Cache) collectOverCapLocked() []*entry {
 	if c.maxRegions <= 0 {
-		return
+		return nil
 	}
+	var victims []*entry
 	for len(c.entries) > c.maxRegions {
-		evicted := false
+		unlinked := false
 		for idx := range c.lru {
 			if c.lru[idx].Len() > 0 {
-				if err := c.evictOneLocked(idx); err == nil {
-					evicted = true
-				}
+				victims = append(victims, c.unlinkVictimLocked(idx))
+				unlinked = true
 				break
 			}
 		}
-		if !evicted {
-			return // everything in use; nothing to trim
+		if !unlinked {
+			break // everything in use or in flight; nothing to trim
 		}
 	}
+	return victims
 }
 
-// evictOneLocked drops the least-recently-used idle region of the list.
-func (c *Cache) evictOneLocked(idx int) error {
-	elem := c.lru[idx].Front()
-	if elem == nil {
-		return ErrBusy
-	}
-	e := elem.Value.(*entry)
-	c.lru[idx].Remove(elem)
+// unlinkVictimLocked removes the least-recently-used idle entry of the
+// list from all indices.  The caller deregisters the region afterwards,
+// outside the lock.
+func (c *Cache) unlinkVictimLocked(idx int) *entry {
+	e := c.lru[idx].Remove(c.lru[idx].Front()).(*entry)
+	e.lruElem = nil
 	delete(c.entries, e.key)
+	delete(c.regions, e.region)
 	c.stats.Evictions++
-	return c.nic.DeregisterMem(e.region)
+	return e
+}
+
+// deregisterEvicted drops evicted regions on the NIC, counting failures
+// in Stats.EvictErrors.  Runs outside the cache lock.
+func (c *Cache) deregisterEvicted(victims []*entry) {
+	if len(victims) == 0 {
+		return
+	}
+	var failed uint64
+	for _, v := range victims {
+		if err := c.nic.DeregisterMem(v.region); err != nil {
+			failed++
+		}
+	}
+	if failed > 0 {
+		c.mu.Lock()
+		c.stats.EvictErrors += failed
+		c.mu.Unlock()
+	}
 }

@@ -266,16 +266,23 @@ func TestReleaseErrors(t *testing.T) {
 	if err := c.Release(reg); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Release(reg); err == nil {
-		t.Fatal("double release accepted")
+	if err := c.Release(reg); !errors.Is(err, ErrDoubleRelease) {
+		t.Fatalf("double release: err = %v, want ErrDoubleRelease", err)
 	}
 	// A region the cache never saw.
 	foreign, err := r.nic.RegisterMemRange(b, 0, b.Bytes, via.MemAttrs{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Release(foreign); err == nil {
-		t.Fatal("foreign region accepted")
+	if err := c.Release(foreign); !errors.Is(err, ErrUnknownRegion) {
+		t.Fatalf("foreign region: err = %v, want ErrUnknownRegion", err)
+	}
+	// An evicted region is unknown too.
+	if _, err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Release(reg); !errors.Is(err, ErrUnknownRegion) {
+		t.Fatalf("evicted region: err = %v, want ErrUnknownRegion", err)
 	}
 }
 

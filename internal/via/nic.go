@@ -104,12 +104,15 @@ func (n *NIC) RegisterMemory(pages []phys.Addr, offset, length int, tag Protecti
 	return h, nil
 }
 
-// DeregisterMemory invalidates a handle's TPT slots.
+// DeregisterMemory invalidates a handle's TPT slots.  Like registration,
+// it costs one TPT update per page: every slot of the region must be
+// invalidated individually.
 func (n *NIC) DeregisterMemory(h MemHandle) error {
-	if err := n.tpt.deregister(h); err != nil {
+	slots, err := n.tpt.deregister(h)
+	if err != nil {
 		return err
 	}
-	n.meter.Charge(n.meter.Costs.TPTUpdate)
+	n.meter.ChargeN(n.meter.Costs.TPTUpdate, slots)
 	return nil
 }
 

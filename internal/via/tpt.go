@@ -121,13 +121,14 @@ func (t *tpt) register(pages []phys.Addr, offset, length int, tag ProtectionTag,
 	return h, nil
 }
 
-// deregister invalidates the region's slots and frees the handle.
-func (t *tpt) deregister(h MemHandle) error {
+// deregister invalidates the region's slots and frees the handle,
+// reporting how many TPT slots were invalidated.
+func (t *tpt) deregister(h MemHandle) (int, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	r, ok := t.regions[h]
 	if !ok {
-		return fmt.Errorf("%w: %d", ErrBadHandle, h)
+		return 0, fmt.Errorf("%w: %d", ErrBadHandle, h)
 	}
 	for _, s := range r.slots {
 		t.entries[s] = tptEntry{}
@@ -135,7 +136,7 @@ func (t *tpt) deregister(h MemHandle) error {
 	}
 	r.released = true
 	delete(t.regions, h)
-	return nil
+	return len(r.slots), nil
 }
 
 // translate resolves (handle, byte offset) to a physical address after

@@ -114,8 +114,13 @@ func TestTPTRandomOps(t *testing.T) {
 				if len(regs) > 0 {
 					i := rng.Intn(len(regs))
 					r := regs[i]
-					if err := tb.deregister(r.h); err != nil {
+					freed, err := tb.deregister(r.h)
+					if err != nil {
 						t.Log(err)
+						return false
+					}
+					if freed != len(r.pages) {
+						t.Logf("deregister freed %d slots, want %d", freed, len(r.pages))
 						return false
 					}
 					used -= len(r.pages)

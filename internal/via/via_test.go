@@ -541,3 +541,21 @@ func TestVirtualTimeChargedOnTransfer(t *testing.T) {
 		t.Fatalf("elapsed %v < floor %v", elapsed, min)
 	}
 }
+
+func TestDeregisterChargedPerPage(t *testing.T) {
+	// Deregistration invalidates one TPT slot per page, so its cost must
+	// scale with region size exactly as registration does.
+	r := newRig(t)
+	meter := r.nicA.meter
+	for _, pages := range []int{1, 5, 16} {
+		h, _ := regFrames(t, r.nicA, r.memA, pages, tagA, MemAttrs{})
+		before := meter.Now()
+		if err := r.nicA.DeregisterMemory(h); err != nil {
+			t.Fatal(err)
+		}
+		want := meter.Costs.TPTUpdate * simtime.Duration(pages)
+		if got := meter.Now() - before; got != want {
+			t.Fatalf("dereg of %d pages charged %v, want %v", pages, got, want)
+		}
+	}
+}

@@ -63,6 +63,9 @@ func (r *MemRegion) Length() int { return r.reg.Length }
 // Addr returns the registered base virtual address.
 func (r *MemRegion) Addr() pgtable.VAddr { return r.reg.Addr }
 
+// PageCount reports how many pages (TPT slots) the region occupies.
+func (r *MemRegion) PageCount() int { return len(r.reg.Pages()) }
+
 // Registration exposes the kernel agent record (diagnostics).
 func (r *MemRegion) Registration() *kagent.Registration { return r.reg }
 
