@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	viabench -table=regcost|deregcost|survival|protocols|regcache|regconc|multireg|divergence|all
+//	viabench -table=regcost|deregcost|survival|protocols|regcache|regconc|multireg|divergence|msgrate|all
 package main
 
 import (
@@ -32,8 +32,9 @@ func main() {
 		"latency":    bench.Latency,
 		"ablation":   bench.Ablations,
 		"bigphys":    bench.Bigphys,
+		"msgrate":    bench.MsgRate,
 	}
-	order := []string{"regcost", "deregcost", "survival", "protocols", "regcache", "regconc", "multireg", "divergence", "piodma", "latency", "ablation", "bigphys"}
+	order := []string{"regcost", "deregcost", "survival", "protocols", "regcache", "regconc", "multireg", "divergence", "piodma", "latency", "ablation", "bigphys", "msgrate"}
 
 	run := func(name string) {
 		if err := runners[name](os.Stdout); err != nil {

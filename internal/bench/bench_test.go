@@ -251,6 +251,31 @@ func TestRegConcOutput(t *testing.T) {
 	}
 }
 
+func TestMsgRatePointShape(t *testing.T) {
+	kmsg, simUS, err := msgRatePoint(4, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kmsg <= 0 {
+		t.Fatalf("rate %v kmsg/s", kmsg)
+	}
+	if simUS <= 0 {
+		t.Fatalf("virtual cost %v µs/msg", simUS)
+	}
+}
+
+func TestMsgRateOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock sweep")
+	}
+	out := sweepOutput(t, func(w *strings.Builder) error { return MsgRate(w) })
+	for _, want := range []string{"E16", "VIs", "kmsg/s"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
 func TestProtocolPointShapes(t *testing.T) {
 	// Cold zero-copy must lose to eager at 4 KiB and win at 1 MiB (warm).
 	eagerSmall, err := protocolPoint(4<<10, "eager", true)

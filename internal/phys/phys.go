@@ -107,7 +107,7 @@ type Stats struct {
 
 // Memory is the physical memory of one simulated node.
 type Memory struct {
-	mu     sync.Mutex
+	mu     sync.RWMutex
 	frames []byte // nframes * PageSize backing bytes
 	pages  []Page // the page map
 	free   []PFN  // LIFO free list
@@ -358,8 +358,13 @@ func (m *Memory) PageInfo(pfn PFN) (Page, error) {
 // It is the bus-master read path of the simulated NIC: no page tables, no
 // protection — exactly like real DMA.
 func (m *Memory) ReadPhys(a Addr, buf []byte) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	// DMA data movement only needs the structural read lock (the frames
+	// array never moves): concurrent bus masters stream in parallel, as
+	// on a real memory bus, instead of serializing behind the page-map
+	// mutex.  Ordering between concurrent accesses to the same bytes is
+	// the callers' problem — exactly like hardware DMA.
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	if int(a)+len(buf) > len(m.frames) {
 		return ErrBadAddr
 	}
@@ -368,9 +373,10 @@ func (m *Memory) ReadPhys(a Addr, buf []byte) error {
 }
 
 // WritePhys copies buf to physical address a.  The bus-master write path.
+// Like ReadPhys it holds only the structural read lock during the copy.
 func (m *Memory) WritePhys(a Addr, buf []byte) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	if int(a)+len(buf) > len(m.frames) {
 		return ErrBadAddr
 	}

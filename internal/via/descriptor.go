@@ -53,6 +53,9 @@ const (
 	StatusConnectionError
 	// StatusCancelled means the descriptor was flushed off a queue.
 	StatusCancelled
+	// StatusQueueOverflow means the post found the engine's send queue
+	// full; the descriptor was never processed.
+	StatusQueueOverflow
 )
 
 func (s Status) String() string {
@@ -69,6 +72,8 @@ func (s Status) String() string {
 		return "connection-error"
 	case StatusCancelled:
 		return "cancelled"
+	case StatusQueueOverflow:
+		return "queue-overflow"
 	default:
 		return fmt.Sprintf("status(%d)", uint8(s))
 	}
@@ -118,9 +123,13 @@ type Descriptor struct {
 	// Transferred is the number of payload bytes moved.
 	Transferred int
 
-	// done is closed exactly once on completion.
-	done chan struct{}
-	once sync.Once
+	// mu guards the completion state so a Reset cannot tear the tail of
+	// a concurrent complete.  done is created lazily by Done/Wait: the
+	// synchronous fast path (poll Status after PostSend returns) never
+	// allocates a channel, so a reused descriptor costs nothing.
+	mu        sync.Mutex
+	completed bool
+	done      chan struct{}
 }
 
 // ErrDescriptorBusy reports a descriptor posted twice concurrently.
@@ -128,7 +137,7 @@ var ErrDescriptorBusy = errors.New("via: descriptor already posted")
 
 // NewDescriptor builds a descriptor for op over the given segments.
 func NewDescriptor(op Op, segs ...Segment) *Descriptor {
-	return &Descriptor{Op: op, Segs: segs, done: make(chan struct{})}
+	return &Descriptor{Op: op, Segs: segs}
 }
 
 // TotalLength sums the segment lengths.
@@ -140,36 +149,58 @@ func (d *Descriptor) TotalLength() int {
 	return n
 }
 
-// complete finalizes the descriptor.
+// complete finalizes the descriptor.  The first completion wins; later
+// calls are ignored.
 func (d *Descriptor) complete(st Status, transferred int) {
-	d.once.Do(func() {
-		d.Status = st
-		d.Transferred = transferred
+	d.mu.Lock()
+	if d.completed {
+		d.mu.Unlock()
+		return
+	}
+	d.Status = st
+	d.Transferred = transferred
+	d.completed = true
+	if d.done != nil {
 		close(d.done)
-	})
+	}
+	d.mu.Unlock()
 }
 
 // Done returns a channel closed when the descriptor completes.
-func (d *Descriptor) Done() <-chan struct{} { return d.done }
+func (d *Descriptor) Done() <-chan struct{} {
+	d.mu.Lock()
+	if d.done == nil {
+		d.done = make(chan struct{})
+		if d.completed {
+			close(d.done)
+		}
+	}
+	ch := d.done
+	d.mu.Unlock()
+	return ch
+}
 
 // Wait blocks until the descriptor completes and returns its status.
 func (d *Descriptor) Wait() Status {
-	<-d.done
+	<-d.Done()
 	return d.Status
 }
 
-// reset re-arms a completed descriptor for reuse (the descriptor-reuse
-// pattern VIA encourages for persistent operations).
+// Reset re-arms a completed descriptor for reuse (the descriptor-reuse
+// pattern VIA encourages for persistent operations).  It neither
+// allocates nor leaves a completion behind: the lock orders it after
+// the final store of a concurrent complete.
 func (d *Descriptor) Reset() {
-	select {
-	case <-d.done:
-	default:
-		// Still pending: refuse to reset silently; replace channels anyway
-		// would lose a completion.  Callers must only reset finished work.
+	d.mu.Lock()
+	if !d.completed {
+		d.mu.Unlock()
+		// Still pending: resetting would lose a completion.  Callers must
+		// only reset finished work.
 		panic("via: Reset on pending descriptor")
 	}
 	d.Status = StatusPending
 	d.Transferred = 0
-	d.done = make(chan struct{})
-	d.once = sync.Once{}
+	d.completed = false
+	d.done = nil
+	d.mu.Unlock()
 }

@@ -1,6 +1,9 @@
 package via
 
-import "sync"
+import (
+	"runtime"
+	"sync"
+)
 
 // The NIC's default descriptor processing is synchronous: PostSend runs
 // the DMA engine inline and the descriptor is complete on return, which
@@ -8,13 +11,26 @@ import "sync"
 // asynchronous — the doorbell enqueues work and the engine runs it in
 // the background while the CPU continues (the whole point of the E11
 // analysis).  StartEngine switches a NIC to that mode.
+//
+// The engine is multi-lane: a fixed set of worker goroutines, each
+// owning one bounded FIFO queue.  A VI is hashed to a lane by its id,
+// so one VI's descriptors are always processed by the same single
+// consumer in posting order — the VIA ordering rule — while
+// independent VIs proceed in parallel across lanes.
 
 // engine is the background descriptor processor.
 type engine struct {
-	mu      sync.Mutex
-	work    chan engineItem
-	done    chan struct{}
-	stopped chan struct{}
+	lanes []engineLane
+	wg    sync.WaitGroup
+}
+
+// engineLane is one worker's queue.  The mutex orders enqueues against
+// StopEngine's close so a post racing a stop can never write to a
+// closed channel.
+type engineLane struct {
+	mu     sync.Mutex
+	closed bool
+	ch     chan engineItem
 }
 
 type engineItem struct {
@@ -23,48 +39,57 @@ type engineItem struct {
 }
 
 // engineQueueDepth bounds the posted-but-unprocessed descriptor count
-// (the send-queue depth of the card).
+// per lane (the send-queue depth of the card).  A post finding its
+// lane full completes the descriptor with StatusQueueOverflow instead
+// of blocking the doorbell.
 const engineQueueDepth = 256
 
-// StartEngine switches the NIC to asynchronous descriptor processing:
-// PostSend returns as soon as the descriptor is enqueued, and the
-// engine goroutine processes descriptors in posting order.  Callers
-// learn about completion through Descriptor.Wait/Done or a CQ.
-func (n *NIC) StartEngine() {
+// maxEngineLanes caps the lane count; beyond the core count extra lanes
+// only add scheduling overhead.
+const maxEngineLanes = 64
+
+// StartEngine switches the NIC to asynchronous descriptor processing
+// with one lane per available CPU: PostSend returns as soon as the
+// descriptor is enqueued, and descriptors of one VI are processed in
+// posting order.  Callers learn about completion through
+// Descriptor.Wait/Done or a CQ.
+func (n *NIC) StartEngine() { n.StartEngineLanes(0) }
+
+// StartEngineLanes starts the engine with an explicit lane count
+// (values <= 0 select one lane per available CPU).  It is a no-op if
+// the engine is already running.
+func (n *NIC) StartEngineLanes(lanes int) {
+	if lanes <= 0 {
+		lanes = runtime.GOMAXPROCS(0)
+	}
+	if lanes > maxEngineLanes {
+		lanes = maxEngineLanes
+	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if n.eng != nil {
 		return
 	}
-	e := &engine{
-		work:    make(chan engineItem, engineQueueDepth),
-		done:    make(chan struct{}),
-		stopped: make(chan struct{}),
+	e := &engine{lanes: make([]engineLane, lanes)}
+	for i := range e.lanes {
+		e.lanes[i].ch = make(chan engineItem, engineQueueDepth)
 	}
 	n.eng = e
-	go func() {
-		defer close(e.stopped)
-		for {
-			select {
-			case item := <-e.work:
+	e.wg.Add(lanes)
+	for i := range e.lanes {
+		go func(ln *engineLane) {
+			defer e.wg.Done()
+			for item := range ln.ch {
 				n.process(item.vi, item.d)
-			case <-e.done:
-				// Drain what is already queued, then stop.
-				for {
-					select {
-					case item := <-e.work:
-						n.process(item.vi, item.d)
-					default:
-						return
-					}
-				}
 			}
-		}
-	}()
+		}(&e.lanes[i])
+	}
 }
 
-// StopEngine drains the queue, stops the engine goroutine and returns
-// the NIC to synchronous processing.
+// StopEngine drains the lane queues, stops the worker goroutines and
+// returns the NIC to synchronous processing.  Posts racing the stop
+// are processed inline after the drain (see dispatch), so no
+// descriptor is ever lost.
 func (n *NIC) StopEngine() {
 	n.mu.Lock()
 	e := n.eng
@@ -73,8 +98,14 @@ func (n *NIC) StopEngine() {
 	if e == nil {
 		return
 	}
-	close(e.done)
-	<-e.stopped
+	for i := range e.lanes {
+		ln := &e.lanes[i]
+		ln.mu.Lock()
+		ln.closed = true
+		close(ln.ch)
+		ln.mu.Unlock()
+	}
+	e.wg.Wait()
 }
 
 // EngineRunning reports whether asynchronous processing is active.
@@ -84,8 +115,41 @@ func (n *NIC) EngineRunning() bool {
 	return n.eng != nil
 }
 
+// EngineLanes reports the number of engine lanes (0 when synchronous).
+func (n *NIC) EngineLanes() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.eng == nil {
+		return 0
+	}
+	return len(n.eng.lanes)
+}
+
+// enqueue places the descriptor on the VI's lane.  It reports false
+// when the lane has been closed by a concurrent StopEngine — the
+// caller must then run the descriptor itself.  A full lane completes
+// the descriptor with StatusQueueOverflow (still reported true: the
+// descriptor has been dealt with).
+func (e *engine) enqueue(v *VI, d *Descriptor) bool {
+	ln := &e.lanes[v.id%len(e.lanes)]
+	ln.mu.Lock()
+	if ln.closed {
+		ln.mu.Unlock()
+		return false
+	}
+	select {
+	case ln.ch <- engineItem{vi: v, d: d}:
+		ln.mu.Unlock()
+		return true
+	default:
+	}
+	ln.mu.Unlock()
+	v.completeSend(d, StatusQueueOverflow, 0)
+	return true
+}
+
 // dispatch routes a posted descriptor either inline (synchronous mode)
-// or onto the engine queue.
+// or onto its VI's engine lane.
 func (n *NIC) dispatch(v *VI, d *Descriptor) {
 	n.mu.Lock()
 	e := n.eng
@@ -94,5 +158,12 @@ func (n *NIC) dispatch(v *VI, d *Descriptor) {
 		n.process(v, d)
 		return
 	}
-	e.work <- engineItem{vi: v, d: d}
+	if !e.enqueue(v, d) {
+		// Lost the race with StopEngine.  Wait for the lanes to finish
+		// draining so this VI's earlier descriptors complete first, then
+		// process inline — per-VI order holds and the completion is
+		// never lost.
+		e.wg.Wait()
+		n.process(v, d)
+	}
 }

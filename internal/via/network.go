@@ -76,8 +76,8 @@ func (nw *Network) Disconnect(v *VI) error {
 		v.mu.Unlock()
 		return ErrNotConnected
 	}
-	pending := v.recvQ
-	v.recvQ = nil
+	pending := v.recvQ[v.recvHead:]
+	v.recvQ, v.recvHead = nil, 0
 	v.peer = nil
 	v.state = VIIdle
 	v.mu.Unlock()
@@ -86,8 +86,8 @@ func (nw *Network) Disconnect(v *VI) error {
 	}
 	if peer != nil {
 		peer.mu.Lock()
-		ppending := peer.recvQ
-		peer.recvQ = nil
+		ppending := peer.recvQ[peer.recvHead:]
+		peer.recvQ, peer.recvHead = nil, 0
 		peer.peer = nil
 		peer.state = VIIdle
 		peer.mu.Unlock()

@@ -3,6 +3,7 @@ package via
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/phys"
 	"repro/internal/simtime"
@@ -21,17 +22,32 @@ type Stats struct {
 	ImmediateOnly  uint64 // descriptors served from immediate data alone
 }
 
+// nicCounters are the live statistics, one lock-free atomic per field so
+// the per-descriptor accounting (two or more bumps per send: sender and
+// receiver) never serializes concurrent data paths.
+type nicCounters struct {
+	sends          atomic.Uint64
+	recvs          atomic.Uint64
+	rdmaWrites     atomic.Uint64
+	rdmaReads      atomic.Uint64
+	bytesTX        atomic.Uint64
+	bytesRX        atomic.Uint64
+	tagViolations  atomic.Uint64
+	recvUnderflows atomic.Uint64
+	immediateOnly  atomic.Uint64
+}
+
 // NIC is one simulated VIA network interface controller.
 type NIC struct {
 	name  string
 	mem   *phys.Memory
 	meter *simtime.Meter
 	tpt   *tpt
+	ctr   nicCounters
 
 	mu     sync.Mutex
 	vis    map[int]*VI
 	nextVI int
-	stats  Stats
 	eng    *engine
 }
 
@@ -59,11 +75,22 @@ func NewNIC(name string, mem *phys.Memory, meter *simtime.Meter, tptSlots int) *
 // Name returns the NIC's name.
 func (n *NIC) Name() string { return n.name }
 
-// Stats returns a snapshot of NIC statistics.
+// Stats returns a snapshot of NIC statistics.  Every counter is read
+// atomically and counters only grow, so the snapshot is bounded between
+// the NIC's state when the call starts and when it returns; once the
+// NIC is quiescent the snapshot is exact.
 func (n *NIC) Stats() Stats {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.stats
+	return Stats{
+		Sends:          n.ctr.sends.Load(),
+		Recvs:          n.ctr.recvs.Load(),
+		RDMAWrites:     n.ctr.rdmaWrites.Load(),
+		RDMAReads:      n.ctr.rdmaReads.Load(),
+		BytesTX:        n.ctr.bytesTX.Load(),
+		BytesRX:        n.ctr.bytesRX.Load(),
+		TagViolations:  n.ctr.tagViolations.Load(),
+		RecvUnderflows: n.ctr.recvUnderflows.Load(),
+		ImmediateOnly:  n.ctr.immediateOnly.Load(),
+	}
 }
 
 // FreeTPTSlots reports the unused TPT capacity in pages.
@@ -136,32 +163,35 @@ func (n *NIC) DMAReadLocal(h MemHandle, off int, data []byte, tag ProtectionTag)
 	return n.tptCopy(h, off, data, tag, false, nil)
 }
 
-// tptCopy moves len(buf) bytes between buf and registered memory,
-// translating page by page so non-contiguous frames are handled.
+// tptCopy moves len(buf) bytes between buf and registered memory.  The
+// whole page run is resolved into physically contiguous extents under a
+// single TPT read-lock acquisition (a 64-page transfer costs one lock
+// round-trip, not 64), then copied extent by extent.
 func (n *NIC) tptCopy(h MemHandle, off int, buf []byte, tag ProtectionTag, write bool, needAttr func(MemAttrs) bool) error {
-	done := 0
-	for done < len(buf) {
-		cur := off + done
-		pa, err := n.tpt.translate(h, cur, tag, needAttr)
-		if err != nil {
-			return err
-		}
-		// Stay within the current page.
-		chunk := phys.PageSize - int(pa&phys.PageMask)
-		if chunk > len(buf)-done {
-			chunk = len(buf) - done
-		}
-		if write {
-			err = n.mem.WritePhys(pa, buf[done:done+chunk])
-		} else {
-			err = n.mem.ReadPhys(pa, buf[done:done+chunk])
-		}
-		if err != nil {
-			return err
-		}
-		done += chunk
+	if len(buf) == 0 {
+		return nil
 	}
-	return nil
+	ep := extentPool.Get().(*[]extent)
+	exts, err := n.tpt.translateRange(h, off, len(buf), tag, needAttr, (*ep)[:0])
+	if err != nil {
+		extentPool.Put(ep)
+		return err
+	}
+	pos := 0
+	for _, e := range exts {
+		if write {
+			err = n.mem.WritePhys(e.addr, buf[pos:pos+e.n])
+		} else {
+			err = n.mem.ReadPhys(e.addr, buf[pos:pos+e.n])
+		}
+		if err != nil {
+			break
+		}
+		pos += e.n
+	}
+	*ep = exts[:0]
+	extentPool.Put(ep)
+	return err
 }
 
 // process executes one send-queue descriptor synchronously (the DMA
@@ -180,21 +210,24 @@ func (n *NIC) process(v *VI, d *Descriptor) {
 	}
 }
 
-// gather collects a descriptor's local segments through the TPT.
-func (n *NIC) gather(v *VI, d *Descriptor) ([]byte, error) {
+// gather collects a descriptor's local segments through the TPT into a
+// pooled payload buffer.  The caller must release the returned token
+// with putPayload once the payload is no longer referenced.
+func (n *NIC) gather(v *VI, d *Descriptor) ([]byte, *payloadBuf, error) {
 	total := d.TotalLength()
 	if total == 0 {
-		return nil, nil
+		return nil, nil, nil
 	}
-	buf := make([]byte, total)
+	buf, pb := getPayload(total)
 	pos := 0
 	for _, s := range d.Segs {
 		if err := n.tptCopy(s.Handle, s.Offset, buf[pos:pos+s.Length], v.tag, false, nil); err != nil {
-			return nil, err
+			putPayload(pb)
+			return nil, nil, err
 		}
 		pos += s.Length
 	}
-	return buf, nil
+	return buf, pb, nil
 }
 
 // scatter distributes payload into a descriptor's local segments.
@@ -216,12 +249,6 @@ func (n *NIC) scatter(v *VI, d *Descriptor, payload []byte) error {
 	return nil
 }
 
-func (n *NIC) bumpStat(f func(*Stats)) {
-	n.mu.Lock()
-	f(&n.stats)
-	n.mu.Unlock()
-}
-
 // processSend implements the two-sided send/receive path: gather locally,
 // cross the wire, match the peer's receive descriptor, scatter remotely.
 func (n *NIC) processSend(v *VI, d *Descriptor) {
@@ -233,18 +260,19 @@ func (n *NIC) processSend(v *VI, d *Descriptor) {
 		return
 	}
 
-	payload, err := n.gather(v, d)
+	payload, pb, err := n.gather(v, d)
 	if err != nil {
-		n.bumpStat(func(s *Stats) { s.TagViolations++ })
+		n.ctr.tagViolations.Add(1)
 		v.completeSend(d, StatusProtectionError, 0)
 		return
 	}
+	defer putPayload(pb)
 	if payload == nil && d.HasImmediate {
 		// Immediate-only fast path: the four data bytes ride inside the
 		// descriptor, so the second DMA action (the data fetch) is saved
 		// entirely — the optimization the VIA spec provides for tiny
 		// payloads.
-		n.bumpStat(func(s *Stats) { s.ImmediateOnly++ })
+		n.ctr.immediateOnly.Add(1)
 	} else {
 		n.meter.Charge(n.meter.Costs.DMAStartup)
 		n.meter.ChargeN(n.meter.Costs.DMAPerByte, len(payload))
@@ -254,7 +282,7 @@ func (n *NIC) processSend(v *VI, d *Descriptor) {
 	rd := peer.popRecv()
 	if rd == nil {
 		// A send with no posted receive breaks a reliable connection.
-		peer.nic.bumpStat(func(s *Stats) { s.RecvUnderflows++ })
+		peer.nic.ctr.recvUnderflows.Add(1)
 		v.completeSend(d, StatusConnectionError, 0)
 		v.breakConnection()
 		return
@@ -274,7 +302,7 @@ func (n *NIC) processSend(v *VI, d *Descriptor) {
 		pn.meter.Charge(pn.meter.Costs.DMAStartup)
 	}
 	if err := pn.scatter(peer, rd, payload); err != nil {
-		pn.bumpStat(func(s *Stats) { s.TagViolations++ })
+		pn.ctr.tagViolations.Add(1)
 		peer.completeRecv(rd, StatusProtectionError, 0)
 		v.completeSend(d, StatusProtectionError, 0)
 		return
@@ -283,8 +311,10 @@ func (n *NIC) processSend(v *VI, d *Descriptor) {
 	rd.HasImmediate = d.HasImmediate
 	peer.completeRecv(rd, StatusSuccess, len(payload))
 	v.completeSend(d, StatusSuccess, len(payload))
-	n.bumpStat(func(s *Stats) { s.Sends++; s.BytesTX += uint64(len(payload)) })
-	pn.bumpStat(func(s *Stats) { s.Recvs++; s.BytesRX += uint64(len(payload)) })
+	n.ctr.sends.Add(1)
+	n.ctr.bytesTX.Add(uint64(len(payload)))
+	pn.ctr.recvs.Add(1)
+	pn.ctr.bytesRX.Add(uint64(len(payload)))
 }
 
 // processRDMAWrite implements the one-sided write: gather locally, check
@@ -298,12 +328,13 @@ func (n *NIC) processRDMAWrite(v *VI, d *Descriptor) {
 		v.completeSend(d, StatusConnectionError, 0)
 		return
 	}
-	payload, err := n.gather(v, d)
+	payload, pb, err := n.gather(v, d)
 	if err != nil {
-		n.bumpStat(func(s *Stats) { s.TagViolations++ })
+		n.ctr.tagViolations.Add(1)
 		v.completeSend(d, StatusProtectionError, 0)
 		return
 	}
+	defer putPayload(pb)
 	n.meter.Charge(n.meter.Costs.DMAStartup)
 	n.meter.ChargeN(n.meter.Costs.DMAPerByte, len(payload))
 	n.meter.Charge(n.meter.Costs.WireLatency)
@@ -312,13 +343,14 @@ func (n *NIC) processRDMAWrite(v *VI, d *Descriptor) {
 	err = pn.tptCopy(d.Remote.Handle, d.Remote.Offset, payload, peer.tag, true,
 		func(a MemAttrs) bool { return a.EnableRDMAWrite })
 	if err != nil {
-		pn.bumpStat(func(s *Stats) { s.TagViolations++ })
+		pn.ctr.tagViolations.Add(1)
 		v.completeSend(d, StatusProtectionError, 0)
 		return
 	}
 	v.completeSend(d, StatusSuccess, len(payload))
-	n.bumpStat(func(s *Stats) { s.RDMAWrites++; s.BytesTX += uint64(len(payload)) })
-	pn.bumpStat(func(s *Stats) { s.BytesRX += uint64(len(payload)) })
+	n.ctr.rdmaWrites.Add(1)
+	n.ctr.bytesTX.Add(uint64(len(payload)))
+	pn.ctr.bytesRX.Add(uint64(len(payload)))
 }
 
 // processRDMARead implements the one-sided read: fetch remote registered
@@ -333,13 +365,14 @@ func (n *NIC) processRDMARead(v *VI, d *Descriptor) {
 		return
 	}
 	total := d.TotalLength()
-	buf := make([]byte, total)
+	buf, pb := getPayload(total)
+	defer putPayload(pb)
 	n.meter.Charge(n.meter.Costs.WireLatency) // request
 	pn := peer.nic
 	err := pn.tptCopy(d.Remote.Handle, d.Remote.Offset, buf, peer.tag, false,
 		func(a MemAttrs) bool { return a.EnableRDMARead })
 	if err != nil {
-		pn.bumpStat(func(s *Stats) { s.TagViolations++ })
+		pn.ctr.tagViolations.Add(1)
 		v.completeSend(d, StatusProtectionError, 0)
 		return
 	}
@@ -347,11 +380,12 @@ func (n *NIC) processRDMARead(v *VI, d *Descriptor) {
 	pn.meter.ChargeN(pn.meter.Costs.DMAPerByte, total)
 	n.meter.Charge(n.meter.Costs.WireLatency) // response
 	if err := n.scatter(v, d, buf); err != nil {
-		n.bumpStat(func(s *Stats) { s.TagViolations++ })
+		n.ctr.tagViolations.Add(1)
 		v.completeSend(d, StatusProtectionError, 0)
 		return
 	}
 	v.completeSend(d, StatusSuccess, total)
-	n.bumpStat(func(s *Stats) { s.RDMAReads++; s.BytesRX += uint64(total) })
-	pn.bumpStat(func(s *Stats) { s.BytesTX += uint64(total) })
+	n.ctr.rdmaReads.Add(1)
+	n.ctr.bytesRX.Add(uint64(total))
+	pn.ctr.bytesTX.Add(uint64(total))
 }

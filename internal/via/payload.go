@@ -1,0 +1,54 @@
+package via
+
+import (
+	"math/bits"
+	"sync"
+
+	"repro/internal/phys"
+)
+
+// The data path stages every message payload through a bounce buffer
+// (the simulated equivalent of the DMA engine's streaming FIFO).  At
+// high message rates allocating that buffer per descriptor dominates
+// the path, so buffers up to maxPooledPayload are recycled through a
+// sync.Pool and the steady-state send/RDMA paths allocate nothing.
+const maxPooledPayload = 256 << 10
+
+// payloadBuf wraps the byte slice so pool round-trips stay pointer-sized
+// and allocation-free.
+type payloadBuf struct{ b []byte }
+
+var payloadPool = sync.Pool{New: func() any { return new(payloadBuf) }}
+
+// extentPool recycles the scratch extent slices tptCopy hands to
+// translateRange, keeping multi-page translations allocation-free too.
+var extentPool = sync.Pool{New: func() any { e := make([]extent, 0, 32); return &e }}
+
+// getPayload returns a zero-copy-capable buffer of length n plus the
+// pool token to release it with putPayload (nil token for unpooled
+// buffers).  Pooled buffers grow to the next power of two so a mix of
+// sizes converges instead of reallocating on every class change.
+func getPayload(n int) ([]byte, *payloadBuf) {
+	if n == 0 {
+		return nil, nil
+	}
+	if n > maxPooledPayload {
+		return make([]byte, n), nil
+	}
+	pb := payloadPool.Get().(*payloadBuf)
+	if cap(pb.b) < n {
+		c := 1 << bits.Len(uint(n-1))
+		if c < phys.PageSize {
+			c = phys.PageSize
+		}
+		pb.b = make([]byte, c)
+	}
+	return pb.b[:n], pb
+}
+
+// putPayload returns a pooled buffer; a nil token is a no-op.
+func putPayload(pb *payloadBuf) {
+	if pb != nil {
+		payloadPool.Put(pb)
+	}
+}

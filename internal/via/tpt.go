@@ -52,13 +52,12 @@ type tptEntry struct {
 
 // region describes one registered memory region.
 type region struct {
-	handle   MemHandle
-	slots    []int // TPT slot indices, one per page, in order
-	offset   int   // byte offset of the buffer start within the first page
-	length   int   // registered length in bytes
-	tag      ProtectionTag
-	attrs    MemAttrs
-	released bool
+	handle MemHandle
+	slots  []int // TPT slot indices, one per page, in order
+	offset int   // byte offset of the buffer start within the first page
+	length int   // registered length in bytes
+	tag    ProtectionTag
+	attrs  MemAttrs
 }
 
 // Errors reported by the TPT and the DMA paths.
@@ -71,14 +70,29 @@ var (
 	ErrRegionReleased = errors.New("via: memory handle already deregistered")
 )
 
+// tptTombstones bounds how many recently released handles the table
+// remembers so stale accesses report ErrRegionReleased rather than the
+// generic ErrBadHandle.
+const tptTombstones = 1024
+
 // tpt is the NIC's translation and protection table plus region
-// directory.  It is guarded by the owning NIC's lock.
+// directory.  Registration and deregistration take the write lock; the
+// data path (translateRange and friends) only ever takes the read lock,
+// so concurrent DMA translations never serialize against each other.
 type tpt struct {
-	mu      sync.Mutex
+	mu      sync.RWMutex
 	entries []tptEntry
 	free    []int // free slot indices (LIFO)
 	regions map[MemHandle]*region
 	nextH   MemHandle
+
+	// Tombstones for recently released handles: a bounded FIFO ring
+	// plus the membership set.  Handles are never reused, so a hit means
+	// the handle was valid once and has been deregistered since.
+	tombs    map[MemHandle]struct{}
+	tombRing [tptTombstones]MemHandle
+	tombLen  int
+	tombNext int
 }
 
 func newTPT(slots int) *tpt {
@@ -86,12 +100,27 @@ func newTPT(slots int) *tpt {
 		entries: make([]tptEntry, slots),
 		free:    make([]int, 0, slots),
 		regions: make(map[MemHandle]*region),
+		tombs:   make(map[MemHandle]struct{}),
 		nextH:   1,
 	}
 	for i := slots - 1; i >= 0; i-- {
 		t.free = append(t.free, i)
 	}
 	return t
+}
+
+// lookupLocked resolves a handle to its region, distinguishing a
+// recently released handle from one that never existed.  Callers hold
+// t.mu in either mode.
+func (t *tpt) lookupLocked(h MemHandle) (*region, error) {
+	r, ok := t.regions[h]
+	if ok {
+		return r, nil
+	}
+	if _, dead := t.tombs[h]; dead {
+		return nil, fmt.Errorf("%w: %d", ErrRegionReleased, h)
+	}
+	return nil, fmt.Errorf("%w: %d", ErrBadHandle, h)
 }
 
 // register enters the page list into the TPT and returns a handle.
@@ -122,32 +151,92 @@ func (t *tpt) register(pages []phys.Addr, offset, length int, tag ProtectionTag,
 }
 
 // deregister invalidates the region's slots and frees the handle,
-// reporting how many TPT slots were invalidated.
+// reporting how many TPT slots were invalidated.  The handle is
+// tombstoned so later accesses through it fail with ErrRegionReleased.
 func (t *tpt) deregister(h MemHandle) (int, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	r, ok := t.regions[h]
-	if !ok {
-		return 0, fmt.Errorf("%w: %d", ErrBadHandle, h)
+	r, err := t.lookupLocked(h)
+	if err != nil {
+		return 0, err
 	}
 	for _, s := range r.slots {
 		t.entries[s] = tptEntry{}
 		t.free = append(t.free, s)
 	}
-	r.released = true
 	delete(t.regions, h)
+	if t.tombLen == tptTombstones {
+		delete(t.tombs, t.tombRing[t.tombNext])
+	} else {
+		t.tombLen++
+	}
+	t.tombRing[t.tombNext] = h
+	t.tombNext = (t.tombNext + 1) % tptTombstones
+	t.tombs[h] = struct{}{}
 	return len(r.slots), nil
+}
+
+// extent is one physically contiguous run of a translated byte range.
+type extent struct {
+	addr phys.Addr
+	n    int
+}
+
+// translateRange resolves the byte range [off, off+length) of a handle
+// into physically contiguous extents under a single read-lock
+// acquisition, appending them to exts (pass a scratch slice to avoid
+// allocation).  Adjacent frames coalesce, so a transfer over physically
+// contiguous pages yields one extent.  The whole range is validated
+// before any extent is returned: tag, attributes and bounds — a DMA
+// either translates completely or not at all.
+func (t *tpt) translateRange(h MemHandle, off, length int, tag ProtectionTag, needAttr func(MemAttrs) bool, exts []extent) ([]extent, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	r, err := t.lookupLocked(h)
+	if err != nil {
+		return nil, err
+	}
+	if r.tag != tag {
+		return nil, fmt.Errorf("%w: region tag %d vs access tag %d", ErrTagMismatch, r.tag, tag)
+	}
+	if off < 0 || length < 0 || off+length > r.length {
+		return nil, fmt.Errorf("%w: range [%d,%d) of %d", ErrOutOfRegion, off, off+length, r.length)
+	}
+	if needAttr != nil && !needAttr(r.attrs) {
+		return nil, ErrRDMADisabled
+	}
+	abs := r.offset + off
+	for length > 0 {
+		slot := r.slots[abs/phys.PageSize]
+		e := &t.entries[slot]
+		if !e.valid {
+			return nil, fmt.Errorf("via: invalid TPT slot %d for handle %d", slot, h)
+		}
+		pa := e.frame + phys.Addr(abs&phys.PageMask)
+		n := phys.PageSize - abs&phys.PageMask
+		if n > length {
+			n = length
+		}
+		if k := len(exts) - 1; k >= 0 && exts[k].addr+phys.Addr(exts[k].n) == pa {
+			exts[k].n += n
+		} else {
+			exts = append(exts, extent{addr: pa, n: n})
+		}
+		abs += n
+		length -= n
+	}
+	return exts, nil
 }
 
 // translate resolves (handle, byte offset) to a physical address after
 // checking the protection tag.  needAttr selects the RDMA attribute an
 // incoming remote access must additionally satisfy (nil for local use).
 func (t *tpt) translate(h MemHandle, off int, tag ProtectionTag, needAttr func(MemAttrs) bool) (phys.Addr, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	r, ok := t.regions[h]
-	if !ok {
-		return 0, fmt.Errorf("%w: %d", ErrBadHandle, h)
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	r, err := t.lookupLocked(h)
+	if err != nil {
+		return 0, err
 	}
 	if r.tag != tag {
 		return 0, fmt.Errorf("%w: region tag %d vs access tag %d", ErrTagMismatch, r.tag, tag)
@@ -170,25 +259,25 @@ func (t *tpt) translate(h MemHandle, off int, tag ProtectionTag, needAttr func(M
 
 // regionLength reports the registered length of a handle.
 func (t *tpt) regionLength(h MemHandle) (int, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	r, ok := t.regions[h]
-	if !ok {
-		return 0, fmt.Errorf("%w: %d", ErrBadHandle, h)
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	r, err := t.lookupLocked(h)
+	if err != nil {
+		return 0, err
 	}
 	return r.length, nil
 }
 
 // freeSlots reports the number of unused TPT slots.
 func (t *tpt) freeSlots() int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	return len(t.free)
 }
 
 // regionCount reports how many regions are currently registered.
 func (t *tpt) regionCount() int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	return len(t.regions)
 }

@@ -50,7 +50,12 @@ type VI struct {
 	mu    sync.Mutex
 	state VIState
 	peer  *VI
-	recvQ []*Descriptor
+	// recvQ plus recvHead form a FIFO that recycles its backing array:
+	// popRecv advances recvHead instead of reslicing, and PostRecv
+	// compacts before growing, so a drained queue reuses its capacity
+	// and the steady-state receive path never allocates.
+	recvQ    []*Descriptor
+	recvHead int
 	// sendsInFlight is informational: descriptors posted but not complete.
 	sendsInFlight int
 
@@ -135,6 +140,13 @@ func (v *VI) PostRecv(d *Descriptor) error {
 	case VIIdle:
 		return ErrNotConnected
 	}
+	if v.recvHead > 0 && len(v.recvQ) == cap(v.recvQ) {
+		// Reclaim the popped prefix before growing the array.
+		n := copy(v.recvQ, v.recvQ[v.recvHead:])
+		clear(v.recvQ[n:])
+		v.recvQ = v.recvQ[:n]
+		v.recvHead = 0
+	}
 	v.recvQ = append(v.recvQ, d)
 	return nil
 }
@@ -180,18 +192,23 @@ func (v *VI) PostSend(d *Descriptor) error {
 func (v *VI) RecvQueueLen() int {
 	v.mu.Lock()
 	defer v.mu.Unlock()
-	return len(v.recvQ)
+	return len(v.recvQ) - v.recvHead
 }
 
 // popRecv takes the head of the receive queue (nil when empty).
 func (v *VI) popRecv() *Descriptor {
 	v.mu.Lock()
 	defer v.mu.Unlock()
-	if len(v.recvQ) == 0 {
+	if v.recvHead >= len(v.recvQ) {
 		return nil
 	}
-	d := v.recvQ[0]
-	v.recvQ = v.recvQ[1:]
+	d := v.recvQ[v.recvHead]
+	v.recvQ[v.recvHead] = nil
+	v.recvHead++
+	if v.recvHead == len(v.recvQ) {
+		v.recvQ = v.recvQ[:0]
+		v.recvHead = 0
+	}
 	return d
 }
 
@@ -201,8 +218,8 @@ func (v *VI) breakConnection() {
 	v.mu.Lock()
 	peer := v.peer
 	v.state = VIBroken
-	pending := v.recvQ
-	v.recvQ = nil
+	pending := v.recvQ[v.recvHead:]
+	v.recvQ, v.recvHead = nil, 0
 	v.mu.Unlock()
 	for _, d := range pending {
 		v.completeRecv(d, StatusCancelled, 0)
@@ -211,8 +228,8 @@ func (v *VI) breakConnection() {
 		peer.mu.Lock()
 		already := peer.state == VIBroken
 		peer.state = VIBroken
-		ppending := peer.recvQ
-		peer.recvQ = nil
+		ppending := peer.recvQ[peer.recvHead:]
+		peer.recvQ, peer.recvHead = nil, 0
 		peer.mu.Unlock()
 		if !already {
 			for _, d := range ppending {

@@ -88,7 +88,7 @@ func TestRegisterDeregister(t *testing.T) {
 	if got := r.nicA.FreeTPTSlots(); got != free {
 		t.Fatalf("slots leaked: %d of %d", got, free)
 	}
-	if err := r.nicA.DeregisterMemory(h); !errors.Is(err, ErrBadHandle) {
+	if err := r.nicA.DeregisterMemory(h); !errors.Is(err, ErrRegionReleased) {
 		t.Fatalf("double dereg err = %v", err)
 	}
 }
