@@ -33,8 +33,9 @@ func main() {
 		"ablation":   bench.Ablations,
 		"bigphys":    bench.Bigphys,
 		"msgrate":    bench.MsgRate,
+		"chaos":      bench.Chaos,
 	}
-	order := []string{"regcost", "deregcost", "survival", "protocols", "regcache", "regconc", "multireg", "divergence", "piodma", "latency", "ablation", "bigphys", "msgrate"}
+	order := []string{"regcost", "deregcost", "survival", "protocols", "regcache", "regconc", "multireg", "divergence", "piodma", "latency", "ablation", "bigphys", "msgrate", "chaos"}
 
 	run := func(name string) {
 		if err := runners[name](os.Stdout); err != nil {

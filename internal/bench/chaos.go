@@ -1,0 +1,516 @@
+package bench
+
+// E17: the chaos/soak harness.  Each fault class gets a fresh two-node
+// fabric with reliability-enabled msg endpoints and a deterministic
+// injector, then runs the ping-pong and burst (msgrate-shaped) workloads
+// under sustained faults.  The harness asserts the fabric either
+// delivers verified payloads or fails *loudly* with typed errors:
+//
+//   - zero silent corruptions — every delivered payload's pattern is
+//     verified end to end;
+//   - zero lost descriptors — every workload returns within a deadline
+//     (a descriptor that never reaches a terminal status strands its
+//     waiter), and a post-fault drain of more than one full ring of
+//     clean messages proves the slot/credit accounting survived;
+//   - zero goroutine leaks — leakcheck brackets every class.
+//
+// The run is seeded: the same binary replays the same fault schedule.
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/kagent"
+	"repro/internal/leakcheck"
+	"repro/internal/mm"
+	"repro/internal/msg"
+	"repro/internal/phys"
+	"repro/internal/proc"
+	"repro/internal/report"
+	"repro/internal/simtime"
+	"repro/internal/via"
+	"repro/internal/vipl"
+)
+
+const (
+	chaosSeed      = 17
+	chaosRounds    = 24                // ping-pong rounds per class
+	chaosBurstMsgs = 32                // burst messages per class
+	chaosDrainMsgs = msg.RingSlots + 2 // post-fault clean messages, each way
+	chaosDeadline  = 30 * time.Second  // per-class stall watchdog
+)
+
+// chaosClass is one fault regime.
+type chaosClass struct {
+	name       string
+	degradable bool         // registration faults degrade to eager, not fail
+	proto      msg.Protocol // forced A→B protocol ("" = mixed eager/one-copy)
+	relTimeout time.Duration
+	setup      func(f *chaosFabric)
+	// beforeRound optionally perturbs the fabric before a round (and
+	// once before the burst); it may return a cleanup func.
+	beforeRound func(f *chaosFabric, r int) func()
+	teardown    func(f *chaosFabric)
+}
+
+func chaosClasses() []chaosClass {
+	return []chaosClass{
+		{name: "dma", setup: func(f *chaosFabric) {
+			f.inj.FailProb(via.SiteDMA, 0.08, nil)
+		}},
+		{name: "tpt", setup: func(f *chaosFabric) {
+			f.inj.FailProb(via.SiteTPT, 0.08, nil)
+		}},
+		{name: "completion", setup: func(f *chaosFabric) {
+			f.inj.FailProb(via.SiteCompletion, 0.08, nil)
+		}},
+		{name: "link", setup: func(f *chaosFabric) {
+			f.inj.FailProb(via.SiteLink, 0.08, nil)
+		}},
+		{name: "partition", beforeRound: chaosPartition},
+		{name: "lane", relTimeout: 150 * time.Microsecond,
+			setup: func(f *chaosFabric) {
+				f.nicA.StartEngineLanes(2)
+				f.inj.StallProb(via.SiteLane, 0.25, 300*time.Microsecond)
+				f.inj.FailProb(via.SiteLane, 0.05, nil)
+			},
+			teardown: func(f *chaosFabric) { f.nicA.StopEngine() }},
+		{name: "nic-reset", beforeRound: func(f *chaosFabric, r int) func() {
+			if r%4 == 0 {
+				f.nicA.FaultReset()
+			}
+			return nil
+		}},
+		{name: "registration", degradable: true, proto: msg.OneCopy,
+			setup: func(f *chaosFabric) {
+				f.agentA.SetFaultInjector(f.inj)
+				f.inj.FailProb(kagent.SiteRegister, 0.5, nil)
+			}},
+		{name: "phys", beforeRound: chaosPhysFault},
+	}
+}
+
+// chaosPartition severs the link every other round and heals it as soon
+// as the partition has been observed (a NIC fault), so the sender's
+// bounded retries always get a healthy fabric to retransmit over.
+func chaosPartition(f *chaosFabric, r int) func() {
+	if r%2 != 0 {
+		return nil
+	}
+	before := f.nicA.Stats().Faults + f.nicB.Stats().Faults
+	f.nw.SetLinkDown("nodeA", "nodeB")
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		deadline := time.Now().Add(2 * time.Second)
+		for f.nicA.Stats().Faults+f.nicB.Stats().Faults == before &&
+			time.Now().Before(deadline) {
+			time.Sleep(50 * time.Microsecond)
+		}
+		f.nw.SetLinkUp("nodeA", "nodeB")
+	}()
+	return func() { <-done }
+}
+
+// chaosPhysFault arms a one-shot frame-write failure on the receiver's
+// physical memory every third round: the next NIC scatter into nodeB
+// faults mid-DMA and the stack must recover.  A fresh side injector
+// keeps the one-shot deterministic (site op counters are cumulative per
+// injector).
+func chaosPhysFault(f *chaosFabric, r int) func() {
+	if r%3 != 0 {
+		return nil
+	}
+	side := faultinject.New(chaosSeed + int64(r))
+	side.FailNth(phys.SiteWrite, 1, nil)
+	f.kernelB.Phys().SetFaultInjector(side)
+	return func() {
+		f.kernelB.Phys().SetFaultInjector(nil)
+		f.sideInjected += side.Stats().Total()
+	}
+}
+
+// chaosFabric is a self-contained two-node fabric for one class run.
+type chaosFabric struct {
+	meter            *simtime.Meter
+	kernelA, kernelB *mm.Kernel
+	procA, procB     *proc.Process
+	agentA, agentB   *kagent.Agent
+	epA, epB         *msg.Endpoint
+	nw               *via.Network
+	nicA, nicB       *via.NIC
+	inj              *faultinject.Injector
+	sideInjected     uint64 // injections from per-round side injectors
+}
+
+func newChaosFabric(seed int64, rel msg.ReliabilityConfig) (*chaosFabric, error) {
+	meter := simtime.NewMeter()
+	cfg := mm.Config{RAMPages: 4096, SwapPages: 8192, ClockBatch: 128, SwapBatch: 32}
+	f := &chaosFabric{
+		meter:   meter,
+		kernelA: mm.NewKernel(cfg, meter),
+		kernelB: mm.NewKernel(cfg, meter),
+	}
+	f.nw = via.NewNetwork()
+	f.nicA = via.NewNIC("nodeA", f.kernelA.Phys(), meter, 1024)
+	f.nicB = via.NewNIC("nodeB", f.kernelB.Phys(), meter, 1024)
+	if err := f.nw.Attach(f.nicA); err != nil {
+		return nil, err
+	}
+	if err := f.nw.Attach(f.nicB); err != nil {
+		return nil, err
+	}
+	f.agentA = kagent.New(f.kernelA, f.nicA, core.MustNew(core.StrategyKiobuf))
+	f.agentB = kagent.New(f.kernelB, f.nicB, core.MustNew(core.StrategyKiobuf))
+	f.procA = proc.New(f.kernelA, "chaos-a", false)
+	f.procB = proc.New(f.kernelB, "chaos-b", false)
+	var err error
+	if f.epA, err = msg.NewEndpoint("A", vipl.OpenNic(f.agentA, f.procA), meter, 0); err != nil {
+		return nil, err
+	}
+	if f.epB, err = msg.NewEndpoint("B", vipl.OpenNic(f.agentB, f.procB), meter, 0); err != nil {
+		return nil, err
+	}
+	if err := msg.Pair(f.nw, f.epA, f.epB); err != nil {
+		return nil, err
+	}
+	f.epA.EnableReliability(rel)
+	f.epB.EnableReliability(rel)
+	f.epA.Cache().EnableNICResetInvalidation()
+	f.inj = faultinject.New(seed)
+	f.nicA.SetFaultInjector(f.inj)
+	return f, nil
+}
+
+// oneWay runs a single verified transfer.  loudErr is a typed transport
+// failure (acceptable under chaos); fatalErr is a harness invariant
+// violation — above all, a silent corruption.
+func (f *chaosFabric) oneWay(from, to *msg.Endpoint, fromProc, toProc *proc.Process,
+	size int, proto msg.Protocol, seed byte, degradable bool) (degraded bool, loudErr, fatalErr error) {
+	src, err := fromProc.Malloc(size)
+	if err != nil {
+		return false, nil, err
+	}
+	dst, err := toProc.Malloc(size)
+	if err != nil {
+		return false, nil, err
+	}
+	defer func() {
+		_ = fromProc.Free(src)
+		_ = toProc.Free(dst)
+	}()
+	if err := src.FillPattern(seed); err != nil {
+		return false, nil, err
+	}
+	type sres struct {
+		deg bool
+		err error
+	}
+	sc := make(chan sres, 1)
+	go func() {
+		n, err := from.Send(src, proto)
+		deg := false
+		if err != nil && degradable && errors.Is(err, kagent.ErrRegistrationFault) {
+			// Graceful degradation: a registration failure leaves no
+			// receiver-visible state, so fall back to the eager
+			// (bounce-buffer) path that needs no new registration.
+			deg = true
+			n, err = from.Send(src, msg.Eager)
+		}
+		if err == nil && n != size {
+			err = fmt.Errorf("chaos: short send %d of %d", n, size)
+		}
+		sc <- sres{deg, err}
+	}()
+	n, rerr := to.Recv(dst)
+	s := <-sc
+	if s.err != nil || rerr != nil {
+		return s.deg, errors.Join(s.err, rerr), nil
+	}
+	if n != size {
+		return s.deg, nil, fmt.Errorf("chaos: claimed success but delivered %d of %d bytes", n, size)
+	}
+	bad, err := dst.VerifyPattern(seed)
+	if err != nil {
+		return s.deg, nil, err
+	}
+	if len(bad) != 0 {
+		return s.deg, nil, fmt.Errorf("chaos: silent corruption — %d bad pages %v", len(bad), bad)
+	}
+	return s.deg, nil, nil
+}
+
+// pingPong alternates A→B (mixed sizes/protocols, faulted side) with a
+// B→A eager pong every round.
+func (f *chaosFabric) pingPong(cl *chaosClass) (ok, loud, degraded int, err error) {
+	sizes := []int{512, 3000, 2*msg.SlotSize + 37}
+	for r := 0; r < chaosRounds; r++ {
+		var cleanup func()
+		if cl.beforeRound != nil {
+			cleanup = cl.beforeRound(f, r)
+		}
+		proto := msg.Eager
+		if r%3 == 1 {
+			proto = msg.OneCopy
+		}
+		if cl.proto != "" {
+			proto = cl.proto
+		}
+		deg, lerr, ferr := f.oneWay(f.epA, f.epB, f.procA, f.procB,
+			sizes[r%len(sizes)], proto, byte(2*r+1), cl.degradable)
+		if deg {
+			degraded++
+		}
+		if lerr != nil {
+			loud++
+		} else if ferr == nil {
+			ok++
+		}
+		if ferr == nil {
+			_, lerr2, ferr2 := f.oneWay(f.epB, f.epA, f.procB, f.procA,
+				512, msg.Eager, byte(2*r+2), false)
+			if lerr2 != nil {
+				loud++
+			} else if ferr2 == nil {
+				ok++
+			}
+			ferr = ferr2
+		}
+		if cleanup != nil {
+			cleanup()
+		}
+		if ferr != nil {
+			return ok, loud, degraded, fmt.Errorf("round %d: %w", r, ferr)
+		}
+	}
+	return ok, loud, degraded, nil
+}
+
+// burst is the msgrate-shaped soak: back-to-back small messages with a
+// concurrent receiver verifying every payload in order.
+func (f *chaosFabric) burst(cl *chaosClass) (ok, loud, degraded int, err error) {
+	var cleanup func()
+	if cl.beforeRound != nil {
+		cleanup = cl.beforeRound(f, 0)
+	}
+	defer func() {
+		if cleanup != nil {
+			cleanup()
+		}
+	}()
+	const size = 512
+	type rres struct {
+		ok, loud int
+		err      error
+	}
+	rc := make(chan rres, 1)
+	go func() {
+		var res rres
+		dst, err := f.procB.Malloc(size)
+		if err != nil {
+			res.err = err
+			rc <- res
+			return
+		}
+		defer func() { _ = f.procB.Free(dst) }()
+		for i := 0; i < chaosBurstMsgs; i++ {
+			n, err := f.epB.Recv(dst)
+			if err != nil {
+				res.loud++
+				continue
+			}
+			if n != size {
+				res.err = fmt.Errorf("chaos burst: message %d delivered %d of %d", i, n, size)
+				break
+			}
+			bad, verr := dst.VerifyPattern(byte(100 + i))
+			if verr != nil {
+				res.err = verr
+				break
+			}
+			if len(bad) != 0 {
+				res.err = fmt.Errorf("chaos burst: silent corruption in message %d, pages %v", i, bad)
+				break
+			}
+			res.ok++
+		}
+		rc <- res
+	}()
+
+	proto := msg.Eager
+	if cl.proto != "" {
+		proto = cl.proto
+	}
+	src, err := f.procA.Malloc(size)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer func() { _ = f.procA.Free(src) }()
+	for i := 0; i < chaosBurstMsgs; i++ {
+		if err := src.FillPattern(byte(100 + i)); err != nil {
+			return 0, 0, 0, err
+		}
+		_, serr := f.epA.Send(src, proto)
+		if serr != nil && cl.degradable && errors.Is(serr, kagent.ErrRegistrationFault) {
+			degraded++
+			_, serr = f.epA.Send(src, msg.Eager)
+		}
+		if serr != nil {
+			loud++
+		}
+	}
+	res := <-rc
+	if res.err != nil {
+		return res.ok, loud + res.loud, degraded, res.err
+	}
+	return res.ok, loud + res.loud, degraded, nil
+}
+
+// drain proves the fabric is whole after the faults stop: more than one
+// full ring of clean messages must flow each way with zero failures —
+// a lost descriptor, slot or credit would stall it.
+func (f *chaosFabric) drain() error {
+	for i := 0; i < chaosDrainMsgs; i++ {
+		_, lerr, ferr := f.oneWay(f.epA, f.epB, f.procA, f.procB,
+			1024, msg.Eager, byte(i+1), false)
+		if lerr != nil || ferr != nil {
+			return fmt.Errorf("drain A→B message %d: %w", i, errors.Join(lerr, ferr))
+		}
+		_, lerr, ferr = f.oneWay(f.epB, f.epA, f.procB, f.procA,
+			1024, msg.Eager, byte(i+101), false)
+		if lerr != nil || ferr != nil {
+			return fmt.Errorf("drain B→A message %d: %w", i, errors.Join(lerr, ferr))
+		}
+	}
+	return nil
+}
+
+// chaosResult is one class's scoreboard row.
+type chaosResult struct {
+	class              string
+	ok, loud, degraded int
+	injected           uint64
+	nic                via.Stats // nicA + nicB, summed
+	rel                msg.ReliabilityStats
+}
+
+func runChaosClass(cl chaosClass, idx int) (chaosResult, error) {
+	res := chaosResult{class: cl.name}
+	base := leakcheck.Snapshot()
+	rel := msg.ReliabilityConfig{
+		MaxRetries:  10,
+		Timeout:     cl.relTimeout,
+		BackoffBase: 50 * time.Microsecond,
+		BackoffMax:  2 * time.Millisecond,
+		Seed:        chaosSeed + int64(idx),
+	}
+	f, err := newChaosFabric(chaosSeed+int64(idx), rel)
+	if err != nil {
+		return res, err
+	}
+	if cl.setup != nil {
+		cl.setup(f)
+	}
+
+	err = chaosWatchdog(cl.name+" ping-pong", func() error {
+		ok, loud, deg, err := f.pingPong(&cl)
+		res.ok += ok
+		res.loud += loud
+		res.degraded += deg
+		return err
+	})
+	if err == nil {
+		err = chaosWatchdog(cl.name+" burst", func() error {
+			ok, loud, deg, berr := f.burst(&cl)
+			res.ok += ok
+			res.loud += loud
+			res.degraded += deg
+			return berr
+		})
+	}
+
+	// Stop injecting, then prove the fabric recovers completely.
+	f.nicA.SetFaultInjector(nil)
+	f.agentA.SetFaultInjector(nil)
+	if cl.teardown != nil {
+		cl.teardown(f)
+	}
+	if err == nil {
+		err = chaosWatchdog(cl.name+" drain", f.drain)
+	}
+	if err != nil {
+		return res, err
+	}
+
+	res.injected = f.inj.Stats().Total() + f.sideInjected
+	res.nic = sumStats(f.nicA.Stats(), f.nicB.Stats())
+	res.rel = sumRel(f.epA.ReliabilityStats(), f.epB.ReliabilityStats())
+	if res.injected == 0 && res.nic.Faults == 0 && res.degraded == 0 {
+		return res, fmt.Errorf("class %q injected nothing — the fault schedule is dead", cl.name)
+	}
+	if err := leakcheck.Verify(base, 5*time.Second); err != nil {
+		return res, fmt.Errorf("class %q: %w", cl.name, err)
+	}
+	return res, nil
+}
+
+// chaosWatchdog fails a workload that stops making progress: a blocked
+// Send/Recv means a descriptor never reached a terminal status.
+func chaosWatchdog(name string, fn func() error) error {
+	errc := make(chan error, 1)
+	go func() { errc <- fn() }()
+	select {
+	case err := <-errc:
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		return nil
+	case <-time.After(chaosDeadline):
+		return fmt.Errorf("%s: stalled > %v — lost descriptor or stranded waiter", name, chaosDeadline)
+	}
+}
+
+func sumStats(a, b via.Stats) via.Stats {
+	a.Faults += b.Faults
+	a.VIErrors += b.VIErrors
+	a.DescriptorsFlushed += b.DescriptorsFlushed
+	a.Recoveries += b.Recoveries
+	a.NICResets += b.NICResets
+	return a
+}
+
+func sumRel(a, b msg.ReliabilityStats) msg.ReliabilityStats {
+	a.Retries += b.Retries
+	a.Recoveries += b.Recoveries
+	a.AckRescues += b.AckRescues
+	a.Timeouts += b.Timeouts
+	a.Duplicates += b.Duplicates
+	a.Aborts += b.Aborts
+	return a
+}
+
+// Chaos regenerates E17: the per-fault-class chaos/soak scoreboard.
+func Chaos(w io.Writer) error {
+	t := report.Table{
+		Title: "E17: chaos/soak — per-fault-class recovery scoreboard",
+		Note: "every delivered payload verified, every failure typed; drain of " +
+			fmt.Sprint(2*chaosDrainMsgs) + " clean messages and a goroutine leak check close each class",
+		Headers: []string{"class", "ok", "loud", "degraded", "injected",
+			"faults", "vi-err", "flushed", "resets", "retries", "recov", "acks", "dups", "timeouts"},
+	}
+	for i, cl := range chaosClasses() {
+		r, err := runChaosClass(cl, i)
+		if err != nil {
+			return fmt.Errorf("chaos class %q: %w", cl.name, err)
+		}
+		t.AddRow(r.class, r.ok, r.loud, r.degraded, r.injected,
+			r.nic.Faults, r.nic.VIErrors, r.nic.DescriptorsFlushed, r.nic.NICResets,
+			r.rel.Retries, r.rel.Recoveries, r.rel.AckRescues, r.rel.Duplicates, r.rel.Timeouts)
+	}
+	t.Fprint(w)
+	return nil
+}

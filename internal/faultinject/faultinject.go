@@ -1,0 +1,249 @@
+// Package faultinject is a deterministic fault-injection layer for the
+// simulated VIA fabric.  Consumers (phys, via, kagent) declare named
+// injection points ("sites") and ask the injector before each guarded
+// operation whether it should fail; the chaos harness arms rules against
+// those sites.  Three trigger modes are supported:
+//
+//   - FailNth: fail exactly the Nth operation at a site (scripted,
+//     fully deterministic);
+//   - FailEvery: fail every Nth operation (sustained adversity);
+//   - FailProb: fail each operation with probability p, driven by a
+//     PRNG seeded at injector construction — the same seed always
+//     produces the same fault schedule;
+//   - FailWhen: fail operations matching a caller predicate over the
+//     operation context.
+//
+// Rules may carry a Delay instead of (or as well as) an error: a rule
+// that fires with Delay > 0 and no error stalls the operation (lane
+// stalls, slow links) without failing it.
+//
+// The hot-path contract: every guarded operation does
+//
+//	if inj != nil { if err := inj.Check(op); err != nil { ... } }
+//
+// so with no injector attached (the production configuration) the cost
+// is one nil-check branch — nothing else.  A *Injector method called on
+// a nil receiver is also safe and returns nil, for call sites that
+// prefer not to branch.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the sentinel every injected failure wraps.  Consumers
+// distinguish injected faults from organic errors with
+// errors.Is(err, faultinject.ErrInjected).
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// Op is the context of one guarded operation, passed to Check.
+type Op struct {
+	// Site names the injection point (e.g. "nic.dma", "tpt.translate").
+	Site string
+	// Key identifies the object the operation touches (a VI uid, a
+	// memory handle, a frame number) for predicate rules.
+	Key uint64
+	// N is an operation size (bytes, pages) for predicate rules.
+	N int
+}
+
+// Rule arms one fault at one site.  Zero-valued trigger fields are
+// inactive; exactly one of Nth/Every/Prob/When should be set.
+type Rule struct {
+	// Site is the injection point the rule guards.
+	Site string
+	// Nth fires on exactly the Nth operation at the site (1-based).
+	Nth uint64
+	// Every fires on every Every-th operation at the site.
+	Every uint64
+	// Prob fires each operation with this probability (0 < p <= 1).
+	Prob float64
+	// When fires when the predicate matches the operation.
+	When func(Op) bool
+	// Err is the error to return.  If nil and Delay is zero, the
+	// generic ErrInjected is returned; if nil and Delay is set, the
+	// rule only stalls.
+	Err error
+	// Delay stalls the operation before returning (lane stalls).
+	Delay time.Duration
+	// Times bounds how often the rule fires (0 = unlimited).
+	Times uint64
+
+	fired uint64
+}
+
+// Stats is a snapshot of injector activity.
+type Stats struct {
+	// Ops counts guarded operations seen per site.
+	Ops map[string]uint64
+	// Injected counts faults injected per site (stall-only firings
+	// included).
+	Injected map[string]uint64
+}
+
+// Total sums the injected faults across all sites.
+func (s Stats) Total() uint64 {
+	var n uint64
+	for _, v := range s.Injected {
+		n += v
+	}
+	return n
+}
+
+// Injector is a set of armed rules over named sites.  All methods are
+// safe for concurrent use and safe on a nil receiver (no-ops).
+type Injector struct {
+	mu       sync.Mutex
+	rng      *rand.Rand
+	rules    map[string][]*Rule
+	ops      map[string]uint64
+	injected map[string]uint64
+}
+
+// New creates an injector whose probabilistic rules draw from a PRNG
+// seeded with seed — the same seed replays the same fault schedule.
+func New(seed int64) *Injector {
+	return &Injector{
+		rng:      rand.New(rand.NewSource(seed)),
+		rules:    make(map[string][]*Rule),
+		ops:      make(map[string]uint64),
+		injected: make(map[string]uint64),
+	}
+}
+
+// Arm adds a rule.  Rules at one site are evaluated in arming order;
+// the first that fires wins.
+func (i *Injector) Arm(r *Rule) {
+	if i == nil {
+		return
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.rules[r.Site] = append(i.rules[r.Site], r)
+}
+
+// FailNth arms a one-shot failure of the nth operation at site.
+func (i *Injector) FailNth(site string, n uint64, err error) {
+	i.Arm(&Rule{Site: site, Nth: n, Err: err, Times: 1})
+}
+
+// FailEvery arms a failure of every nth operation at site.
+func (i *Injector) FailEvery(site string, n uint64, err error) {
+	i.Arm(&Rule{Site: site, Every: n, Err: err})
+}
+
+// FailProb arms a failure with probability p per operation at site.
+func (i *Injector) FailProb(site string, p float64, err error) {
+	i.Arm(&Rule{Site: site, Prob: p, Err: err})
+}
+
+// FailWhen arms a failure of operations matching the predicate.
+func (i *Injector) FailWhen(site string, pred func(Op) bool, err error) {
+	i.Arm(&Rule{Site: site, When: pred, Err: err})
+}
+
+// StallProb arms a stall (no error) with probability p per operation.
+func (i *Injector) StallProb(site string, p float64, d time.Duration) {
+	i.Arm(&Rule{Site: site, Prob: p, Delay: d})
+}
+
+// Disarm removes every rule at the site.
+func (i *Injector) Disarm(site string) {
+	if i == nil {
+		return
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	delete(i.rules, site)
+}
+
+// Check evaluates one guarded operation.  It returns nil when no rule
+// fires; otherwise it returns the rule's error wrapped so that
+// errors.Is(err, ErrInjected) holds.  A stall-only rule sleeps and
+// returns nil.  Safe on a nil receiver.
+func (i *Injector) Check(op Op) error {
+	if i == nil {
+		return nil
+	}
+	i.mu.Lock()
+	i.ops[op.Site]++
+	count := i.ops[op.Site]
+	var hit *Rule
+	for _, r := range i.rules[op.Site] {
+		if r.Times > 0 && r.fired >= r.Times {
+			continue
+		}
+		switch {
+		case r.Nth > 0:
+			if count != r.Nth {
+				continue
+			}
+		case r.Every > 0:
+			if count%r.Every != 0 {
+				continue
+			}
+		case r.Prob > 0:
+			if i.rng.Float64() >= r.Prob {
+				continue
+			}
+		case r.When != nil:
+			if !r.When(op) {
+				continue
+			}
+		default:
+			continue
+		}
+		hit = r
+		break
+	}
+	if hit == nil {
+		i.mu.Unlock()
+		return nil
+	}
+	hit.fired++
+	i.injected[op.Site]++
+	delay, ruleErr := hit.Delay, hit.Err
+	i.mu.Unlock()
+
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if ruleErr == nil {
+		if delay > 0 {
+			return nil // stall-only rule
+		}
+		return fmt.Errorf("%w at %s", ErrInjected, op.Site)
+	}
+	return fmt.Errorf("%w at %s: %w", ErrInjected, op.Site, ruleErr)
+}
+
+// Stats snapshots per-site operation and injection counts.
+func (i *Injector) Stats() Stats {
+	s := Stats{Ops: make(map[string]uint64), Injected: make(map[string]uint64)}
+	if i == nil {
+		return s
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	for k, v := range i.ops {
+		s.Ops[k] = v
+	}
+	for k, v := range i.injected {
+		s.Injected[k] = v
+	}
+	return s
+}
+
+// Injected reports how many faults have been injected at the site.
+func (i *Injector) Injected(site string) uint64 {
+	if i == nil {
+		return 0
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.injected[site]
+}

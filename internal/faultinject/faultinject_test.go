@@ -1,0 +1,159 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var inj *Injector
+	if err := inj.Check(Op{Site: "x"}); err != nil {
+		t.Fatalf("nil injector returned %v", err)
+	}
+	inj.Arm(&Rule{Site: "x"})
+	inj.Disarm("x")
+	if got := inj.Injected("x"); got != 0 {
+		t.Fatalf("nil injector injected = %d", got)
+	}
+	if s := inj.Stats(); s.Total() != 0 {
+		t.Fatalf("nil injector stats total = %d", s.Total())
+	}
+}
+
+func TestFailNth(t *testing.T) {
+	boom := errors.New("boom")
+	inj := New(1)
+	inj.FailNth("s", 3, boom)
+	for n := 1; n <= 5; n++ {
+		err := inj.Check(Op{Site: "s"})
+		if n == 3 {
+			if !errors.Is(err, ErrInjected) || !errors.Is(err, boom) {
+				t.Fatalf("op %d: err = %v, want injected boom", n, err)
+			}
+		} else if err != nil {
+			t.Fatalf("op %d: err = %v, want nil", n, err)
+		}
+	}
+	if got := inj.Injected("s"); got != 1 {
+		t.Fatalf("injected = %d, want 1", got)
+	}
+}
+
+func TestFailEvery(t *testing.T) {
+	inj := New(1)
+	inj.FailEvery("s", 2, nil)
+	fails := 0
+	for n := 0; n < 10; n++ {
+		if err := inj.Check(Op{Site: "s"}); err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("err = %v", err)
+			}
+			fails++
+		}
+	}
+	if fails != 5 {
+		t.Fatalf("fails = %d, want 5", fails)
+	}
+}
+
+func TestFailProbDeterministic(t *testing.T) {
+	run := func() []bool {
+		inj := New(42)
+		inj.FailProb("s", 0.3, nil)
+		out := make([]bool, 100)
+		for n := range out {
+			out[n] = inj.Check(Op{Site: "s"}) != nil
+		}
+		return out
+	}
+	a, b := run(), run()
+	fails := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedules diverge at op %d", i)
+		}
+		if a[i] {
+			fails++
+		}
+	}
+	if fails == 0 || fails == 100 {
+		t.Fatalf("degenerate fault schedule: %d/100", fails)
+	}
+}
+
+func TestFailWhenPredicate(t *testing.T) {
+	inj := New(1)
+	inj.FailWhen("s", func(op Op) bool { return op.Key == 7 }, nil)
+	if err := inj.Check(Op{Site: "s", Key: 6}); err != nil {
+		t.Fatalf("key 6: %v", err)
+	}
+	if err := inj.Check(Op{Site: "s", Key: 7}); !errors.Is(err, ErrInjected) {
+		t.Fatalf("key 7: %v", err)
+	}
+}
+
+func TestStallOnlyRule(t *testing.T) {
+	inj := New(1)
+	inj.Arm(&Rule{Site: "s", Nth: 1, Delay: 5 * time.Millisecond, Times: 1})
+	start := time.Now()
+	if err := inj.Check(Op{Site: "s"}); err != nil {
+		t.Fatalf("stall rule returned error %v", err)
+	}
+	if d := time.Since(start); d < 5*time.Millisecond {
+		t.Fatalf("stall too short: %v", d)
+	}
+	if got := inj.Injected("s"); got != 1 {
+		t.Fatalf("stall not counted: %d", got)
+	}
+}
+
+func TestTimesBoundsFiring(t *testing.T) {
+	inj := New(1)
+	inj.Arm(&Rule{Site: "s", Every: 1, Times: 2})
+	fails := 0
+	for n := 0; n < 5; n++ {
+		if inj.Check(Op{Site: "s"}) != nil {
+			fails++
+		}
+	}
+	if fails != 2 {
+		t.Fatalf("fails = %d, want 2", fails)
+	}
+}
+
+func TestDisarm(t *testing.T) {
+	inj := New(1)
+	inj.FailEvery("s", 1, nil)
+	if inj.Check(Op{Site: "s"}) == nil {
+		t.Fatal("armed rule did not fire")
+	}
+	inj.Disarm("s")
+	if err := inj.Check(Op{Site: "s"}); err != nil {
+		t.Fatalf("disarmed site still fires: %v", err)
+	}
+}
+
+func TestConcurrentCheck(t *testing.T) {
+	inj := New(1)
+	inj.FailEvery("s", 10, nil)
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for n := 0; n < 1000; n++ {
+				_ = inj.Check(Op{Site: "s"})
+			}
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	s := inj.Stats()
+	if s.Ops["s"] != 8000 {
+		t.Fatalf("ops = %d, want 8000", s.Ops["s"])
+	}
+	if s.Injected["s"] != 800 {
+		t.Fatalf("injected = %d, want 800", s.Injected["s"])
+	}
+}

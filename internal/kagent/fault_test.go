@@ -1,0 +1,51 @@
+package kagent
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/phys"
+	"repro/internal/via"
+)
+
+func TestInjectedRegistrationFailure(t *testing.T) {
+	r := newRig(t, core.StrategyKiobuf)
+	inj := faultinject.New(1)
+	r.agent.SetFaultInjector(inj)
+	inj.FailNth(SiteRegister, 1, nil)
+
+	addr := r.buf(t, 2)
+	_, err := r.agent.RegisterMem(r.as, addr, 2*phys.PageSize, testTag, via.MemAttrs{})
+	if !errors.Is(err, ErrRegistrationFault) || !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("err = %v", err)
+	}
+	// Nothing leaked: no registration recorded, no lock taken, no TPT
+	// region entered.
+	if n := r.agent.Registrations(); n != 0 {
+		t.Fatalf("registrations = %d", n)
+	}
+	if n := r.nic.Regions(); n != 0 {
+		t.Fatalf("NIC regions = %d", n)
+	}
+	if err := r.k.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The Nth rule is spent: the retry succeeds.
+	reg, err := r.agent.RegisterMem(r.as, addr, 2*phys.PageSize, testTag, via.MemAttrs{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.agent.DeregisterMem(reg); err != nil {
+		t.Fatal(err)
+	}
+	// Detaching the injector disables the site entirely.
+	inj.FailEvery(SiteRegister, 1, nil)
+	r.agent.SetFaultInjector(nil)
+	if reg, err = r.agent.RegisterMem(r.as, addr, 2*phys.PageSize, testTag, via.MemAttrs{}); err != nil {
+		t.Fatalf("register after detach: %v", err)
+	}
+	_ = r.agent.DeregisterMem(reg)
+}

@@ -20,11 +20,21 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/mm"
 	"repro/internal/pgtable"
 	"repro/internal/phys"
 	"repro/internal/via"
 )
+
+// SiteRegister guards the registration path (RegisterMem): an armed rule
+// models a kernel agent refusing or failing a registration (lock denial,
+// TPT allocation failure, transient driver error).
+const SiteRegister = "kagent.register"
+
+// ErrRegistrationFault is the cause wrapped around injected registration
+// failures.
+var ErrRegistrationFault = errors.New("kagent: injected registration failure")
 
 // Registration is one completed memory registration.
 type Registration struct {
@@ -61,6 +71,10 @@ type Agent struct {
 	nic    *via.NIC
 	locker core.Locker
 
+	// inj guards the registration path (SiteRegister); nil in
+	// production.
+	inj atomic.Pointer[faultinject.Injector]
+
 	nextID atomic.Int64
 	shards [regShards]regShard
 }
@@ -88,6 +102,10 @@ func (a *Agent) Strategy() core.Strategy { return a.locker.Name() }
 // NIC returns the agent's NIC.
 func (a *Agent) NIC() *via.NIC { return a.nic }
 
+// SetFaultInjector attaches (or, with nil, detaches) a fault injector
+// guarding the registration path (SiteRegister).
+func (a *Agent) SetFaultInjector(inj *faultinject.Injector) { a.inj.Store(inj) }
+
 // Kernel returns the node kernel.
 func (a *Agent) Kernel() *mm.Kernel { return a.kernel }
 
@@ -98,6 +116,11 @@ func (a *Agent) RegisterMem(as *mm.AddressSpace, addr pgtable.VAddr, length int,
 	// The VipRegisterMem ioctl: one kernel call regardless of strategy.
 	if m := a.kernel.Meter(); m != nil {
 		m.Charge(m.Costs.KernelCall)
+	}
+	if inj := a.inj.Load(); inj != nil {
+		if err := inj.Check(faultinject.Op{Site: SiteRegister, Key: uint64(addr), N: length}); err != nil {
+			return nil, fmt.Errorf("%w: %w", ErrRegistrationFault, err)
+		}
 	}
 	lock, err := a.locker.Lock(a.kernel, as, addr, length)
 	if err != nil {

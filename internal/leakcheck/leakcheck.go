@@ -1,0 +1,77 @@
+// Package leakcheck detects goroutine leaks: a workload snapshots the
+// goroutine count before it starts and verifies the count settles back
+// to the baseline when it finishes.  The chaos harness uses the plain
+// Verify form to assert that fault injection and recovery never strand
+// an engine lane, a blocked sender or a waiting receiver; tests use the
+// Check helper.
+//
+// The comparison is count-based with a settling window, so it tolerates
+// runtime-internal goroutines coming and going but catches anything a
+// workload leaves behind.
+package leakcheck
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// DefaultTimeout is how long Verify waits for goroutines to wind down.
+const DefaultTimeout = 2 * time.Second
+
+// Snapshot records the current goroutine count as a baseline.
+func Snapshot() int { return runtime.NumGoroutine() }
+
+// Verify waits up to timeout (<= 0 selects DefaultTimeout) for the
+// goroutine count to return to the baseline.  On failure it returns an
+// error listing the live goroutines, one summary line each.
+func Verify(baseline int, timeout time.Duration) error {
+	if timeout <= 0 {
+		timeout = DefaultTimeout
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		if runtime.NumGoroutine() <= baseline {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	n := runtime.NumGoroutine()
+	buf := make([]byte, 1<<20)
+	buf = buf[:runtime.Stack(buf, true)]
+	return fmt.Errorf("leakcheck: %d goroutines alive, baseline %d:\n%s",
+		n, baseline, condense(string(buf)))
+}
+
+// Check arms a leak check for the rest of the test: the baseline is
+// taken now and verified in test cleanup.
+func Check(tb testing.TB) {
+	tb.Helper()
+	base := Snapshot()
+	tb.Cleanup(func() {
+		if err := Verify(base, DefaultTimeout); err != nil {
+			tb.Error(err)
+		}
+	})
+}
+
+// condense reduces a full runtime.Stack dump to one line per goroutine:
+// its header plus its topmost frame.
+func condense(stacks string) string {
+	var b strings.Builder
+	for _, g := range strings.Split(strings.TrimSpace(stacks), "\n\n") {
+		lines := strings.SplitN(g, "\n", 3)
+		b.WriteString(strings.TrimSuffix(lines[0], ":"))
+		if len(lines) > 1 {
+			b.WriteString(" at ")
+			b.WriteString(strings.TrimSpace(lines[1]))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

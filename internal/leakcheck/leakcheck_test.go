@@ -1,0 +1,33 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestVerifyCleanAfterSettle(t *testing.T) {
+	base := Snapshot()
+	done := make(chan struct{})
+	go func() { <-done }()
+	close(done)
+	if err := Verify(base, time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyReportsLeak(t *testing.T) {
+	base := Snapshot()
+	stop := make(chan struct{})
+	defer close(stop)
+	started := make(chan struct{})
+	go func() { close(started); <-stop }()
+	<-started
+	err := Verify(base, 20*time.Millisecond)
+	if err == nil {
+		t.Fatal("leaked goroutine not reported")
+	}
+	if !strings.Contains(err.Error(), "goroutine") {
+		t.Fatalf("report missing stacks: %v", err)
+	}
+}

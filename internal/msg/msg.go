@@ -72,15 +72,31 @@ var (
 	ErrEmptyMessage = errors.New("msg: empty message")
 	ErrTooSmall     = errors.New("msg: receive buffer smaller than message")
 	ErrNotPaired    = errors.New("msg: endpoint not paired")
+	// ErrTransport marks a failure of the underlying VI connection (a
+	// faulted chunk, a flushed ring slot, a post refused by the error
+	// state).  With reliability enabled these are retried; without, they
+	// surface to the caller.
+	ErrTransport = errors.New("msg: transport failure")
+	// ErrRetriesExhausted reports a reliable send that failed every
+	// attempt; the peer is told to stop waiting via kAbort.
+	ErrRetriesExhausted = errors.New("msg: retries exhausted")
+	// ErrPeerAborted reports that the peer gave up on a reliable
+	// transfer after exhausting its retries.
+	ErrPeerAborted = errors.New("msg: peer aborted transfer")
 )
 
 type ctrlKind uint8
 
 const (
-	kInline ctrlKind = iota // eager/one-copy announcement
-	kRTS                    // zero-copy request to send
-	kCTS                    // zero-copy clear to send (carries handle)
-	kFin                    // zero-copy completion
+	kInline     ctrlKind = iota // eager/one-copy announcement
+	kRTS                        // zero-copy request to send
+	kCTS                        // zero-copy clear to send (carries handle)
+	kFin                        // zero-copy completion
+	kReset                      // reliability: sender starts connection recovery
+	kResetAck                   // reliability: receiver has reset its VI
+	kRingRepost                 // reliability: connection is back, repost your ring
+	kAbort                      // reliability: sender gave up, stop waiting
+	kDone                       // reliability: receiver delivered the sequence number
 )
 
 type ctrlMsg struct {
@@ -88,6 +104,10 @@ type ctrlMsg struct {
 	size    int
 	nchunks int
 	handle  via.MemHandle
+	// seq numbers reliable messages so a retransmit after a dropped
+	// completion (data delivered, sender unsure) is detected and
+	// discarded by the receiver instead of delivered twice.
+	seq uint64
 }
 
 // ctrlBytes approximates the size of one control struct on the wire.
@@ -105,10 +125,20 @@ type Endpoint struct {
 	meter *simtime.Meter
 
 	peer *Endpoint
+	nw   *via.Network // set by Pair; recovery reconnects through it
 	ctrl chan ctrlMsg
+	// rctrl carries the reliability traffic (handshake and delivery
+	// acks) out of band from the data announcements, so a sender waiting
+	// for a kResetAck or kDone never consumes a message meant for Recv.
+	rctrl chan ctrlMsg
 	// credits gate this endpoint's inline sends: one token per free
 	// receive slot at the peer.  The peer refills it after reposting.
 	credits chan struct{}
+
+	// Reliability layer (nil unless EnableReliability was called).
+	rel           *relState
+	nextSeq       uint64 // last sequence number this side assigned
+	lastDelivered uint64 // highest sequence delivered to the application
 
 	// bounce ring (receive side) and one send bounce slot.
 	ringBuf   *proc.Buffer
@@ -131,6 +161,7 @@ func NewEndpoint(name string, nic *vipl.Nic, meter *simtime.Meter, cacheRegions 
 		cache:   regcache.New(nic, cacheRegions),
 		meter:   meter,
 		ctrl:    make(chan ctrlMsg, 4*RingSlots),
+		rctrl:   make(chan ctrlMsg, 4*RingSlots),
 		credits: make(chan struct{}, RingSlots),
 	}
 	var err error
@@ -159,6 +190,7 @@ func Pair(nw *via.Network, a, b *Endpoint) error {
 		return err
 	}
 	a.peer, b.peer = b, a
+	a.nw, b.nw = nw, nw
 	for _, e := range []*Endpoint{a, b} {
 		for i := 0; i < RingSlots; i++ {
 			if err := e.postSlot(i); err != nil {
@@ -184,10 +216,23 @@ func (e *Endpoint) postSlot(slot int) error {
 
 // sendCtrl delivers a control struct to the peer, charging the PIO
 // write, the wire crossing and the peer's polling-detection delay.
+// Reliability traffic rides the out-of-band rctrl channel; delivery
+// acks are best-effort (dropped if the peer never drains them — the
+// sender's ack wait then falls back to the recovery handshake).
 func (e *Endpoint) sendCtrl(m ctrlMsg) {
 	e.meter.Charge(e.meter.Costs.WireLatency + e.meter.Costs.SyncDetect)
 	e.meter.ChargeN(e.meter.Costs.PIOPerByte, ctrlBytes)
-	e.peer.ctrl <- m
+	switch m.kind {
+	case kReset, kResetAck, kRingRepost, kAbort:
+		e.peer.rctrl <- m
+	case kDone:
+		select {
+		case e.peer.rctrl <- m:
+		default:
+		}
+	default:
+		e.peer.ctrl <- m
+	}
 }
 
 // Stats returns a snapshot of endpoint statistics.
@@ -228,9 +273,9 @@ func (e *Endpoint) Send(b *proc.Buffer, p Protocol) (int, error) {
 	}
 	switch p {
 	case Eager:
-		return e.sendInline(b, true)
+		return e.sendReliable(b, true)
 	case OneCopy:
-		return e.sendInline(b, false)
+		return e.sendReliable(b, false)
 	case ZeroCopy:
 		return e.sendZeroCopy(b)
 	default:
@@ -239,28 +284,89 @@ func (e *Endpoint) Send(b *proc.Buffer, p Protocol) (int, error) {
 }
 
 // Recv receives one message into the buffer and returns its length.
+// With reliability enabled it also services the recovery handshake and
+// discards retransmitted duplicates of already-delivered messages.
 func (e *Endpoint) Recv(b *proc.Buffer) (int, error) {
 	if e.peer == nil {
 		return 0, ErrNotPaired
 	}
-	m := <-e.ctrl
-	switch m.kind {
-	case kInline:
-		return e.recvInline(b, m)
-	case kRTS:
-		return e.recvZeroCopy(b, m)
-	default:
-		return 0, fmt.Errorf("msg: unexpected control message kind %d", m.kind)
+	for {
+		var m ctrlMsg
+		if e.rel != nil {
+			// Reliability traffic (handshake, aborts) arrives out of band
+			// so it can be serviced even while data announcements queue.
+			select {
+			case m = <-e.ctrl:
+			case m = <-e.rctrl:
+			}
+		} else {
+			m = <-e.ctrl
+		}
+		switch m.kind {
+		case kInline:
+			if e.rel != nil && m.seq > 0 && m.seq <= e.lastDelivered {
+				// Retransmit of a message that already reached the
+				// application (the sender's completion was dropped): drain
+				// the chunks to keep credits flowing, deliver nothing —
+				// but do re-acknowledge the delivery.
+				if err := e.drainDuplicate(m); err != nil {
+					if !isTransport(err) {
+						return 0, err
+					}
+					continue
+				}
+				e.sendCtrl(ctrlMsg{kind: kDone, seq: m.seq})
+				continue
+			}
+			n, err := e.recvInline(b, m)
+			if err != nil && e.rel != nil && isTransport(err) {
+				// The connection died mid-message.  The sender drives
+				// recovery and will retransmit; wait for its kReset.
+				continue
+			}
+			if err == nil && e.rel != nil {
+				e.lastDelivered = m.seq
+				// Delivery ack: lets a sender whose final completion was
+				// lost confirm the payload arrived without a retransmit.
+				e.sendCtrl(ctrlMsg{kind: kDone, seq: m.seq})
+			}
+			return n, err
+		case kRTS:
+			return e.recvZeroCopy(b, m)
+		case kReset:
+			if e.rel == nil {
+				return 0, fmt.Errorf("msg: unexpected control message kind %d", m.kind)
+			}
+			if err := e.handlePeerReset(); err != nil {
+				return 0, err
+			}
+			continue
+		case kAbort:
+			// The announcements of the peer's failed attempts are now
+			// stale; drop them so they cannot alias a later message.
+			e.drainStaleData()
+			return 0, ErrPeerAborted
+		case kDone:
+			// Stale delivery ack from this endpoint's earlier role as a
+			// sender; drop it.
+			continue
+		default:
+			return 0, fmt.Errorf("msg: unexpected control message kind %d", m.kind)
+		}
 	}
 }
 
 // sendInline implements both eager (with the extra sender copy) and
-// one-copy (sending straight from registered user memory).
-func (e *Endpoint) sendInline(b *proc.Buffer, eager bool) (int, error) {
+// one-copy (sending straight from registered user memory).  seq is the
+// reliability sequence number (0 when reliability is off).
+func (e *Endpoint) sendInline(b *proc.Buffer, eager bool, seq uint64) (int, error) {
 	size := b.Bytes
 	nchunks := (size + SlotSize - 1) / SlotSize
-	e.sendCtrl(ctrlMsg{kind: kInline, size: size, nchunks: nchunks})
 
+	// Acquire the registration before announcing the message: a
+	// registration failure must leave no receiver-visible state, so the
+	// caller can degrade (e.g. retry eagerly) without stranding the peer
+	// waiting for chunks that will never arrive.
 	var reg *vipl.MemRegion
 	if !eager {
 		var err error
@@ -270,6 +376,7 @@ func (e *Endpoint) sendInline(b *proc.Buffer, eager bool) (int, error) {
 		}
 		defer func() { _ = e.cache.Release(reg) }()
 	}
+	e.sendCtrl(ctrlMsg{kind: kInline, size: size, nchunks: nchunks, seq: seq})
 
 	sent := 0
 	tmp := make([]byte, SlotSize)
@@ -296,8 +403,8 @@ func (e *Endpoint) sendInline(b *proc.Buffer, eager bool) (int, error) {
 		if err := e.vi.PostSend(d); err != nil {
 			return sent, err
 		}
-		if st := d.Wait(); st != via.StatusSuccess {
-			return sent, fmt.Errorf("msg: chunk %d failed: %v", c, st)
+		if st := e.waitChunk(d); st != via.StatusSuccess {
+			return sent, &chunkError{chunk: c, nchunks: nchunks, status: st}
 		}
 		sent += n
 	}
@@ -322,7 +429,7 @@ func (e *Endpoint) recvInline(b *proc.Buffer, m ctrlMsg) (int, error) {
 		slot := int(e.rxIdx % RingSlots)
 		d := e.ringDescs[slot]
 		if st := d.Wait(); st != via.StatusSuccess {
-			return got, fmt.Errorf("msg: ring slot %d failed: %v", slot, st)
+			return got, fmt.Errorf("%w: ring slot %d failed: %v", ErrTransport, slot, st)
 		}
 		n := d.Transferred
 		if err := e.ringBuf.Read(slot*SlotSize, tmp[:n]); err != nil {
@@ -335,6 +442,14 @@ func (e *Endpoint) recvInline(b *proc.Buffer, m ctrlMsg) (int, error) {
 		got += n
 		e.rxIdx++
 		if err := e.postSlot(slot); err != nil {
+			if e.rel != nil && isTransport(err) && got == m.size {
+				// Every chunk landed; only the repost hit the dying
+				// connection.  The message is complete — deliver it.  The
+				// ring and the credits are rebuilt by the recovery
+				// handshake, and the sender's retransmit (it saw the
+				// fault) is discarded by sequence dedup.
+				break
+			}
 			return got, err
 		}
 		e.peerGrantCredit()

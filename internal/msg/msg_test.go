@@ -20,6 +20,8 @@ type cluster struct {
 	kernelA, kernelB *mm.Kernel
 	procA, procB     *proc.Process
 	epA, epB         *Endpoint
+	nw               *via.Network
+	nicA, nicB       *via.NIC
 }
 
 func newCluster(t *testing.T, strategy core.Strategy, cacheRegions int) *cluster {
@@ -34,6 +36,7 @@ func newCluster(t *testing.T, strategy core.Strategy, cacheRegions int) *cluster
 	nw := via.NewNetwork()
 	nicA := via.NewNIC("nodeA", c.kernelA.Phys(), meter, 1024)
 	nicB := via.NewNIC("nodeB", c.kernelB.Phys(), meter, 1024)
+	c.nw, c.nicA, c.nicB = nw, nicA, nicB
 	if err := nw.Attach(nicA); err != nil {
 		t.Fatal(err)
 	}

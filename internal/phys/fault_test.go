@@ -1,0 +1,41 @@
+package phys
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/faultinject"
+)
+
+func TestInjectedFrameFaults(t *testing.T) {
+	m := New(8)
+	pfn, err := m.AllocFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faultinject.New(1)
+	m.SetFaultInjector(inj)
+	inj.FailNth(SiteWrite, 1, nil)
+	inj.FailNth(SiteRead, 1, nil)
+
+	buf := []byte{1, 2, 3, 4}
+	if err := m.WritePhys(pfn.Addr(), buf); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("write err = %v", err)
+	}
+	if err := m.ReadPhys(pfn.Addr(), buf); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("read err = %v", err)
+	}
+	// Both Nth rules are spent: the retries succeed.
+	if err := m.WritePhys(pfn.Addr(), buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ReadPhys(pfn.Addr(), buf); err != nil {
+		t.Fatal(err)
+	}
+	// Detach disables the sites with no residue.
+	inj.FailEvery(SiteRead, 1, nil)
+	m.SetFaultInjector(nil)
+	if err := m.ReadPhys(pfn.Addr(), buf); err != nil {
+		t.Fatal(err)
+	}
+}

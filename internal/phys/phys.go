@@ -22,6 +22,17 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
+
+	"repro/internal/faultinject"
+)
+
+// Fault-injection sites the memory system guards.
+const (
+	// SiteRead guards bus-master frame reads (ReadPhys).
+	SiteRead = "phys.read"
+	// SiteWrite guards bus-master frame writes (WritePhys).
+	SiteWrite = "phys.write"
 )
 
 // Page geometry.  4 KiB pages as on IA-32, the paper's primary target.
@@ -107,12 +118,20 @@ type Stats struct {
 
 // Memory is the physical memory of one simulated node.
 type Memory struct {
+	// inj is the attached fault injector (nil in production: the DMA
+	// paths pay one atomic load + branch).
+	inj atomic.Pointer[faultinject.Injector]
+
 	mu     sync.RWMutex
 	frames []byte // nframes * PageSize backing bytes
 	pages  []Page // the page map
 	free   []PFN  // LIFO free list
 	stats  Stats
 }
+
+// SetFaultInjector attaches (or, with nil, detaches) a fault injector
+// guarding the bus-master paths (SiteRead, SiteWrite).
+func (m *Memory) SetFaultInjector(inj *faultinject.Injector) { m.inj.Store(inj) }
 
 // Errors returned by the allocator and accessors.
 var (
@@ -358,6 +377,11 @@ func (m *Memory) PageInfo(pfn PFN) (Page, error) {
 // It is the bus-master read path of the simulated NIC: no page tables, no
 // protection — exactly like real DMA.
 func (m *Memory) ReadPhys(a Addr, buf []byte) error {
+	if inj := m.inj.Load(); inj != nil {
+		if err := inj.Check(faultinject.Op{Site: SiteRead, Key: uint64(a), N: len(buf)}); err != nil {
+			return err
+		}
+	}
 	// DMA data movement only needs the structural read lock (the frames
 	// array never moves): concurrent bus masters stream in parallel, as
 	// on a real memory bus, instead of serializing behind the page-map
@@ -375,6 +399,11 @@ func (m *Memory) ReadPhys(a Addr, buf []byte) error {
 // WritePhys copies buf to physical address a.  The bus-master write path.
 // Like ReadPhys it holds only the structural read lock during the copy.
 func (m *Memory) WritePhys(a Addr, buf []byte) error {
+	if inj := m.inj.Load(); inj != nil {
+		if err := inj.Check(faultinject.Op{Site: SiteWrite, Key: uint64(a), N: len(buf)}); err != nil {
+			return err
+		}
+	}
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	if int(a)+len(buf) > len(m.frames) {

@@ -77,6 +77,9 @@ type Stats struct {
 	Evictions   uint64 // cached regions dropped to make room
 	Failures    uint64 // registrations that failed even after eviction
 	EvictErrors uint64 // evicted regions whose deregistration failed
+	// ResetInvalidations counts regions flushed because the NIC
+	// fault-reset (see EnableNICResetInvalidation).
+	ResetInvalidations uint64
 }
 
 // key identifies a cacheable registration.
@@ -311,6 +314,23 @@ func (c *Cache) Flush() (int, error) {
 		}
 	}
 	return len(victims), firstErr
+}
+
+// EnableNICResetInvalidation subscribes the cache to the NIC's
+// fault-reset hook: after a NIC reset every idle cached region is
+// flushed, so the next Acquire re-registers through the kernel agent
+// instead of reusing a registration the reset may have invalidated.
+// In-use regions are left to their holders (their transfers fail with
+// the VI error state and the holders release them normally).
+func (c *Cache) EnableNICResetInvalidation() {
+	c.nic.Agent().NIC().OnReset(func() {
+		n, _ := c.Flush()
+		if n > 0 {
+			c.mu.Lock()
+			c.stats.ResetInvalidations += uint64(n)
+			c.mu.Unlock()
+		}
+	})
 }
 
 // registerWithEviction registers the range, evicting idle cached regions

@@ -20,10 +20,18 @@ var (
 	ErrConnTimeout    = errors.New("via: connection request timed out")
 )
 
-// connReq is one pending connection request.
+// connReq is one pending connection request.  The mutex and abandoned
+// flag make the request cancellable: a Dial that times out marks it
+// abandoned under the lock, and Accept checks the flag under the same
+// lock before pairing — so the timeout and the accept can never both
+// win (the race where Dial returned ErrConnTimeout while Accept paired
+// the client VI anyway, leaving a connection its owner believed dead).
 type connReq struct {
 	clientVI *VI
 	reply    chan error
+
+	mu        sync.Mutex
+	abandoned bool
 }
 
 // Listener accepts connection requests for one (NIC, discriminator).
@@ -31,7 +39,7 @@ type Listener struct {
 	nw            *Network
 	nicName       string
 	discriminator string
-	reqs          chan connReq
+	reqs          chan *connReq
 	closeOnce     sync.Once
 	closed        chan struct{}
 }
@@ -58,7 +66,7 @@ func (nw *Network) Listen(n *NIC, discriminator string) (*Listener, error) {
 		nw:            nw,
 		nicName:       n.name,
 		discriminator: discriminator,
-		reqs:          make(chan connReq, 16),
+		reqs:          make(chan *connReq, 16),
 		closed:        make(chan struct{}),
 	}
 	nw.listeners[k] = l
@@ -66,15 +74,26 @@ func (nw *Network) Listen(n *NIC, discriminator string) (*Listener, error) {
 }
 
 // Accept waits for one connection request and pairs it with the given
-// idle local VI (the completing half of VipConnectWait).
+// idle local VI (the completing half of VipConnectWait).  Requests
+// whose Dial has already timed out are skipped, and the pairing runs
+// under the request lock so a concurrent timeout cannot interleave.
 func (l *Listener) Accept(serverVI *VI) error {
-	select {
-	case req := <-l.reqs:
-		err := l.nw.Connect(serverVI, req.clientVI)
-		req.reply <- err
-		return err
-	case <-l.closed:
-		return ErrListenerClosed
+	for {
+		select {
+		case req := <-l.reqs:
+			req.mu.Lock()
+			if req.abandoned {
+				// The dialer gave up; keep waiting for a live request.
+				req.mu.Unlock()
+				continue
+			}
+			err := l.nw.Connect(serverVI, req.clientVI)
+			req.reply <- err
+			req.mu.Unlock()
+			return err
+		case <-l.closed:
+			return ErrListenerClosed
+		}
 	}
 }
 
@@ -107,7 +126,7 @@ func (nw *Network) Dial(clientVI *VI, nicName, discriminator string, timeout tim
 	if !ok {
 		return fmt.Errorf("%w: %s/%s", ErrNoListener, nicName, discriminator)
 	}
-	req := connReq{clientVI: clientVI, reply: make(chan error, 1)}
+	req := &connReq{clientVI: clientVI, reply: make(chan error, 1)}
 	if timeout <= 0 {
 		timeout = 5 * time.Second
 	}
@@ -124,6 +143,18 @@ func (nw *Network) Dial(clientVI *VI, nicName, discriminator string, timeout tim
 	case err := <-req.reply:
 		return err
 	case <-timer.C:
-		return ErrConnTimeout
+		// The timer fired after the request was queued.  Accept may be
+		// pairing right now: decide under the request lock.  If a reply
+		// already landed, the connection is real — honor it rather than
+		// strand a paired VI behind a timeout error.
+		req.mu.Lock()
+		defer req.mu.Unlock()
+		select {
+		case err := <-req.reply:
+			return err
+		default:
+			req.abandoned = true
+			return ErrConnTimeout
+		}
 	}
 }

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"testing"
 	"time"
+
+	"repro/internal/leakcheck"
 )
 
 func TestListenDialAccept(t *testing.T) {
@@ -97,6 +99,68 @@ func TestDialTimeoutWhenNobodyAccepts(t *testing.T) {
 	}
 	if time.Since(start) > time.Second {
 		t.Fatal("timeout took too long")
+	}
+}
+
+// TestDialTimeoutAcceptRace hammers the window where a dial's timeout
+// fires while the accept is pairing.  The two must agree: either the
+// dial returns nil and both VIs are connected, or it returns
+// ErrConnTimeout and the abandoned client VI is never paired — a
+// half-connected VI in either direction is the bug this guards against.
+func TestDialTimeoutAcceptRace(t *testing.T) {
+	leakcheck.Check(t)
+	r := newRig(t)
+	l, err := r.net.Listen(r.nicB, "race")
+	if err != nil {
+		t.Fatal(err)
+	}
+	timeouts, connects := 0, 0
+	for i := 0; i < 400; i++ {
+		serverVI, _ := r.nicB.CreateVI(tagB)
+		clientVI, _ := r.nicA.CreateVI(tagA)
+		delay := time.Duration(i%9) * 10 * time.Microsecond
+		done := make(chan error, 1)
+		go func() {
+			time.Sleep(delay)
+			done <- l.Accept(serverVI)
+		}()
+		err := r.net.Dial(clientVI, "nodeB", "race", 40*time.Microsecond)
+		switch {
+		case err == nil:
+			connects++
+			if aerr := <-done; aerr != nil {
+				t.Fatalf("round %d: dial ok but accept err %v", i, aerr)
+			}
+			if clientVI.State() != VIConnected || serverVI.State() != VIConnected {
+				t.Fatalf("round %d: dial ok but states %v/%v",
+					i, clientVI.State(), serverVI.State())
+			}
+		case errors.Is(err, ErrConnTimeout):
+			timeouts++
+			if st := clientVI.State(); st != VIIdle {
+				t.Fatalf("round %d: timed-out dial left client VI %v", i, st)
+			}
+			// The accept is still waiting (it must skip the abandoned
+			// request); unblock it with a rescue dial so the next round
+			// starts clean.
+			rescue, _ := r.nicA.CreateVI(tagA)
+			if derr := r.net.Dial(rescue, "nodeB", "race", 5*time.Second); derr != nil {
+				t.Fatalf("round %d: rescue dial: %v", i, derr)
+			}
+			if aerr := <-done; aerr != nil {
+				t.Fatalf("round %d: rescue accept: %v", i, aerr)
+			}
+			// The abandoned VI stays idle even after the accept drained
+			// the queue past it.
+			if st := clientVI.State(); st != VIIdle {
+				t.Fatalf("round %d: abandoned VI paired anyway: %v", i, st)
+			}
+		default:
+			t.Fatalf("round %d: dial err = %v", i, err)
+		}
+	}
+	if timeouts == 0 || connects == 0 {
+		t.Logf("race coverage: %d connects, %d timeouts (one side unexercised)", connects, timeouts)
 	}
 }
 

@@ -56,6 +56,18 @@ const (
 	// StatusQueueOverflow means the post found the engine's send queue
 	// full; the descriptor was never processed.
 	StatusQueueOverflow
+	// StatusDMAError means the DMA engine faulted moving the payload
+	// (frame access failure or injected DMA fault).
+	StatusDMAError
+	// StatusTranslationError means the TPT could not translate the
+	// access on the data path (stale or faulted entry).
+	StatusTranslationError
+	// StatusLinkError means the wire was down or partitioned.
+	StatusLinkError
+	// StatusCompletionLost means the payload was placed at the peer but
+	// the NIC lost the completion write-back: the data arrived, the
+	// sender just cannot prove it from this descriptor alone.
+	StatusCompletionLost
 )
 
 func (s Status) String() string {
@@ -74,6 +86,14 @@ func (s Status) String() string {
 		return "cancelled"
 	case StatusQueueOverflow:
 		return "queue-overflow"
+	case StatusDMAError:
+		return "dma-error"
+	case StatusTranslationError:
+		return "translation-error"
+	case StatusLinkError:
+		return "link-error"
+	case StatusCompletionLost:
+		return "completion-lost"
 	default:
 		return fmt.Sprintf("status(%d)", uint8(s))
 	}

@@ -1,8 +1,11 @@
 package via
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
+
+	"repro/internal/faultinject"
 )
 
 // The NIC's default descriptor processing is synchronous: PostSend runs
@@ -80,6 +83,15 @@ func (n *NIC) StartEngineLanes(lanes int) {
 		go func(ln *engineLane) {
 			defer e.wg.Done()
 			for item := range ln.ch {
+				// SiteLane models the lane hardware itself: stall rules
+				// delay the dequeue (a slow lane), error rules fault the
+				// descriptor as a DMA engine failure.
+				if inj := n.inj.Load(); inj != nil {
+					if err := inj.Check(faultinject.Op{Site: SiteLane, Key: item.vi.uid}); err != nil {
+						n.faultSend(item.vi, item.d, fmt.Errorf("%w: %w", ErrDMAFault, err))
+						continue
+					}
+				}
 				n.process(item.vi, item.d)
 			}
 		}(&e.lanes[i])

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Network wires NICs together and manages VI connections (the connection
@@ -12,6 +13,22 @@ type Network struct {
 	mu        sync.Mutex
 	nics      map[string]*NIC
 	listeners map[listenerKey]*Listener
+
+	// Link partitions.  downLinks counts severed NIC pairs so the data
+	// path can skip the map lookup entirely (one atomic load) while the
+	// fabric is healthy — the common case.
+	downLinks atomic.Int64
+	down      map[linkKey]bool
+}
+
+// linkKey names an unordered NIC pair.
+type linkKey struct{ a, b string }
+
+func mkLinkKey(a, b string) linkKey {
+	if a > b {
+		a, b = b, a
+	}
+	return linkKey{a: a, b: b}
 }
 
 // Errors returned by the network.
@@ -22,7 +39,7 @@ var (
 
 // NewNetwork creates an empty fabric.
 func NewNetwork() *Network {
-	return &Network{nics: make(map[string]*NIC)}
+	return &Network{nics: make(map[string]*NIC), down: make(map[linkKey]bool)}
 }
 
 // Attach adds a NIC to the fabric.
@@ -33,6 +50,7 @@ func (nw *Network) Attach(n *NIC) error {
 		return fmt.Errorf("%w: %s", ErrDuplicateNIC, n.name)
 	}
 	nw.nics[n.name] = n
+	n.nw.Store(nw)
 	return nil
 }
 
@@ -44,15 +62,57 @@ func (nw *Network) NIC(name string) (*NIC, bool) {
 	return n, ok
 }
 
+// SetLinkDown severs the link between two NICs (a fabric partition):
+// sends and RDMA operations crossing it fault with StatusLinkError and
+// the affected VIs enter the error state.  Loopback (a NIC to itself)
+// cannot be severed.
+func (nw *Network) SetLinkDown(a, b string) {
+	if a == b {
+		return
+	}
+	k := mkLinkKey(a, b)
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	if !nw.down[k] {
+		nw.down[k] = true
+		nw.downLinks.Add(1)
+	}
+}
+
+// SetLinkUp heals a severed link.  Already-errored VIs stay in the
+// error state until Reset — recovery is explicit, as the spec demands.
+func (nw *Network) SetLinkUp(a, b string) {
+	k := mkLinkKey(a, b)
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	if nw.down[k] {
+		delete(nw.down, k)
+		nw.downLinks.Add(-1)
+	}
+}
+
+// linkUp reports whether traffic may flow between two NICs.  With no
+// partitions anywhere the check is a single atomic load.
+func (nw *Network) linkUp(a, b *NIC) bool {
+	if nw.downLinks.Load() == 0 || a == b {
+		return true
+	}
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	return !nw.down[mkLinkKey(a.name, b.name)]
+}
+
 // Connect pairs two idle VIs into a reliable point-to-point connection.
 // The two VIs may live on the same NIC (loopback) or different NICs.
 func (nw *Network) Connect(a, b *VI) error {
 	if a == b {
 		return ErrSameVI
 	}
-	// Lock in a stable order to avoid deadlock.
+	// Lock in a stable order to avoid deadlock: every VI carries a
+	// fabric-unique monotonically assigned uid, so the comparison is a
+	// total order with no allocation on the connect path.
 	first, second := a, b
-	if fmt.Sprintf("%p", a) > fmt.Sprintf("%p", b) {
+	if a.uid > b.uid {
 		first, second = b, a
 	}
 	first.mu.Lock()
@@ -68,7 +128,10 @@ func (nw *Network) Connect(a, b *VI) error {
 }
 
 // Disconnect tears a connection down cleanly, flushing posted receive
-// descriptors on both sides with StatusCancelled.
+// descriptors on both sides with StatusCancelled.  Sends still queued
+// in engine lanes for either VI are flushed with StatusCancelled when
+// their lane dequeues them (the VI is no longer connected), so no
+// descriptor is lost.
 func (nw *Network) Disconnect(v *VI) error {
 	v.mu.Lock()
 	peer := v.peer
@@ -76,21 +139,38 @@ func (nw *Network) Disconnect(v *VI) error {
 		v.mu.Unlock()
 		return ErrNotConnected
 	}
+	if v.state == VIError {
+		// An errored VI recovers only through the explicit Reset path.
+		cause := v.errCause
+		v.mu.Unlock()
+		return fmt.Errorf("%w (cause: %v)", ErrVIErrorState, cause)
+	}
 	pending := v.recvQ[v.recvHead:]
 	v.recvQ, v.recvHead = nil, 0
 	v.peer = nil
 	v.state = VIIdle
 	v.mu.Unlock()
+	if n := len(pending); n > 0 {
+		v.nic.ctr.descFlushed.Add(uint64(n))
+	}
 	for _, d := range pending {
 		v.completeRecv(d, StatusCancelled, 0)
 	}
 	if peer != nil {
 		peer.mu.Lock()
+		if peer.state == VIError {
+			// The peer raced into the error state; leave it for Reset.
+			peer.mu.Unlock()
+			return nil
+		}
 		ppending := peer.recvQ[peer.recvHead:]
 		peer.recvQ, peer.recvHead = nil, 0
 		peer.peer = nil
 		peer.state = VIIdle
 		peer.mu.Unlock()
+		if n := len(ppending); n > 0 {
+			peer.nic.ctr.descFlushed.Add(uint64(n))
+		}
 		for _, d := range ppending {
 			peer.completeRecv(d, StatusCancelled, 0)
 		}

@@ -1,12 +1,31 @@
 package via
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/faultinject"
 	"repro/internal/phys"
 	"repro/internal/simtime"
+)
+
+// Fault-injection sites the NIC guards (see package faultinject).
+const (
+	// SiteDMA guards every TPT-mediated DMA copy (gather, scatter,
+	// local DMA).
+	SiteDMA = "nic.dma"
+	// SiteTPT guards data-path TPT range translations.
+	SiteTPT = "tpt.translate"
+	// SiteLink guards the wire crossing of sends and RDMA operations.
+	SiteLink = "nic.link"
+	// SiteCompletion guards the final completion write-back: a fault
+	// here models a dropped completion — the data moved but the
+	// notification is lost, recovered by the VI error machine.
+	SiteCompletion = "nic.completion"
+	// SiteLane guards engine-lane dequeue (stalls, lane failures).
+	SiteLane = "engine.lane"
 )
 
 // Stats counts NIC activity.
@@ -20,6 +39,13 @@ type Stats struct {
 	TagViolations  uint64 // protection-tag or attribute failures
 	RecvUnderflows uint64 // sends that found no receive descriptor posted
 	ImmediateOnly  uint64 // descriptors served from immediate data alone
+
+	// Fault/recovery accounting (the chaos harness's scoreboard).
+	Faults             uint64 // data-path faults that hit a VI (injected or organic)
+	VIErrors           uint64 // VI transitions into the error state
+	DescriptorsFlushed uint64 // descriptors flushed by error/disconnect paths
+	Recoveries         uint64 // successful VI Resets out of the error state
+	NICResets          uint64 // FaultReset invocations
 }
 
 // nicCounters are the live statistics, one lock-free atomic per field so
@@ -35,6 +61,12 @@ type nicCounters struct {
 	tagViolations  atomic.Uint64
 	recvUnderflows atomic.Uint64
 	immediateOnly  atomic.Uint64
+
+	faults      atomic.Uint64
+	viErrors    atomic.Uint64
+	descFlushed atomic.Uint64
+	recoveries  atomic.Uint64
+	nicResets   atomic.Uint64
 }
 
 // NIC is one simulated VIA network interface controller.
@@ -45,10 +77,18 @@ type NIC struct {
 	tpt   *tpt
 	ctr   nicCounters
 
-	mu     sync.Mutex
-	vis    map[int]*VI
-	nextVI int
-	eng    *engine
+	// inj is the attached fault injector (nil in production: the data
+	// path pays one atomic load + branch per guarded operation).
+	inj atomic.Pointer[faultinject.Injector]
+	// nw is the fabric the NIC is attached to (set by Network.Attach),
+	// consulted for link partitions.
+	nw atomic.Pointer[Network]
+
+	mu         sync.Mutex
+	vis        map[int]*VI
+	nextVI     int
+	eng        *engine
+	resetHooks []func()
 }
 
 // DefaultTPTSlots is the default TPT size (pages registrable at once) —
@@ -90,6 +130,54 @@ func (n *NIC) Stats() Stats {
 		TagViolations:  n.ctr.tagViolations.Load(),
 		RecvUnderflows: n.ctr.recvUnderflows.Load(),
 		ImmediateOnly:  n.ctr.immediateOnly.Load(),
+
+		Faults:             n.ctr.faults.Load(),
+		VIErrors:           n.ctr.viErrors.Load(),
+		DescriptorsFlushed: n.ctr.descFlushed.Load(),
+		Recoveries:         n.ctr.recoveries.Load(),
+		NICResets:          n.ctr.nicResets.Load(),
+	}
+}
+
+// SetFaultInjector attaches (or, with nil, detaches) a fault injector.
+// The NIC's guarded sites are SiteDMA, SiteTPT, SiteLink,
+// SiteCompletion and SiteLane.
+func (n *NIC) SetFaultInjector(inj *faultinject.Injector) {
+	n.inj.Store(inj)
+	n.tpt.inj.Store(inj)
+}
+
+// OnReset registers a hook invoked after FaultReset has errored every
+// connected VI — the invalidation path registration caches subscribe to
+// so a NIC reset revalidates cached registrations.
+func (n *NIC) OnReset(fn func()) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.resetHooks = append(n.resetHooks, fn)
+}
+
+// FaultReset simulates a NIC-level fatal fault followed by a driver
+// reset: every connected VI transitions to the error state (flushing
+// its descriptors), then the reset hooks fire.  Registered memory stays
+// in the TPT — it is the owners' job (e.g. a registration cache's
+// OnReset hook) to drop and re-register what they cached.
+func (n *NIC) FaultReset() {
+	n.mu.Lock()
+	vis := make([]*VI, 0, len(n.vis))
+	for _, v := range n.vis {
+		vis = append(vis, v)
+	}
+	hooks := append([]func(){}, n.resetHooks...)
+	n.mu.Unlock()
+	n.ctr.nicResets.Add(1)
+	n.ctr.faults.Add(1)
+	for _, v := range vis {
+		if v.State() == VIConnected {
+			v.enterError(ErrNICReset)
+		}
+	}
+	for _, fn := range hooks {
+		fn()
 	}
 }
 
@@ -106,7 +194,7 @@ func (n *NIC) CreateVI(tag ProtectionTag) (*VI, error) {
 	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	v := &VI{nic: n, id: n.nextVI, tag: tag, maxTransfer: DefaultMaxTransferSize}
+	v := &VI{nic: n, id: n.nextVI, uid: viUIDs.Add(1), tag: tag, maxTransfer: DefaultMaxTransferSize}
 	n.nextVI++
 	n.vis[v.id] = v
 	return v, nil
@@ -171,6 +259,11 @@ func (n *NIC) tptCopy(h MemHandle, off int, buf []byte, tag ProtectionTag, write
 	if len(buf) == 0 {
 		return nil
 	}
+	if inj := n.inj.Load(); inj != nil {
+		if err := inj.Check(faultinject.Op{Site: SiteDMA, Key: uint64(h), N: len(buf)}); err != nil {
+			return fmt.Errorf("%w: %w", ErrDMAFault, err)
+		}
+	}
 	ep := extentPool.Get().(*[]extent)
 	exts, err := n.tpt.translateRange(h, off, len(buf), tag, needAttr, (*ep)[:0])
 	if err != nil {
@@ -197,17 +290,90 @@ func (n *NIC) tptCopy(h MemHandle, off int, buf []byte, tag ProtectionTag, write
 // process executes one send-queue descriptor synchronously (the DMA
 // engine).  Data-path failures complete the descriptor with an error
 // status rather than returning an error, matching hardware behaviour.
+//
+// The state gate here is what flushes lane-resident descriptors: a send
+// posted before a disconnect or fault is dequeued later, finds its VI no
+// longer connected, and completes with StatusCancelled (clean
+// disconnect) or StatusConnectionError (error state) — never lost.
 func (n *NIC) process(v *VI, d *Descriptor) {
+	v.mu.Lock()
+	st, peer := v.state, v.peer
+	v.mu.Unlock()
+	if st != VIConnected || peer == nil {
+		n.ctr.descFlushed.Add(1)
+		if st == VIIdle {
+			v.completeSend(d, StatusCancelled, 0)
+		} else {
+			v.completeSend(d, StatusConnectionError, 0)
+		}
+		return
+	}
 	switch d.Op {
 	case OpSend:
-		n.processSend(v, d)
+		n.processSend(v, peer, d)
 	case OpRDMAWrite:
-		n.processRDMAWrite(v, d)
+		n.processRDMAWrite(v, peer, d)
 	case OpRDMARead:
-		n.processRDMARead(v, d)
+		n.processRDMARead(v, peer, d)
 	default:
 		v.completeSend(d, StatusProtectionError, 0)
 	}
+}
+
+// statusForFault maps a fault cause to the typed completion status the
+// faulted descriptor reports.
+func statusForFault(err error) Status {
+	switch {
+	case errors.Is(err, ErrTranslationFault):
+		return StatusTranslationError
+	case errors.Is(err, ErrLinkDown):
+		return StatusLinkError
+	case errors.Is(err, ErrCompletionDropped):
+		return StatusCompletionLost
+	case errors.Is(err, ErrDMAFault), errors.Is(err, faultinject.ErrInjected):
+		// Unclassified injected errors (e.g. raw phys frame faults)
+		// surface as DMA engine faults: that is how the card sees them.
+		return StatusDMAError
+	default:
+		return StatusConnectionError
+	}
+}
+
+// isInjected reports whether an error came from the fault injector.
+func isInjected(err error) bool { return errors.Is(err, faultinject.ErrInjected) }
+
+// faultSend is the descriptor half of a data-path fault: the faulted
+// send completes with its typed status and the VI (plus peer) enters
+// the error state.
+func (n *NIC) faultSend(v *VI, d *Descriptor, cause error) {
+	n.ctr.faults.Add(1)
+	v.completeSend(d, statusForFault(cause), 0)
+	v.enterError(cause)
+}
+
+// linkCheck validates the wire between two NICs: fabric partitions
+// first, then injected link faults.
+func (n *NIC) linkCheck(peer *VI) error {
+	if nw := n.nw.Load(); nw != nil && !nw.linkUp(n, peer.nic) {
+		return fmt.Errorf("%w: %s <-> %s partitioned", ErrLinkDown, n.name, peer.nic.name)
+	}
+	if inj := n.inj.Load(); inj != nil {
+		if err := inj.Check(faultinject.Op{Site: SiteLink, Key: peer.uid}); err != nil {
+			return fmt.Errorf("%w: %w", ErrLinkDown, err)
+		}
+	}
+	return nil
+}
+
+// completionCheck models the final completion write-back; an injected
+// fault here is a dropped completion.
+func (n *NIC) completionCheck(v *VI) error {
+	if inj := n.inj.Load(); inj != nil {
+		if err := inj.Check(faultinject.Op{Site: SiteCompletion, Key: v.uid}); err != nil {
+			return fmt.Errorf("%w: %w", ErrCompletionDropped, err)
+		}
+	}
+	return nil
 }
 
 // gather collects a descriptor's local segments through the TPT into a
@@ -251,22 +417,22 @@ func (n *NIC) scatter(v *VI, d *Descriptor, payload []byte) error {
 
 // processSend implements the two-sided send/receive path: gather locally,
 // cross the wire, match the peer's receive descriptor, scatter remotely.
-func (n *NIC) processSend(v *VI, d *Descriptor) {
-	v.mu.Lock()
-	peer := v.peer
-	v.mu.Unlock()
-	if peer == nil {
-		v.completeSend(d, StatusConnectionError, 0)
-		return
-	}
-
+func (n *NIC) processSend(v, peer *VI, d *Descriptor) {
 	payload, pb, err := n.gather(v, d)
 	if err != nil {
+		if isInjected(err) {
+			n.faultSend(v, d, err)
+			return
+		}
 		n.ctr.tagViolations.Add(1)
 		v.completeSend(d, StatusProtectionError, 0)
 		return
 	}
 	defer putPayload(pb)
+	if err := n.linkCheck(peer); err != nil {
+		n.faultSend(v, d, err)
+		return
+	}
 	if payload == nil && d.HasImmediate {
 		// Immediate-only fast path: the four data bytes ride inside the
 		// descriptor, so the second DMA action (the data fetch) is saved
@@ -283,14 +449,16 @@ func (n *NIC) processSend(v *VI, d *Descriptor) {
 	if rd == nil {
 		// A send with no posted receive breaks a reliable connection.
 		peer.nic.ctr.recvUnderflows.Add(1)
+		n.ctr.faults.Add(1)
 		v.completeSend(d, StatusConnectionError, 0)
-		v.breakConnection()
+		v.enterError(ErrRecvUnderflow)
 		return
 	}
 	if len(payload) > rd.TotalLength() {
+		n.ctr.faults.Add(1)
 		peer.completeRecv(rd, StatusLengthError, 0)
 		v.completeSend(d, StatusLengthError, 0)
-		v.breakConnection()
+		v.enterError(ErrLengthMismatch)
 		return
 	}
 	pn := peer.nic
@@ -302,6 +470,11 @@ func (n *NIC) processSend(v *VI, d *Descriptor) {
 		pn.meter.Charge(pn.meter.Costs.DMAStartup)
 	}
 	if err := pn.scatter(peer, rd, payload); err != nil {
+		if isInjected(err) {
+			peer.completeRecv(rd, statusForFault(err), 0)
+			n.faultSend(v, d, err)
+			return
+		}
 		pn.ctr.tagViolations.Add(1)
 		peer.completeRecv(rd, StatusProtectionError, 0)
 		v.completeSend(d, StatusProtectionError, 0)
@@ -310,6 +483,15 @@ func (n *NIC) processSend(v *VI, d *Descriptor) {
 	rd.Immediate = d.Immediate
 	rd.HasImmediate = d.HasImmediate
 	peer.completeRecv(rd, StatusSuccess, len(payload))
+	if err := n.completionCheck(v); err != nil {
+		// The payload landed and the receiver completed, but the
+		// sender's completion was dropped: the error machine flushes
+		// the descriptor so it still terminates.  The retransmit a
+		// reliability layer then issues is the duplicate its
+		// idempotence handling must absorb.
+		n.faultSend(v, d, err)
+		return
+	}
 	v.completeSend(d, StatusSuccess, len(payload))
 	n.ctr.sends.Add(1)
 	n.ctr.bytesTX.Add(uint64(len(payload)))
@@ -320,21 +502,22 @@ func (n *NIC) processSend(v *VI, d *Descriptor) {
 // processRDMAWrite implements the one-sided write: gather locally, check
 // the remote region's tag and write-enable, scatter into remote memory.
 // No remote descriptor is consumed.
-func (n *NIC) processRDMAWrite(v *VI, d *Descriptor) {
-	v.mu.Lock()
-	peer := v.peer
-	v.mu.Unlock()
-	if peer == nil {
-		v.completeSend(d, StatusConnectionError, 0)
-		return
-	}
+func (n *NIC) processRDMAWrite(v, peer *VI, d *Descriptor) {
 	payload, pb, err := n.gather(v, d)
 	if err != nil {
+		if isInjected(err) {
+			n.faultSend(v, d, err)
+			return
+		}
 		n.ctr.tagViolations.Add(1)
 		v.completeSend(d, StatusProtectionError, 0)
 		return
 	}
 	defer putPayload(pb)
+	if err := n.linkCheck(peer); err != nil {
+		n.faultSend(v, d, err)
+		return
+	}
 	n.meter.Charge(n.meter.Costs.DMAStartup)
 	n.meter.ChargeN(n.meter.Costs.DMAPerByte, len(payload))
 	n.meter.Charge(n.meter.Costs.WireLatency)
@@ -343,8 +526,16 @@ func (n *NIC) processRDMAWrite(v *VI, d *Descriptor) {
 	err = pn.tptCopy(d.Remote.Handle, d.Remote.Offset, payload, peer.tag, true,
 		func(a MemAttrs) bool { return a.EnableRDMAWrite })
 	if err != nil {
+		if isInjected(err) {
+			n.faultSend(v, d, err)
+			return
+		}
 		pn.ctr.tagViolations.Add(1)
 		v.completeSend(d, StatusProtectionError, 0)
+		return
+	}
+	if err := n.completionCheck(v); err != nil {
+		n.faultSend(v, d, err)
 		return
 	}
 	v.completeSend(d, StatusSuccess, len(payload))
@@ -356,12 +547,9 @@ func (n *NIC) processRDMAWrite(v *VI, d *Descriptor) {
 // processRDMARead implements the one-sided read: fetch remote registered
 // memory (tag + read-enable checked at the remote NIC) and scatter it
 // into the local segments.
-func (n *NIC) processRDMARead(v *VI, d *Descriptor) {
-	v.mu.Lock()
-	peer := v.peer
-	v.mu.Unlock()
-	if peer == nil {
-		v.completeSend(d, StatusConnectionError, 0)
+func (n *NIC) processRDMARead(v, peer *VI, d *Descriptor) {
+	if err := n.linkCheck(peer); err != nil {
+		n.faultSend(v, d, err)
 		return
 	}
 	total := d.TotalLength()
@@ -372,6 +560,10 @@ func (n *NIC) processRDMARead(v *VI, d *Descriptor) {
 	err := pn.tptCopy(d.Remote.Handle, d.Remote.Offset, buf, peer.tag, false,
 		func(a MemAttrs) bool { return a.EnableRDMARead })
 	if err != nil {
+		if isInjected(err) {
+			n.faultSend(v, d, err)
+			return
+		}
 		pn.ctr.tagViolations.Add(1)
 		v.completeSend(d, StatusProtectionError, 0)
 		return
@@ -380,8 +572,16 @@ func (n *NIC) processRDMARead(v *VI, d *Descriptor) {
 	pn.meter.ChargeN(pn.meter.Costs.DMAPerByte, total)
 	n.meter.Charge(n.meter.Costs.WireLatency) // response
 	if err := n.scatter(v, d, buf); err != nil {
+		if isInjected(err) {
+			n.faultSend(v, d, err)
+			return
+		}
 		n.ctr.tagViolations.Add(1)
 		v.completeSend(d, StatusProtectionError, 0)
+		return
+	}
+	if err := n.completionCheck(v); err != nil {
+		n.faultSend(v, d, err)
 		return
 	}
 	v.completeSend(d, StatusSuccess, total)

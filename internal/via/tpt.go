@@ -14,7 +14,9 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
+	"repro/internal/faultinject"
 	"repro/internal/phys"
 )
 
@@ -80,6 +82,10 @@ const tptTombstones = 1024
 // data path (translateRange and friends) only ever takes the read lock,
 // so concurrent DMA translations never serialize against each other.
 type tpt struct {
+	// inj guards data-path translations (SiteTPT); set through
+	// NIC.SetFaultInjector, nil in production.
+	inj atomic.Pointer[faultinject.Injector]
+
 	mu      sync.RWMutex
 	entries []tptEntry
 	free    []int // free slot indices (LIFO)
@@ -190,6 +196,11 @@ type extent struct {
 // before any extent is returned: tag, attributes and bounds — a DMA
 // either translates completely or not at all.
 func (t *tpt) translateRange(h MemHandle, off, length int, tag ProtectionTag, needAttr func(MemAttrs) bool, exts []extent) ([]extent, error) {
+	if inj := t.inj.Load(); inj != nil {
+		if err := inj.Check(faultinject.Op{Site: SiteTPT, Key: uint64(h), N: length}); err != nil {
+			return nil, fmt.Errorf("%w: %w", ErrTranslationFault, err)
+		}
+	}
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	r, err := t.lookupLocked(h)

@@ -4,20 +4,24 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // VIState is the lifecycle state of a virtual interface.
 type VIState uint8
 
-// VI lifecycle states.
+// VI lifecycle states (the VIA spec's VI state machine, reduced to the
+// states the simulator distinguishes).
 const (
 	// VIIdle means created but not connected.
 	VIIdle VIState = iota
 	// VIConnected means paired with a peer VI.
 	VIConnected
-	// VIBroken means the reliable connection failed (e.g. a send arrived
-	// with no receive descriptor posted) and no further traffic flows.
-	VIBroken
+	// VIError means a fault hit the VI: the connection is dead, all
+	// posted descriptors have been (or are being) flushed, and new
+	// posts are refused with ErrVIErrorState.  The only way out is an
+	// explicit Reset followed by a reconnect.
+	VIError
 )
 
 func (s VIState) String() string {
@@ -26,8 +30,8 @@ func (s VIState) String() string {
 		return "idle"
 	case VIConnected:
 		return "connected"
-	case VIBroken:
-		return "broken"
+	case VIError:
+		return "error"
 	default:
 		return fmt.Sprintf("state(%d)", uint8(s))
 	}
@@ -36,20 +40,51 @@ func (s VIState) String() string {
 // Errors returned by VI operations.
 var (
 	ErrNotConnected = errors.New("via: VI not connected")
-	ErrViBroken     = errors.New("via: VI connection broken")
+	// ErrVIErrorState reports an operation on a VI in the error state;
+	// the VI must be Reset and reconnected first.
+	ErrVIErrorState = errors.New("via: VI in error state")
 	ErrBusy         = errors.New("via: VI already connected")
+	// ErrResetConnected reports a Reset of a healthy connected VI
+	// (disconnect it instead).
+	ErrResetConnected = errors.New("via: Reset on connected VI")
 )
+
+// Fault causes recorded when a VI transitions to VIError.
+var (
+	// ErrDMAFault marks a DMA engine failure (injected or organic).
+	ErrDMAFault = errors.New("via: DMA engine fault")
+	// ErrTranslationFault marks a TPT translation failure on the data path.
+	ErrTranslationFault = errors.New("via: TPT translation fault")
+	// ErrLinkDown marks a dropped or partitioned link.
+	ErrLinkDown = errors.New("via: link down")
+	// ErrCompletionDropped marks a completion the NIC lost; the error
+	// machine flushes the descriptor so it still terminates.
+	ErrCompletionDropped = errors.New("via: completion dropped")
+	// ErrRecvUnderflow marks a send that found no posted receive — fatal
+	// on a reliable connection.
+	ErrRecvUnderflow = errors.New("via: send with no posted receive")
+	// ErrLengthMismatch marks a send larger than the matched receive.
+	ErrLengthMismatch = errors.New("via: send exceeds posted receive")
+	// ErrNICReset marks a NIC-level fatal fault and driver reset.
+	ErrNICReset = errors.New("via: NIC reset")
+)
+
+// viUIDs hands every VI a fabric-unique id (all NICs share the counter)
+// used for deterministic lock ordering in Connect.
+var viUIDs atomic.Uint64
 
 // VI is one virtual interface: a pair of work queues, their doorbells,
 // and a protection tag.  A VI talks to exactly one peer VI.
 type VI struct {
 	nic *NIC
 	id  int
+	uid uint64 // fabric-unique, for lock ordering
 	tag ProtectionTag
 
-	mu    sync.Mutex
-	state VIState
-	peer  *VI
+	mu       sync.Mutex
+	state    VIState
+	peer     *VI
+	errCause error // why the VI entered VIError (nil otherwise)
 	// recvQ plus recvHead form a FIFO that recycles its backing array:
 	// popRecv advances recvHead instead of reslicing, and PostRecv
 	// compacts before growing, so a drained queue reuses its capacity
@@ -135,8 +170,8 @@ func (v *VI) PostRecv(d *Descriptor) error {
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	switch v.state {
-	case VIBroken:
-		return ErrViBroken
+	case VIError:
+		return fmt.Errorf("%w (cause: %v)", ErrVIErrorState, v.errCause)
 	case VIIdle:
 		return ErrNotConnected
 	}
@@ -170,10 +205,10 @@ func (v *VI) PostSend(d *Descriptor) error {
 	v.nic.meter.Charge(v.nic.meter.Costs.Doorbell)
 	v.mu.Lock()
 	if v.state != VIConnected {
-		st := v.state
+		st, cause := v.state, v.errCause
 		v.mu.Unlock()
-		if st == VIBroken {
-			return ErrViBroken
+		if st == VIError {
+			return fmt.Errorf("%w (cause: %v)", ErrVIErrorState, cause)
 		}
 		return ErrNotConnected
 	}
@@ -212,29 +247,73 @@ func (v *VI) popRecv() *Descriptor {
 	return d
 }
 
-// breakConnection transitions both ends to VIBroken and flushes pending
-// receive descriptors with StatusCancelled.
-func (v *VI) breakConnection() {
+// ErrorCause reports why the VI is in the error state (nil otherwise).
+func (v *VI) ErrorCause() error {
 	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.errCause
+}
+
+// enterError is the VIA spec's error-state transition: the VI (and its
+// peer — the reliable connection is dead) moves to VIError, every posted
+// receive descriptor is flushed with StatusCancelled, and new posts are
+// refused with ErrVIErrorState until an explicit Reset.  Send
+// descriptors still queued in engine lanes are flushed with
+// StatusConnectionError when their lane dequeues them (see
+// NIC.process), so every posted descriptor reaches a terminal status.
+func (v *VI) enterError(cause error) {
+	v.mu.Lock()
+	if v.state == VIError {
+		v.mu.Unlock()
+		return
+	}
 	peer := v.peer
-	v.state = VIBroken
+	v.state = VIError
+	v.errCause = cause
 	pending := v.recvQ[v.recvHead:]
 	v.recvQ, v.recvHead = nil, 0
 	v.mu.Unlock()
+	v.nic.ctr.viErrors.Add(1)
+	if n := len(pending); n > 0 {
+		v.nic.ctr.descFlushed.Add(uint64(n))
+	}
 	for _, d := range pending {
 		v.completeRecv(d, StatusCancelled, 0)
 	}
 	if peer != nil {
-		peer.mu.Lock()
-		already := peer.state == VIBroken
-		peer.state = VIBroken
-		ppending := peer.recvQ[peer.recvHead:]
-		peer.recvQ, peer.recvHead = nil, 0
-		peer.mu.Unlock()
-		if !already {
-			for _, d := range ppending {
-				peer.completeRecv(d, StatusCancelled, 0)
-			}
-		}
+		// Recursion terminates: the peer's peer is v, already VIError.
+		peer.enterError(cause)
 	}
+}
+
+// Reset recovers an error-state VI back to VIIdle (VipDestroyVi +
+// VipCreateVi collapsed into the re-arm the spec's recovery path
+// performs).  The VI forgets its peer and its fault cause and can be
+// connected again; descriptors still draining through engine lanes
+// complete with StatusCancelled.  Resetting a healthy connected VI is
+// refused (disconnect instead); resetting an idle VI is a no-op.
+func (v *VI) Reset() error {
+	v.mu.Lock()
+	switch v.state {
+	case VIConnected:
+		v.mu.Unlock()
+		return ErrResetConnected
+	case VIIdle:
+		v.mu.Unlock()
+		return nil
+	}
+	pending := v.recvQ[v.recvHead:]
+	v.recvQ, v.recvHead = nil, 0
+	v.peer = nil
+	v.state = VIIdle
+	v.errCause = nil
+	v.mu.Unlock()
+	if n := len(pending); n > 0 {
+		v.nic.ctr.descFlushed.Add(uint64(n))
+	}
+	for _, d := range pending {
+		v.completeRecv(d, StatusCancelled, 0)
+	}
+	v.nic.ctr.recoveries.Add(1)
+	return nil
 }

@@ -235,15 +235,15 @@ func TestSendWithoutRecvBreaksConnection(t *testing.T) {
 	if st := sd.Wait(); st != StatusConnectionError {
 		t.Fatalf("send status %v, want connection error", st)
 	}
-	if r.viA.State() != VIBroken || r.viB.State() != VIBroken {
-		t.Fatalf("states %v/%v, want broken", r.viA.State(), r.viB.State())
+	if r.viA.State() != VIError || r.viB.State() != VIError {
+		t.Fatalf("states %v/%v, want error state", r.viA.State(), r.viB.State())
 	}
 	if got := r.nicB.Stats().RecvUnderflows; got != 1 {
 		t.Fatalf("underflows = %d", got)
 	}
 	// Further posts fail.
-	if err := r.viA.PostSend(NewDescriptor(OpSend)); !errors.Is(err, ErrViBroken) {
-		t.Fatalf("post on broken VI err = %v", err)
+	if err := r.viA.PostSend(NewDescriptor(OpSend)); !errors.Is(err, ErrVIErrorState) {
+		t.Fatalf("post on errored VI err = %v", err)
 	}
 }
 
