@@ -3,7 +3,12 @@
 //
 // Usage:
 //
-//	viabench -table=regcost|deregcost|survival|protocols|regcache|regconc|multireg|divergence|msgrate|all
+//	viabench -table=regcost|deregcost|survival|protocols|regcache|regconc|multireg|divergence|msgrate|obs|all
+//
+// The obs table (E18, the observability layer's latency decomposition)
+// accepts two extra flags: -trace=out.json exports its event trace as
+// Chrome trace_event JSON (load in chrome://tracing or Perfetto), and
+// -metrics dumps the full metrics registry after the table.
 package main
 
 import (
@@ -17,9 +22,19 @@ import (
 
 func main() {
 	table := flag.String("table", "all", "which table/figure to regenerate")
+	tracePath := flag.String("trace", "", "obs: write Chrome trace_event JSON to this file")
+	metricsDump := flag.Bool("metrics", false, "obs: dump the metrics registry after the table")
 	flag.Parse()
 
+	obs := func(w io.Writer) error {
+		var mw io.Writer
+		if *metricsDump {
+			mw = w
+		}
+		return bench.ObsRun(w, *tracePath, mw)
+	}
 	runners := map[string]func(io.Writer) error{
+		"obs":        obs,
 		"regcost":    bench.RegCost,
 		"deregcost":  bench.DeregCost,
 		"survival":   bench.Survival,
@@ -35,7 +50,7 @@ func main() {
 		"msgrate":    bench.MsgRate,
 		"chaos":      bench.Chaos,
 	}
-	order := []string{"regcost", "deregcost", "survival", "protocols", "regcache", "regconc", "multireg", "divergence", "piodma", "latency", "ablation", "bigphys", "msgrate", "chaos"}
+	order := []string{"regcost", "deregcost", "survival", "protocols", "regcache", "regconc", "multireg", "divergence", "piodma", "latency", "ablation", "bigphys", "msgrate", "chaos", "obs"}
 
 	run := func(name string) {
 		if err := runners[name](os.Stdout); err != nil {

@@ -1,0 +1,271 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/cluster"
+	"repro/internal/metrics"
+	"repro/internal/msg"
+	"repro/internal/phys"
+	"repro/internal/report"
+	"repro/internal/trace"
+	"repro/internal/via"
+)
+
+// obsTraceCapacity sizes the E18 tracer ring: the scenario emits a few
+// thousand events, so nothing is dropped and the Chrome export is
+// complete.
+const obsTraceCapacity = 1 << 15
+
+// obsRegSizes is the registration sweep for the decomposition table
+// (kept short — the point is the stage split, not the scaling curve,
+// which E3/E4 already show).
+var obsRegSizes = []int{1, 4, 16, 64}
+
+// obsRegReps registers each size this many times so the stage means
+// average over several identical operations.
+const obsRegReps = 8
+
+// Obs regenerates E18: the per-stage latency decomposition measured
+// through the observability layer (DESIGN.md §8) — registration cost
+// split into kernel-call / pin / TPT-update stages, the data path split
+// into DMA / wire / scatter stages per protocol, and the registration
+// cache's hit/miss behaviour, all in deterministic virtual time.
+func Obs(w io.Writer) error { return ObsRun(w, "", nil) }
+
+// ObsRun is Obs with optional exports: a non-empty tracePath writes the
+// scenario's event trace as Chrome trace_event JSON (load it in
+// chrome://tracing or Perfetto), and a non-nil metricsOut receives the
+// full plain-text registry dump.
+func ObsRun(w io.Writer, tracePath string, metricsOut io.Writer) error {
+	c, err := cluster.New(cluster.Config{
+		Nodes:    2,
+		Kernel:   benchKernelConfig(),
+		TPTSlots: 4096,
+	})
+	if err != nil {
+		return err
+	}
+	trc := trace.New(c.Meter, obsTraceCapacity)
+	reg := metrics.NewRegistry()
+	for _, node := range c.Nodes {
+		node.Agent.AttachObs(trc, reg)
+		node.NIC.AttachObs(trc, reg)
+	}
+
+	if err := obsRegistrationTable(w, c, reg); err != nil {
+		return err
+	}
+	if err := obsDataPathTable(w, c, trc, reg); err != nil {
+		return err
+	}
+	obsTraceSummary(w, trc)
+
+	if metricsOut != nil {
+		reg.Fprint(metricsOut)
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		if err := trc.WriteChromeSnapshot(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// obsRegHists resolves the registration-stage histograms (shared
+// instruments: the registry hands back the same pointers the agent
+// records into).
+func obsRegHists(reg *metrics.Registry) (kernel, pin, tpt, total, dereg *metrics.Histogram) {
+	return reg.Histogram("kagent.reg.kernel.simns"),
+		reg.Histogram("kagent.reg.pin.simns"),
+		reg.Histogram("kagent.reg.tpt.simns"),
+		reg.Histogram("kagent.reg.total.simns"),
+		reg.Histogram("kagent.dereg.total.simns")
+}
+
+// obsRegistrationTable sweeps registration sizes and decomposes the
+// cost per stage from windowed histogram snapshots.
+func obsRegistrationTable(w io.Writer, c *cluster.Cluster, reg *metrics.Registry) error {
+	node := c.Nodes[0]
+	p := node.NewProcess("obs-reg", false)
+	tag := via.ProtectionTag(p.ID())
+	kernel, pin, tpt, total, dereg := obsRegHists(reg)
+
+	t := report.Table{
+		Title:   "E18a: registration cost decomposition (simulated µs, mean over 8 reps)",
+		Note:    "kernel = VipRegisterMem ioctl entry, pin = page locking, tpt = NIC table insert; stages sum to total (kiobuf strategy)",
+		Headers: []string{"region", "kernel", "pin", "tpt", "total", "dereg"},
+	}
+	for _, pages := range obsRegSizes {
+		buf, err := p.Malloc(pages * phys.PageSize)
+		if err != nil {
+			return err
+		}
+		k0, p0, t0, tot0, d0 := kernel.Snapshot(), pin.Snapshot(), tpt.Snapshot(), total.Snapshot(), dereg.Snapshot()
+		for rep := 0; rep < obsRegReps; rep++ {
+			r, err := node.Agent.RegisterMem(p.AS(), buf.Addr, buf.Bytes, tag, via.MemAttrs{})
+			if err != nil {
+				return err
+			}
+			if err := node.Agent.DeregisterMem(r); err != nil {
+				return err
+			}
+		}
+		t.AddRow(report.Bytes(pages*phys.PageSize),
+			kernel.Snapshot().Delta(k0).Mean()/1000.0,
+			pin.Snapshot().Delta(p0).Mean()/1000.0,
+			tpt.Snapshot().Delta(t0).Mean()/1000.0,
+			total.Snapshot().Delta(tot0).Mean()/1000.0,
+			dereg.Snapshot().Delta(d0).Mean()/1000.0)
+	}
+	t.Fprint(w)
+	return nil
+}
+
+// obsDataPathTable runs one message per protocol and decomposes the
+// descriptor path into its virtual stages, plus the registration
+// cache's behaviour underneath the zero-copy path.
+func obsDataPathTable(w io.Writer, c *cluster.Cluster, trc *trace.Tracer, reg *metrics.Registry) error {
+	ea, eb, err := c.EndpointPair(0, 1, 0)
+	if err != nil {
+		return err
+	}
+	ea.AttachObs(trc, reg)
+	eb.AttachObs(trc, reg)
+	ea.Cache().AttachObs(trc, reg)
+	eb.Cache().AttachObs(trc, reg)
+
+	dmaTX := reg.Histogram("via.dma.tx.simns")
+	wire := reg.Histogram("via.wire.simns")
+	dmaRX := reg.Histogram("via.dma.rx.simns")
+	descSend := reg.Histogram("via.desc.send.simns")
+
+	t := report.Table{
+		Title:   "E18b: data-path stage decomposition per protocol (simulated µs, mean per descriptor)",
+		Note:    "dma-tx = sender DMA startup + per-byte fetch, wire = link crossing, dma-rx = receiver-side placement; desc = post→complete span (eager/one-copy rows include the receive ring's pre-posted descriptors)",
+		Headers: []string{"protocol", "size", "descs", "dma-tx", "wire", "dma-rx", "desc"},
+	}
+
+	runs := []struct {
+		proto msg.Protocol
+		size  int
+	}{
+		{msg.Eager, 4 * 1024},
+		{msg.OneCopy, 64 * 1024},
+		{msg.ZeroCopy, 256 * 1024},
+	}
+	for _, run := range runs {
+		sb, err := ea.Process().Malloc(run.size)
+		if err != nil {
+			return err
+		}
+		rb, err := eb.Process().Malloc(run.size)
+		if err != nil {
+			return err
+		}
+		pattern := make([]byte, run.size)
+		for i := range pattern {
+			pattern[i] = byte(i * 31)
+		}
+		if err := sb.Write(0, pattern); err != nil {
+			return err
+		}
+		tx0, w0, rx0, d0 := dmaTX.Snapshot(), wire.Snapshot(), dmaRX.Snapshot(), descSend.Snapshot()
+
+		if run.proto == msg.ZeroCopy {
+			// The rendezvous handshake needs a live receiver; the
+			// RTS → CTS → RDMA → Fin sequence serializes both sides'
+			// clock charges, so the trace stays deterministic.
+			done := make(chan error, 1)
+			go func() {
+				_, err := eb.Recv(rb)
+				done <- err
+			}()
+			if _, err := ea.Send(sb, run.proto); err != nil {
+				return err
+			}
+			if err := <-done; err != nil {
+				return err
+			}
+		} else {
+			if _, err := ea.Send(sb, run.proto); err != nil {
+				return err
+			}
+			if _, err := eb.Recv(rb); err != nil {
+				return err
+			}
+		}
+
+		dDelta := descSend.Snapshot().Delta(d0)
+		t.AddRow(string(run.proto), report.Bytes(run.size),
+			fmt.Sprint(dDelta.Count),
+			dmaTX.Snapshot().Delta(tx0).Mean()/1000.0,
+			wire.Snapshot().Delta(w0).Mean()/1000.0,
+			dmaRX.Snapshot().Delta(rx0).Mean()/1000.0,
+			dDelta.Mean()/1000.0)
+	}
+	t.Fprint(w)
+
+	// Cache behaviour under the zero-copy path: the first send of a
+	// buffer misses and registers; resending the same buffer hits.
+	sb, err := ea.Process().Malloc(256 * 1024)
+	if err != nil {
+		return err
+	}
+	rb, err := eb.Process().Malloc(256 * 1024)
+	if err != nil {
+		return err
+	}
+	hits := reg.Counter("regcache.hits")
+	misses := reg.Counter("regcache.misses")
+	h0, m0 := hits.Load(), misses.Load()
+	ct := report.Table{
+		Title:   "E18c: registration cache behaviour (zero-copy resend of one buffer pair)",
+		Note:    "send 1 misses on both sides and registers; later sends hit the cached registrations",
+		Headers: []string{"send", "hits", "misses"},
+	}
+	for i := 1; i <= 3; i++ {
+		done := make(chan error, 1)
+		go func() {
+			_, err := eb.Recv(rb)
+			done <- err
+		}()
+		if _, err := ea.Send(sb, msg.ZeroCopy); err != nil {
+			return err
+		}
+		if err := <-done; err != nil {
+			return err
+		}
+		ct.AddRow(fmt.Sprint(i), fmt.Sprint(hits.Load()-h0), fmt.Sprint(misses.Load()-m0))
+	}
+	ct.Fprint(w)
+	return nil
+}
+
+// obsTraceSummary tabulates the trace ring's contents per subsystem.
+func obsTraceSummary(w io.Writer, trc *trace.Tracer) {
+	events := trc.Snapshot()
+	perCat := map[string]uint64{}
+	for _, ev := range events {
+		perCat[ev.Kind.Category()]++
+	}
+	t := report.Table{
+		Title:   "E18d: trace events by subsystem",
+		Note:    fmt.Sprintf("ring capacity %d, %d emitted, %d dropped", trc.Capacity(), trc.Emitted(), trc.Dropped()),
+		Headers: []string{"subsystem", "events"},
+	}
+	for _, cat := range []string{"kagent", "regcache", "via", "msg"} {
+		t.AddRow(cat, fmt.Sprint(perCat[cat]))
+	}
+	t.Fprint(w)
+}

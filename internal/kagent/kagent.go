@@ -24,6 +24,7 @@ import (
 	"repro/internal/mm"
 	"repro/internal/pgtable"
 	"repro/internal/phys"
+	"repro/internal/trace"
 	"repro/internal/via"
 )
 
@@ -74,6 +75,9 @@ type Agent struct {
 	// inj guards the registration path (SiteRegister); nil in
 	// production.
 	inj atomic.Pointer[faultinject.Injector]
+	// obs is the attached observer (set through AttachObs, nil in
+	// production).
+	obs atomic.Pointer[agentObs]
 
 	nextID atomic.Int64
 	shards [regShards]regShard
@@ -113,24 +117,31 @@ func (a *Agent) Kernel() *mm.Kernel { return a.kernel }
 // with the NIC under the given tag and attributes.  Each call is an
 // independent registration.
 func (a *Agent) RegisterMem(as *mm.AddressSpace, addr pgtable.VAddr, length int, tag via.ProtectionTag, attrs via.MemAttrs) (*Registration, error) {
+	st := a.regStart(trace.KindRegister, uint64(addr), length)
 	// The VipRegisterMem ioctl: one kernel call regardless of strategy.
 	if m := a.kernel.Meter(); m != nil {
 		m.Charge(m.Costs.KernelCall)
 	}
+	st.mark(trace.KindRegister, uint64(addr))
 	if inj := a.inj.Load(); inj != nil {
 		if err := inj.Check(faultinject.Op{Site: SiteRegister, Key: uint64(addr), N: length}); err != nil {
+			st.finishErr(trace.KindRegister)
 			return nil, fmt.Errorf("%w: %w", ErrRegistrationFault, err)
 		}
 	}
 	lock, err := a.locker.Lock(a.kernel, as, addr, length)
 	if err != nil {
+		st.finishErr(trace.KindRegister)
 		return nil, fmt.Errorf("kagent: lock (%s): %w", a.locker.Name(), err)
 	}
+	st.mark(trace.KindPin, uint64(len(lock.Pages)))
 	handle, err := a.nic.RegisterMemory(lock.Pages, lock.Offset, length, tag, attrs)
 	if err != nil {
 		_ = lock.Unlock()
+		st.finishErr(trace.KindRegister)
 		return nil, fmt.Errorf("kagent: TPT registration: %w", err)
 	}
+	st.mark(trace.KindTPTInsert, uint64(len(lock.Pages)))
 	reg := &Registration{
 		ID:     int(a.nextID.Add(1)),
 		Handle: handle,
@@ -144,12 +155,14 @@ func (a *Agent) RegisterMem(as *mm.AddressSpace, addr pgtable.VAddr, length int,
 	s.mu.Lock()
 	s.regs[reg.ID] = reg
 	s.mu.Unlock()
+	st.finishOK(trace.KindRegister, uint64(handle))
 	return reg, nil
 }
 
 // DeregisterMem removes the registration: TPT slots are invalidated and
 // the lock is released.
 func (a *Agent) DeregisterMem(reg *Registration) error {
+	st := a.regStart(trace.KindDeregister, uint64(reg.Addr), reg.Length)
 	// The VipDeregisterMem ioctl.
 	if m := a.kernel.Meter(); m != nil {
 		m.Charge(m.Costs.KernelCall)
@@ -158,15 +171,20 @@ func (a *Agent) DeregisterMem(reg *Registration) error {
 	s.mu.Lock()
 	if _, ok := s.regs[reg.ID]; !ok {
 		s.mu.Unlock()
+		st.finishErr(trace.KindDeregister)
 		return fmt.Errorf("%w: %d", ErrUnknownRegistration, reg.ID)
 	}
 	delete(s.regs, reg.ID)
 	s.mu.Unlock()
 	if err := a.nic.DeregisterMemory(reg.Handle); err != nil {
 		_ = reg.lock.Unlock()
+		st.finishErr(trace.KindDeregister)
 		return err
 	}
-	return reg.lock.Unlock()
+	st.mark(trace.KindTPTInvalidate, uint64(len(reg.lock.Pages)))
+	err := reg.lock.Unlock()
+	st.finishOK(trace.KindDeregister, uint64(reg.Handle))
+	return err
 }
 
 // Registrations reports how many registrations are live.

@@ -1,0 +1,130 @@
+package kagent
+
+import (
+	"repro/internal/metrics"
+	"repro/internal/simtime"
+	"repro/internal/trace"
+)
+
+// Observability (DESIGN.md §8).  The agent mirrors the NIC's discipline:
+// an atomically attached observer with pre-resolved instruments, one
+// atomic load and a branch per registration when detached, and no
+// allocation on either path.
+
+// agentObs bundles the tracer and the registration-path instruments.
+type agentObs struct {
+	trc *trace.Tracer
+
+	// Registration cost decomposition, sim-ns: the whole ioctl and its
+	// three stages (kernel-call entry, page lock/pin, TPT insert).
+	regTotal  *metrics.Histogram
+	regKernel *metrics.Histogram
+	regPin    *metrics.Histogram
+	regTPT    *metrics.Histogram
+	// Deregistration cost, sim-ns.
+	deregTotal *metrics.Histogram
+
+	registers    *metrics.Counter
+	registerErrs *metrics.Counter
+	deregisters  *metrics.Counter
+}
+
+// AttachObs attaches (or, with two nils, detaches) an observer to the
+// agent's registration path.  Either argument may be nil: a nil tracer
+// records only metrics, a nil registry only trace events.
+func (a *Agent) AttachObs(trc *trace.Tracer, reg *metrics.Registry) {
+	if trc == nil && reg == nil {
+		a.obs.Store(nil)
+		return
+	}
+	a.obs.Store(&agentObs{
+		trc:          trc,
+		regTotal:     reg.Histogram("kagent.reg.total.simns"),
+		regKernel:    reg.Histogram("kagent.reg.kernel.simns"),
+		regPin:       reg.Histogram("kagent.reg.pin.simns"),
+		regTPT:       reg.Histogram("kagent.reg.tpt.simns"),
+		deregTotal:   reg.Histogram("kagent.dereg.total.simns"),
+		registers:    reg.Counter("kagent.registers"),
+		registerErrs: reg.Counter("kagent.register.errors"),
+		deregisters:  reg.Counter("kagent.deregisters"),
+	})
+}
+
+// regStage measures the virtual-time stages of one registration.  The
+// zero value (observer detached) is inert.
+type regStage struct {
+	obs   *agentObs
+	m     *simtime.Meter
+	span  trace.SpanID
+	start simtime.Duration
+	last  simtime.Duration
+}
+
+// regStart opens a registration span (inert when detached or unmetered).
+func (a *Agent) regStart(k trace.Kind, addr uint64, length int) regStage {
+	obs := a.obs.Load()
+	if obs == nil {
+		return regStage{}
+	}
+	m := a.kernel.Meter()
+	if m == nil {
+		return regStage{}
+	}
+	now := m.Now()
+	return regStage{
+		obs:   obs,
+		m:     m,
+		span:  obs.trc.Begin(k, addr, uint64(length)),
+		start: now,
+		last:  now,
+	}
+}
+
+// mark records the sim-ns delta since the previous mark into the kind's
+// stage histogram plus an instant event carrying (pages-or-bytes, delta).
+func (s *regStage) mark(k trace.Kind, arg uint64) {
+	if s.obs == nil {
+		return
+	}
+	now := s.m.Now()
+	d := now - s.last
+	s.last = now
+	var h *metrics.Histogram
+	switch k {
+	case trace.KindRegister, trace.KindDeregister:
+		h = s.obs.regKernel
+	case trace.KindPin:
+		h = s.obs.regPin
+	case trace.KindTPTInsert, trace.KindTPTInvalidate:
+		h = s.obs.regTPT
+	}
+	h.Observe(int64(d))
+	s.obs.trc.Instant(k, arg, uint64(d))
+}
+
+// finishOK ends the span successfully (Arg1 = 1, Arg2 = the NIC handle)
+// and records the total cost into the kind's histogram.  The handle in
+// the end event is what the registration-pairing invariant test matches
+// registrations against deregistrations with.
+func (s *regStage) finishOK(k trace.Kind, handle uint64) { s.finish(k, 1, handle) }
+
+// finishErr ends the span as failed (Arg1 = 0, Arg2 = 0).
+func (s *regStage) finishErr(k trace.Kind) { s.finish(k, 0, 0) }
+
+func (s *regStage) finish(k trace.Kind, okArg, handle uint64) {
+	if s.obs == nil {
+		return
+	}
+	h := s.obs.regTotal
+	if k == trace.KindDeregister {
+		h = s.obs.deregTotal
+		s.obs.deregisters.Inc()
+	} else {
+		s.obs.registers.Inc()
+		if okArg == 0 {
+			s.obs.registerErrs.Inc()
+		}
+	}
+	h.Observe(int64(s.m.Now() - s.start))
+	s.obs.trc.End(s.span, k, okArg, handle)
+}

@@ -1,0 +1,271 @@
+// Package metrics provides the lock-free instruments behind the
+// observability layer: atomic counters and log₂-scaled latency
+// histograms with snapshot/percentile export, grouped in a named
+// registry.
+//
+// The recording paths (Counter.Inc/Add, Histogram.Observe) are a
+// handful of atomic operations — no locks, no allocation — so they can
+// sit on the descriptor data path.  Consumers resolve their instruments
+// once at attach time (Registry.Counter/Histogram are map lookups under
+// a mutex) and keep the pointers, following the same discipline as
+// faultinject: detached means a nil observer pointer and one atomic
+// load per instrumentation point.
+//
+// Every instrument method is safe on a nil receiver (no-op / zero), so
+// an observer built against a nil registry records nothing.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotone atomic counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one (no-op on a nil counter).
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Load reads the current value (0 on a nil counter).
+func (c *Counter) Load() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// histBuckets is the bucket count: bucket i holds values whose bit
+// length is i, i.e. [2^(i-1), 2^i) for i ≥ 1 and {0} for i = 0.  64
+// buckets cover the whole uint64 range.
+const histBuckets = 65
+
+// Histogram is a lock-free log₂-scaled histogram of non-negative
+// values (negative observations clamp to zero).  The exact sum and
+// count are kept alongside the buckets, so Mean is exact while
+// quantiles are bucket-resolution estimates.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	max     atomic.Uint64
+	buckets [histBuckets]atomic.Uint64
+}
+
+// Observe records one value (no-op on a nil histogram).
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	u := uint64(v)
+	if v < 0 {
+		u = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(u)
+	h.buckets[bits.Len64(u)].Add(1)
+	for {
+		m := h.max.Load()
+		if u <= m || h.max.CompareAndSwap(m, u) {
+			break
+		}
+	}
+}
+
+// Count reads the observation count (0 on a nil histogram).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// HistSnapshot is a point-in-time copy of a histogram.
+type HistSnapshot struct {
+	Count   uint64
+	Sum     uint64
+	Max     uint64
+	Buckets [histBuckets]uint64
+}
+
+// Snapshot copies the histogram's state.  Concurrent observers may keep
+// recording; the snapshot is bounded between the histogram's state when
+// the call starts and when it returns.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	if h == nil {
+		return s
+	}
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	s.Max = h.max.Load()
+	for i := range s.Buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// Delta subtracts an earlier snapshot, yielding the distribution of
+// observations made between the two.  Max carries the later snapshot's
+// value (a running maximum cannot be windowed).
+func (s HistSnapshot) Delta(prev HistSnapshot) HistSnapshot {
+	d := HistSnapshot{Count: s.Count - prev.Count, Sum: s.Sum - prev.Sum, Max: s.Max}
+	for i := range s.Buckets {
+		d.Buckets[i] = s.Buckets[i] - prev.Buckets[i]
+	}
+	return d
+}
+
+// Mean is the exact average of the snapshot's observations (0 if empty).
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile estimates the q-quantile (0 < q ≤ 1) at bucket resolution:
+// it returns the geometric midpoint of the bucket holding the q-th
+// observation, clamped to the observed maximum.
+func (s HistSnapshot) Quantile(q float64) uint64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(s.Count))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen uint64
+	for i, b := range s.Buckets {
+		seen += b
+		if seen >= rank {
+			var mid uint64
+			switch i {
+			case 0:
+				mid = 0
+			case 1:
+				mid = 1
+			default:
+				lo := uint64(1) << (i - 1)
+				mid = lo + lo/2
+			}
+			if mid > s.Max {
+				mid = s.Max
+			}
+			return mid
+		}
+	}
+	return s.Max
+}
+
+// Registry is a named set of instruments.  Instruments are created on
+// first use and live for the registry's lifetime; resolving one is a
+// locked map lookup, so consumers should resolve at attach time, not on
+// the hot path.  A nil registry hands out nil instruments, which record
+// nothing.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	hists    map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use (nil on a
+// nil registry).
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Histogram returns the named histogram, creating it on first use (nil
+// on a nil registry).
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Fprint dumps every instrument as aligned plain text, sorted by name:
+// counters first, then histograms with count / mean / p50 / p90 / p99 /
+// max columns.  Histogram values are printed raw (the stack records
+// sim-nanoseconds) plus a microsecond rendering of the mean.
+func (r *Registry) Fprint(w io.Writer) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	cnames := make([]string, 0, len(r.counters))
+	for n := range r.counters {
+		cnames = append(cnames, n)
+	}
+	hnames := make([]string, 0, len(r.hists))
+	for n := range r.hists {
+		hnames = append(hnames, n)
+	}
+	counters := make(map[string]*Counter, len(r.counters))
+	for n, c := range r.counters {
+		counters[n] = c
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for n, h := range r.hists {
+		hists[n] = h
+	}
+	r.mu.Unlock()
+
+	sort.Strings(cnames)
+	sort.Strings(hnames)
+	if len(cnames) > 0 {
+		fmt.Fprintln(w, "counters:")
+		for _, n := range cnames {
+			fmt.Fprintf(w, "  %-36s %d\n", n, counters[n].Load())
+		}
+	}
+	if len(hnames) > 0 {
+		fmt.Fprintln(w, "histograms: (count mean p50 p90 p99 max; mean-µs)")
+		for _, n := range hnames {
+			s := hists[n].Snapshot()
+			fmt.Fprintf(w, "  %-36s %d %.0f %d %d %d %d; %.3f\n",
+				n, s.Count, s.Mean(), s.Quantile(0.50), s.Quantile(0.90), s.Quantile(0.99), s.Max,
+				s.Mean()/1000.0)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Load(); got != 42 {
+		t.Fatalf("Load = %d, want 42", got)
+	}
+}
+
+func TestNilInstrumentsSafe(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(5)
+	if c.Load() != 0 {
+		t.Fatal("nil counter loaded nonzero")
+	}
+	var h *Histogram
+	h.Observe(7)
+	if h.Count() != 0 {
+		t.Fatal("nil histogram counted")
+	}
+	s := h.Snapshot()
+	if s.Count != 0 || s.Mean() != 0 || s.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram snapshot nonzero")
+	}
+	var r *Registry
+	if r.Counter("x") != nil || r.Histogram("y") != nil {
+		t.Fatal("nil registry handed out instruments")
+	}
+	var buf bytes.Buffer
+	r.Fprint(&buf)
+	if buf.Len() != 0 {
+		t.Fatal("nil registry printed output")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	// Bucket i holds values of bit length i: 0→0, 1→1, [2,3]→2, [4,7]→3...
+	for _, v := range []int64{0, 1, 2, 3, 4, 7, 8, 1 << 40} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 8 {
+		t.Fatalf("Count = %d, want 8", s.Count)
+	}
+	wantBuckets := map[int]uint64{0: 1, 1: 1, 2: 2, 3: 2, 4: 1, 41: 1}
+	for i, n := range s.Buckets {
+		if n != wantBuckets[i] {
+			t.Errorf("bucket %d = %d, want %d", i, n, wantBuckets[i])
+		}
+	}
+	if s.Max != 1<<40 {
+		t.Fatalf("Max = %d, want %d", s.Max, int64(1)<<40)
+	}
+	if want := float64(0+1+2+3+4+7+8+(1<<40)) / 8; s.Mean() != want {
+		t.Fatalf("Mean = %v, want %v", s.Mean(), want)
+	}
+}
+
+func TestNegativeObservationsClampToZero(t *testing.T) {
+	var h Histogram
+	h.Observe(-5)
+	s := h.Snapshot()
+	if s.Count != 1 || s.Sum != 0 || s.Buckets[0] != 1 {
+		t.Fatalf("negative observation not clamped: %+v", s)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Observe(1000) // bucket 10: [512, 1024)
+	}
+	h.Observe(70000) // one outlier in bucket [65536, 131072)
+	s := h.Snapshot()
+	// p50 lands in the 1000s bucket; geometric midpoint of [512,1024) is 768.
+	if got := s.Quantile(0.5); got != 768 {
+		t.Fatalf("p50 = %d, want 768", got)
+	}
+	// p100 reaches the outlier's bucket, whose midpoint (98304) exceeds
+	// the observed maximum — the estimate clamps to it.
+	if got := s.Quantile(1.0); got != 70000 {
+		t.Fatalf("p100 = %d, want 70000 (clamped to max)", got)
+	}
+	if got := (HistSnapshot{}).Quantile(0.99); got != 0 {
+		t.Fatalf("empty quantile = %d, want 0", got)
+	}
+}
+
+func TestSnapshotDelta(t *testing.T) {
+	var h Histogram
+	h.Observe(10)
+	h.Observe(20)
+	before := h.Snapshot()
+	h.Observe(30)
+	h.Observe(40)
+	d := h.Snapshot().Delta(before)
+	if d.Count != 2 || d.Sum != 70 {
+		t.Fatalf("delta = count %d sum %d, want 2/70", d.Count, d.Sum)
+	}
+	if d.Mean() != 35 {
+		t.Fatalf("delta mean = %v, want 35", d.Mean())
+	}
+}
+
+func TestRegistrySharesInstruments(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x")
+	b := r.Counter("x")
+	if a != b {
+		t.Fatal("same name resolved to different counters")
+	}
+	h1 := r.Histogram("y")
+	h2 := r.Histogram("y")
+	if h1 != h2 {
+		t.Fatal("same name resolved to different histograms")
+	}
+	if r.Counter("other") == a {
+		t.Fatal("different names shared a counter")
+	}
+}
+
+func TestFprint(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b.count").Add(3)
+	r.Counter("a.count").Add(1)
+	r.Histogram("lat").Observe(1500)
+	var buf bytes.Buffer
+	r.Fprint(&buf)
+	out := buf.String()
+	ia, ib := strings.Index(out, "a.count"), strings.Index(out, "b.count")
+	if ia < 0 || ib < 0 || ia > ib {
+		t.Fatalf("counters missing or unsorted:\n%s", out)
+	}
+	if !strings.Contains(out, "lat") || !strings.Contains(out, "1500") {
+		t.Fatalf("histogram line missing:\n%s", out)
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("hits")
+			h := r.Histogram("lat")
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(int64(i))
+				_ = h.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("hits").Load(); got != 8000 {
+		t.Fatalf("hits = %d, want 8000", got)
+	}
+	s := r.Histogram("lat").Snapshot()
+	if s.Count != 8000 || s.Max != 999 {
+		t.Fatalf("histogram count %d max %d, want 8000/999", s.Count, s.Max)
+	}
+}

@@ -14,6 +14,7 @@ package msg
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/phys"
 	"repro/internal/proc"
@@ -134,6 +135,10 @@ type Endpoint struct {
 	// credits gate this endpoint's inline sends: one token per free
 	// receive slot at the peer.  The peer refills it after reposting.
 	credits chan struct{}
+
+	// obs is the attached observer (set through AttachObs, nil in
+	// production).
+	obs atomic.Pointer[epObs]
 
 	// Reliability layer (nil unless EnableReliability was called).
 	rel           *relState

@@ -1,0 +1,65 @@
+package msg
+
+import (
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// Observability (DESIGN.md §8).  The endpoint mirrors the stack-wide
+// discipline: an atomically attached observer, one atomic load and a
+// branch per reliability event when detached, no allocation either way.
+// The hot send/receive path itself carries no hooks — only the
+// reliability slow path (retry, backoff, recovery, dedup) is
+// instrumented, which is where the interesting events are.
+
+// epObs bundles the tracer and the endpoint's reliability instruments.
+type epObs struct {
+	trc *trace.Tracer
+
+	retries    *metrics.Counter
+	recoveries *metrics.Counter
+	ackRescues *metrics.Counter
+	duplicates *metrics.Counter
+	aborts     *metrics.Counter
+
+	// backoffNS is the wall-clock backoff slept per retry, in
+	// nanoseconds (backoff is real sleeping, not virtual time).
+	backoffNS *metrics.Histogram
+}
+
+// AttachObs attaches (or, with two nils, detaches) an observer to the
+// endpoint's reliability layer.  Either argument may be nil: a nil
+// tracer records only metrics, a nil registry only trace events.
+func (e *Endpoint) AttachObs(trc *trace.Tracer, reg *metrics.Registry) {
+	if trc == nil && reg == nil {
+		e.obs.Store(nil)
+		return
+	}
+	e.obs.Store(&epObs{
+		trc:        trc,
+		retries:    reg.Counter("msg.retries"),
+		recoveries: reg.Counter("msg.recoveries"),
+		ackRescues: reg.Counter("msg.ack.rescues"),
+		duplicates: reg.Counter("msg.duplicates"),
+		aborts:     reg.Counter("msg.aborts"),
+		backoffNS:  reg.Histogram("msg.backoff.wallns"),
+	})
+}
+
+// event emits a reliability trace instant and bumps the matching
+// counter.  Arg conventions follow trace.Kind's documentation.
+func (o *epObs) event(k trace.Kind, a1, a2 uint64) {
+	switch k {
+	case trace.KindRetry:
+		o.retries.Inc()
+	case trace.KindRecovery:
+		o.recoveries.Inc()
+	case trace.KindAckRescue:
+		o.ackRescues.Inc()
+	case trace.KindDuplicate:
+		o.duplicates.Inc()
+	case trace.KindAbort:
+		o.aborts.Inc()
+	}
+	o.trc.Instant(k, a1, a2)
+}

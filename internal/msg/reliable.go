@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"repro/internal/proc"
+	"repro/internal/trace"
 	"repro/internal/via"
 )
 
@@ -151,9 +152,15 @@ func (e *Endpoint) sendReliable(b *proc.Buffer, eager bool) (int, error) {
 	for attempt := 0; attempt <= e.rel.cfg.MaxRetries; attempt++ {
 		if attempt > 0 {
 			e.rel.stats.Retries++
+			if obs := e.obs.Load(); obs != nil {
+				obs.event(trace.KindRetry, seq, uint64(attempt))
+			}
 			e.sleepBackoff(attempt - 1)
 			if err := e.recoverSender(); err != nil {
 				e.rel.stats.Aborts++
+				if obs := e.obs.Load(); obs != nil {
+					obs.event(trace.KindAbort, seq, uint64(attempt))
+				}
 				e.sendCtrl(ctrlMsg{kind: kAbort})
 				return 0, fmt.Errorf("msg: connection recovery failed: %w", err)
 			}
@@ -172,11 +179,17 @@ func (e *Endpoint) sendReliable(b *proc.Buffer, eager bool) (int, error) {
 			// retransmit, no handshake.  (The VI pair is still in the
 			// error state; the next send recovers it.)
 			e.rel.stats.AckRescues++
+			if obs := e.obs.Load(); obs != nil {
+				obs.event(trace.KindAckRescue, seq, uint64(b.Bytes))
+			}
 			return b.Bytes, nil
 		}
 		lastErr = err
 	}
 	e.rel.stats.Aborts++
+	if obs := e.obs.Load(); obs != nil {
+		obs.event(trace.KindAbort, seq, uint64(e.rel.cfg.MaxRetries+1))
+	}
 	e.sendCtrl(ctrlMsg{kind: kAbort})
 	return 0, fmt.Errorf("%w after %d attempts: %v", ErrRetriesExhausted, e.rel.cfg.MaxRetries+1, lastErr)
 }
@@ -188,6 +201,10 @@ func (e *Endpoint) sleepBackoff(attempt int) {
 		d = e.rel.cfg.BackoffMax
 	}
 	d += time.Duration(e.rel.rng.Int63n(int64(d)/4 + 1))
+	if obs := e.obs.Load(); obs != nil {
+		obs.backoffNS.Observe(int64(d))
+		obs.trc.Instant(trace.KindBackoff, uint64(attempt), uint64(d))
+	}
 	time.Sleep(d)
 }
 
@@ -351,6 +368,9 @@ func (e *Endpoint) recoverSender() error {
 	}
 	e.sendCtrl(ctrlMsg{kind: kRingRepost})
 	e.rel.stats.Recoveries++
+	if obs := e.obs.Load(); obs != nil {
+		obs.event(trace.KindRecovery, e.nextSeq, 0)
+	}
 	return nil
 }
 
@@ -386,6 +406,9 @@ func (e *Endpoint) handlePeerReset() error {
 // granted so the flow-control state stays balanced.
 func (e *Endpoint) drainDuplicate(m ctrlMsg) error {
 	e.rel.stats.Duplicates++
+	if obs := e.obs.Load(); obs != nil {
+		obs.event(trace.KindDuplicate, m.seq, uint64(m.nchunks))
+	}
 	for c := 0; c < m.nchunks; c++ {
 		slot := int(e.rxIdx % RingSlots)
 		d := e.ringDescs[slot]

@@ -1,0 +1,159 @@
+package regcache
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/phys"
+	"repro/internal/proc"
+	"repro/internal/trace"
+	"repro/internal/via"
+	"repro/internal/vipl"
+)
+
+// TestInvariantConcurrentAcquireRelease hammers one capacity-bounded
+// cache with random concurrent Acquire/Release/Flush traffic and then
+// checks the structural invariants the cache must uphold:
+//
+//   - no Acquire or Release ever fails,
+//   - refcounts never go negative (every release is accepted, and after
+//     the drain every surviving entry is idle),
+//   - nothing leaks: after a final Flush the cache is empty and the
+//     kernel agent holds zero registrations,
+//   - every NIC registration the agent performed is paired with exactly
+//     one deregistration, proven from the trace-event stream.
+func TestInvariantConcurrentAcquireRelease(t *testing.T) {
+	const (
+		workers    = 8
+		iters      = 300
+		buffers    = 6
+		bufPages   = 4
+		maxRegions = 4 // small on purpose: force constant eviction
+	)
+	r := newRig(t, 1024)
+	// The event pairing proof needs the complete stream: size the ring
+	// for every register/deregister span the run can possibly emit.
+	trc := trace.New(r.k.Meter(), 1<<17)
+	reg := metrics.NewRegistry()
+	r.nic.Agent().AttachObs(trc, reg)
+	c := New(r.nic, maxRegions)
+	c.AttachObs(trc, reg)
+
+	bufs := make([]*proc.Buffer, buffers)
+	for i := range bufs {
+		bufs[i] = r.buf(t, bufPages)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			held := make([]*vipl.MemRegion, 0, 4)
+			for i := 0; i < iters; i++ {
+				switch {
+				case len(held) > 0 && rng.Intn(3) == 0:
+					// Release a random held region.
+					j := rng.Intn(len(held))
+					if err := c.Release(held[j]); err != nil {
+						t.Errorf("Release: %v", err)
+						return
+					}
+					held = append(held[:j], held[j+1:]...)
+				case rng.Intn(40) == 0:
+					// Trim everything idle.
+					if _, err := c.Flush(); err != nil {
+						t.Errorf("Flush: %v", err)
+						return
+					}
+				default:
+					b := bufs[rng.Intn(buffers)]
+					off := rng.Intn(bufPages) * phys.PageSize
+					length := (rng.Intn(bufPages-off/phys.PageSize) + 1) * phys.PageSize
+					class := ClassUser
+					if rng.Intn(4) == 0 {
+						class = ClassPersistent
+					}
+					mr, err := c.Acquire(b, off, length, via.MemAttrs{}, class)
+					if err != nil {
+						t.Errorf("Acquire(off=%d len=%d): %v", off, length, err)
+						return
+					}
+					held = append(held, mr)
+				}
+			}
+			for _, mr := range held {
+				if err := c.Release(mr); err != nil {
+					t.Errorf("drain Release: %v", err)
+					return
+				}
+			}
+		}(int64(w + 1))
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// After the drain every surviving entry must be idle (refs == 0):
+	// a negative or stuck refcount would show up here.
+	c.mu.Lock()
+	for _, e := range c.regions {
+		if e.refs != 0 {
+			t.Errorf("entry %v still has %d refs after drain", e.key, e.refs)
+		}
+	}
+	c.mu.Unlock()
+
+	// Nothing may leak: a full flush empties the cache and the agent.
+	if _, err := c.Flush(); err != nil {
+		t.Fatalf("final Flush: %v", err)
+	}
+	if got := c.Len(); got != 0 {
+		t.Fatalf("cache holds %d entries after final flush", got)
+	}
+	if got := r.nic.Agent().Registrations(); got != 0 {
+		t.Fatalf("agent still holds %d registrations after final flush", got)
+	}
+
+	// Every registration deregistered exactly once, per the trace.
+	if d := trc.Dropped(); d != 0 {
+		t.Fatalf("trace ring dropped %d events; pairing proof needs the full stream", d)
+	}
+	live := map[uint64]int{} // handle -> net registrations
+	registers := 0
+	for _, ev := range trc.Snapshot() {
+		if ev.Phase != trace.PhaseEnd || ev.Arg1 != 1 {
+			continue // only successful completions carry a handle
+		}
+		switch ev.Kind {
+		case trace.KindRegister:
+			live[ev.Arg2]++
+			registers++
+			if live[ev.Arg2] > 1 {
+				t.Fatalf("handle %d registered twice without a deregister", ev.Arg2)
+			}
+		case trace.KindDeregister:
+			live[ev.Arg2]--
+			if live[ev.Arg2] < 0 {
+				t.Fatalf("handle %d deregistered more often than registered", ev.Arg2)
+			}
+		}
+	}
+	if registers == 0 {
+		t.Fatal("trace recorded no registrations; harness is not exercising the path")
+	}
+	for h, n := range live {
+		if n != 0 {
+			t.Errorf("handle %d has %d unmatched registrations", h, n)
+		}
+	}
+	// The workload must have hit all three cache paths.
+	s := c.Stats()
+	if s.Hits == 0 || s.Misses == 0 || s.Evictions == 0 {
+		t.Fatalf("workload too tame: %+v", s)
+	}
+}

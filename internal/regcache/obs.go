@@ -1,0 +1,74 @@
+package regcache
+
+import (
+	"repro/internal/metrics"
+	"repro/internal/simtime"
+	"repro/internal/trace"
+)
+
+// Observability (DESIGN.md §8).  Same discipline as the NIC and the
+// kernel agent: an atomically attached observer, one atomic load and a
+// branch per cache operation when detached, no allocation either way.
+
+// cacheObs bundles the tracer and the cache's instruments.
+type cacheObs struct {
+	trc *trace.Tracer
+	m   *simtime.Meter // the node's meter, for miss-cost windows (may be nil)
+
+	hits    *metrics.Counter
+	misses  *metrics.Counter
+	waits   *metrics.Counter
+	evicts  *metrics.Counter
+	flushes *metrics.Counter
+
+	// missSim is the virtual cost of a single-flight leader's
+	// registration (the kernel call + pin + TPT work a hit avoids).
+	missSim *metrics.Histogram
+}
+
+// AttachObs attaches (or, with two nils, detaches) an observer.  Either
+// argument may be nil: a nil tracer records only metrics, a nil
+// registry only trace events.
+func (c *Cache) AttachObs(trc *trace.Tracer, reg *metrics.Registry) {
+	if trc == nil && reg == nil {
+		c.obs.Store(nil)
+		return
+	}
+	c.obs.Store(&cacheObs{
+		trc:     trc,
+		m:       c.nic.Agent().Kernel().Meter(),
+		hits:    reg.Counter("regcache.hits"),
+		misses:  reg.Counter("regcache.misses"),
+		waits:   reg.Counter("regcache.waits"),
+		evicts:  reg.Counter("regcache.evictions"),
+		flushes: reg.Counter("regcache.flushes"),
+		missSim: reg.Histogram("regcache.miss.simns"),
+	})
+}
+
+// event emits a cache trace instant (Arg1 = buffer address, Arg2 =
+// length) and bumps the matching counter.
+func (o *cacheObs) event(k trace.Kind, addr uint64, length int) {
+	switch k {
+	case trace.KindCacheHit:
+		o.hits.Inc()
+	case trace.KindCacheMiss:
+		o.misses.Inc()
+	case trace.KindCacheWait:
+		o.waits.Inc()
+	case trace.KindCacheEvict:
+		o.evicts.Inc()
+	case trace.KindCacheFlush:
+		o.flushes.Inc()
+	}
+	o.trc.Instant(k, addr, uint64(length))
+}
+
+// now reads the node's virtual clock (0 when unmetered), for windowing
+// a miss's registration cost.
+func (o *cacheObs) now() simtime.Duration {
+	if o.m == nil {
+		return 0
+	}
+	return o.m.Now()
+}

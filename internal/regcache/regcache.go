@@ -24,9 +24,12 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/pgtable"
 	"repro/internal/proc"
+	"repro/internal/simtime"
+	"repro/internal/trace"
 	"repro/internal/via"
 	"repro/internal/vipl"
 )
@@ -107,6 +110,10 @@ type entry struct {
 // Cache is a registration cache for one process's NIC handle.
 type Cache struct {
 	nic *vipl.Nic
+
+	// obs is the attached observer (set through AttachObs, nil in
+	// production).
+	obs atomic.Pointer[cacheObs]
 
 	mu sync.Mutex
 	// MaxRegions bounds the number of cached regions (a proxy for TPT
@@ -211,6 +218,9 @@ func (c *Cache) Acquire(b *proc.Buffer, off, length int, attrs via.MemAttrs, cla
 				// Registration in flight: wait for the leader.
 				ready := e.ready
 				c.mu.Unlock()
+				if obs := c.obs.Load(); obs != nil {
+					obs.event(trace.KindCacheWait, uint64(k.addr), length)
+				}
 				<-ready
 				c.mu.Lock()
 				if e.err != nil {
@@ -221,6 +231,9 @@ func (c *Cache) Acquire(b *proc.Buffer, off, length int, attrs via.MemAttrs, cla
 					c.holdLocked(e, class)
 					c.stats.Hits++
 					c.mu.Unlock()
+					if obs := c.obs.Load(); obs != nil {
+						obs.event(trace.KindCacheHit, uint64(k.addr), length)
+					}
 					return e.region, nil
 				}
 				// Materialized and already evicted in the window before we
@@ -231,6 +244,9 @@ func (c *Cache) Acquire(b *proc.Buffer, off, length int, attrs via.MemAttrs, cla
 			c.holdLocked(e, class)
 			c.stats.Hits++
 			c.mu.Unlock()
+			if obs := c.obs.Load(); obs != nil {
+				obs.event(trace.KindCacheHit, uint64(k.addr), length)
+			}
 			return e.region, nil
 		}
 
@@ -241,7 +257,16 @@ func (c *Cache) Acquire(b *proc.Buffer, off, length int, attrs via.MemAttrs, cla
 		c.stats.Misses++
 		c.mu.Unlock()
 
+		obs := c.obs.Load()
+		var missStart simtime.Duration
+		if obs != nil {
+			obs.event(trace.KindCacheMiss, uint64(k.addr), length)
+			missStart = obs.now()
+		}
 		region, err := c.registerWithEviction(b, off, length, attrs)
+		if obs != nil {
+			obs.missSim.Observe(int64(obs.now() - missStart))
+		}
 
 		c.mu.Lock()
 		ready := e.ready
@@ -301,6 +326,9 @@ func (c *Cache) Flush() (int, error) {
 		}
 	}
 	c.mu.Unlock()
+	if obs := c.obs.Load(); obs != nil {
+		obs.event(trace.KindCacheFlush, 0, len(victims))
+	}
 
 	var firstErr error
 	for _, v := range victims {
@@ -406,6 +434,9 @@ func (c *Cache) unlinkVictimLocked(idx int) *entry {
 	delete(c.entries, e.key)
 	delete(c.regions, e.region)
 	c.stats.Evictions++
+	if obs := c.obs.Load(); obs != nil {
+		obs.event(trace.KindCacheEvict, uint64(e.key.addr), e.key.length)
+	}
 	return e
 }
 

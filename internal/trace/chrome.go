@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Chrome trace_event exporter: renders a snapshot as the JSON object
+// format chrome://tracing and Perfetto load.  Span begin/end pairs
+// become async "b"/"e" events keyed by the span id (so spans of
+// concurrent operations nest correctly even though they interleave in
+// the ring), instants become "i" events with global scope, and counter
+// samples become "C" events.
+//
+// Timestamps are the events' virtual timestamps in microseconds — the
+// trace shows simulated time, which is what the cost decomposition is
+// about and what makes golden-file testing possible.
+
+// chromeEvent is one trace_event object.  Field order (alphabetical by
+// key at encode time is not guaranteed by encoding/json — it uses
+// struct order) is fixed by this struct, keeping output deterministic.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat"`
+	Ph    string         `json:"ph"`
+	Ts    float64        `json:"ts"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	ID    uint64         `json:"id,omitempty"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+}
+
+// WriteChrome writes the events as a Chrome trace_event JSON object.
+func WriteChrome(w io.Writer, events []Event) error {
+	out := chromeTrace{DisplayTimeUnit: "ns", TraceEvents: make([]chromeEvent, 0, len(events))}
+	for _, e := range events {
+		ce := chromeEvent{
+			Name: e.Kind.String(),
+			Cat:  e.Kind.Category(),
+			Ts:   float64(e.Sim) / 1000.0, // sim-ns → µs
+			Pid:  1,
+			Tid:  1,
+		}
+		switch e.Phase {
+		case PhaseBegin:
+			ce.Ph = "b"
+			ce.ID = uint64(e.Span)
+			ce.Args = map[string]any{"arg1": e.Arg1, "arg2": e.Arg2}
+		case PhaseEnd:
+			ce.Ph = "e"
+			ce.ID = uint64(e.Span)
+			ce.Args = map[string]any{"arg1": e.Arg1, "arg2": e.Arg2}
+		case PhaseInstant:
+			ce.Ph = "i"
+			ce.Scope = "g"
+			ce.Args = map[string]any{"arg1": e.Arg1, "arg2": e.Arg2}
+		case PhaseCounter:
+			ce.Ph = "C"
+			ce.ID = e.Arg2
+			ce.Args = map[string]any{"value": e.Arg1}
+		default:
+			continue
+		}
+		out.TraceEvents = append(out.TraceEvents, ce)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+// WriteChromeSnapshot snapshots the tracer and writes it (nil-safe).
+func (t *Tracer) WriteChromeSnapshot(w io.Writer) error {
+	return WriteChrome(w, t.Snapshot())
+}

@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// chromeFixture emits a small deterministic event sequence covering
+// every phase: a span pair, an instant, and a counter sample.
+func chromeFixture() *Tracer {
+	m := simtime.NewMeter()
+	trc := New(m, 16)
+	m.Charge(3200)
+	span := trc.Begin(KindRegister, 0x1000, 4096)
+	m.Charge(2000)
+	trc.Instant(KindPin, 1, 1200)
+	m.Charge(150)
+	trc.End(span, KindRegister, 1, 7)
+	m.Charge(650)
+	trc.Counter(KindLaneDepth, 3, 1)
+	return trc
+}
+
+func TestWriteChromeGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := chromeFixture().WriteChromeSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "chrome.golden")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("Chrome export drifted from golden file.\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestWriteChromeWellFormed(t *testing.T) {
+	var buf bytes.Buffer
+	if err := chromeFixture().WriteChromeSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// The export must parse as the trace_event JSON object format
+	// chrome://tracing loads: a traceEvents array whose entries carry
+	// name/cat/ph/ts.
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name  string         `json:"name"`
+			Cat   string         `json:"cat"`
+			Ph    string         `json:"ph"`
+			Ts    float64        `json:"ts"`
+			ID    uint64         `json:"id"`
+			Scope string         `json:"s"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 4 {
+		t.Fatalf("got %d events, want 4", len(doc.TraceEvents))
+	}
+	phases := []string{"b", "i", "e", "C"}
+	for i, ev := range doc.TraceEvents {
+		if ev.Ph != phases[i] {
+			t.Errorf("event %d ph = %q, want %q", i, ev.Ph, phases[i])
+		}
+	}
+	b, e := doc.TraceEvents[0], doc.TraceEvents[2]
+	if b.ID == 0 || b.ID != e.ID {
+		t.Errorf("span ids do not pair: begin %d, end %d", b.ID, e.ID)
+	}
+	if b.Name != e.Name || b.Cat != e.Cat {
+		t.Errorf("async pair name/cat mismatch: %q/%q vs %q/%q", b.Name, b.Cat, e.Name, e.Cat)
+	}
+	if doc.TraceEvents[1].Scope != "g" {
+		t.Errorf("instant scope = %q, want g", doc.TraceEvents[1].Scope)
+	}
+	if ts := doc.TraceEvents[0].Ts; ts != 3.2 {
+		t.Errorf("begin ts = %v µs, want 3.2 (3200 sim-ns)", ts)
+	}
+}
+
+func TestWriteChromeNilTracer(t *testing.T) {
+	var trc *Tracer
+	var buf bytes.Buffer
+	if err := trc.WriteChromeSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("nil-tracer export not valid JSON: %v", err)
+	}
+}

@@ -1,0 +1,232 @@
+// Package trace is a low-overhead, sim-time-aware event tracer for the
+// simulated VIA stack.  Subsystems (kagent, regcache, via, msg) emit
+// typed events — span begin/end pairs, instants, counter samples — into
+// a fixed-size ring of pre-allocated slots; nothing on the emit path
+// allocates, and events are stamped with the shared virtual clock so a
+// trace of a deterministic scenario is itself deterministic.
+//
+// The hot-path contract mirrors faultinject: a subsystem holds an
+// atomic pointer to its attached observer and does
+//
+//	if obs := x.obs.Load(); obs != nil { obs.trc.Instant(...) }
+//
+// so the detached (production) configuration costs one atomic load and
+// a branch per instrumentation point.  Every *Tracer method is also
+// safe on a nil receiver, for call sites that prefer not to branch.
+//
+// Spans tie a begin event to an end event through a process-unique
+// SpanID, so a registration's life (register → pin → TPT insert →
+// ... → deregister) or a descriptor's life (post → lane enqueue →
+// translate → DMA → complete) can be reconstructed even when events of
+// many concurrent operations interleave in the ring.
+package trace
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/simtime"
+)
+
+// SpanID ties a begin event to its end event.  Zero means "no span".
+type SpanID uint64
+
+// Phase is an event's structural role.
+type Phase uint8
+
+// Event phases.
+const (
+	// PhaseBegin opens a span.
+	PhaseBegin Phase = iota
+	// PhaseEnd closes the span opened by the begin event with the same
+	// SpanID.
+	PhaseEnd
+	// PhaseInstant is a point event.
+	PhaseInstant
+	// PhaseCounter samples a monotone or gauge value (Arg1), keyed by
+	// Arg2 (e.g. a lane index).
+	PhaseCounter
+
+	numPhases // sentinel for exhaustiveness tests
+)
+
+func (p Phase) String() string {
+	switch p {
+	case PhaseBegin:
+		return "begin"
+	case PhaseEnd:
+		return "end"
+	case PhaseInstant:
+		return "instant"
+	case PhaseCounter:
+		return "counter"
+	default:
+		return "phase(?)"
+	}
+}
+
+// Event is one ring entry.  Arg1/Arg2 carry kind-specific payload (a
+// handle, a byte count, a status, a lane index); see the Kind taxonomy.
+type Event struct {
+	// Seq is the global emission number (1-based, gap-free until the
+	// ring wraps).
+	Seq uint64
+	// Sim is the virtual timestamp at emission.
+	Sim simtime.Duration
+	// Span ties begin/end pairs together (0 for instants/counters).
+	Span SpanID
+	// Kind is the event type.
+	Kind Kind
+	// Phase is the structural role.
+	Phase Phase
+	// Arg1 and Arg2 are kind-specific payload.
+	Arg1, Arg2 uint64
+}
+
+// slot is one ring cell.  The per-slot mutex orders a wrapping writer
+// against a concurrent Snapshot; it is never contended on the emit path
+// until the ring wraps onto a slot a snapshot is reading.
+type slot struct {
+	mu sync.Mutex
+	ev Event
+	ok bool
+}
+
+// Tracer is a bounded event ring over a virtual clock.  All methods are
+// safe for concurrent use and safe on a nil receiver (no-ops).
+type Tracer struct {
+	meter *simtime.Meter
+	mask  uint64
+	slots []slot
+	seq   atomic.Uint64
+	spans atomic.Uint64
+}
+
+// DefaultCapacity is the ring size used when New is given a
+// non-positive capacity.
+const DefaultCapacity = 1 << 14
+
+// New creates a tracer stamping events from the meter's clock.
+// capacity is rounded up to a power of two (non-positive selects
+// DefaultCapacity).  When more than capacity events are emitted the
+// oldest are overwritten; Dropped reports how many.
+func New(meter *simtime.Meter, capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	return &Tracer{meter: meter, mask: uint64(n - 1), slots: make([]slot, n)}
+}
+
+// emit stamps and stores one event.
+func (t *Tracer) emit(ph Phase, k Kind, span SpanID, a1, a2 uint64) {
+	seq := t.seq.Add(1)
+	s := &t.slots[(seq-1)&t.mask]
+	s.mu.Lock()
+	s.ev = Event{Seq: seq, Sim: t.meter.Now(), Span: span, Kind: k, Phase: ph, Arg1: a1, Arg2: a2}
+	s.ok = true
+	s.mu.Unlock()
+}
+
+// Begin opens a span of the kind and returns its id (0 on a nil tracer).
+func (t *Tracer) Begin(k Kind, a1, a2 uint64) SpanID {
+	if t == nil {
+		return 0
+	}
+	span := SpanID(t.spans.Add(1))
+	t.emit(PhaseBegin, k, span, a1, a2)
+	return span
+}
+
+// End closes a span.  Ending span 0 (from a nil tracer's Begin) is a
+// no-op, so callers may carry span ids through detached configurations.
+func (t *Tracer) End(span SpanID, k Kind, a1, a2 uint64) {
+	if t == nil || span == 0 {
+		return
+	}
+	t.emit(PhaseEnd, k, span, a1, a2)
+}
+
+// Instant records a point event.
+func (t *Tracer) Instant(k Kind, a1, a2 uint64) {
+	if t == nil {
+		return
+	}
+	t.emit(PhaseInstant, k, 0, a1, a2)
+}
+
+// Counter samples a value (key distinguishes parallel series, e.g. a
+// lane index).
+func (t *Tracer) Counter(k Kind, value, key uint64) {
+	if t == nil {
+		return
+	}
+	t.emit(PhaseCounter, k, 0, value, key)
+}
+
+// Emitted reports how many events have been emitted in total.
+func (t *Tracer) Emitted() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.seq.Load()
+}
+
+// Dropped reports how many events have been overwritten by ring wrap.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	if n, c := t.seq.Load(), uint64(len(t.slots)); n > c {
+		return n - c
+	}
+	return 0
+}
+
+// Capacity reports the ring size in events.
+func (t *Tracer) Capacity() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.slots)
+}
+
+// Snapshot copies the retained events out of the ring in emission
+// order.  Concurrent emitters may keep writing; each slot is read
+// atomically with respect to its writer, so every returned event is
+// internally consistent.
+func (t *Tracer) Snapshot() []Event {
+	if t == nil {
+		return nil
+	}
+	out := make([]Event, 0, len(t.slots))
+	for i := range t.slots {
+		s := &t.slots[i]
+		s.mu.Lock()
+		if s.ok {
+			out = append(out, s.ev)
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// Reset clears the ring (for reuse between test phases).  Events
+// emitted concurrently with Reset may survive or vanish; callers should
+// quiesce first.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	for i := range t.slots {
+		s := &t.slots[i]
+		s.mu.Lock()
+		s.ok = false
+		s.mu.Unlock()
+	}
+}

@@ -1,0 +1,192 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+func newTestTracer(capacity int) (*Tracer, *simtime.Meter) {
+	m := simtime.NewMeter()
+	return New(m, capacity), m
+}
+
+func TestEmitAndSnapshot(t *testing.T) {
+	trc, m := newTestTracer(16)
+	m.Charge(100)
+	span := trc.Begin(KindRegister, 7, 4096)
+	if span == 0 {
+		t.Fatal("Begin returned span 0")
+	}
+	m.Charge(50)
+	trc.Instant(KindPin, 1, 0)
+	m.Charge(50)
+	trc.End(span, KindRegister, 1, 42)
+
+	evs := trc.Snapshot()
+	if len(evs) != 3 {
+		t.Fatalf("got %d events, want 3", len(evs))
+	}
+	if evs[0].Phase != PhaseBegin || evs[0].Kind != KindRegister || evs[0].Sim != 100 {
+		t.Fatalf("begin event wrong: %+v", evs[0])
+	}
+	if evs[1].Phase != PhaseInstant || evs[1].Sim != 150 {
+		t.Fatalf("instant event wrong: %+v", evs[1])
+	}
+	if evs[2].Phase != PhaseEnd || evs[2].Span != span || evs[2].Arg2 != 42 {
+		t.Fatalf("end event wrong: %+v", evs[2])
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq <= evs[i-1].Seq {
+			t.Fatalf("snapshot not seq-ordered: %d after %d", evs[i].Seq, evs[i-1].Seq)
+		}
+	}
+}
+
+func TestRingWrapKeepsNewest(t *testing.T) {
+	trc, _ := newTestTracer(8)
+	for i := 0; i < 20; i++ {
+		trc.Instant(KindTranslate, uint64(i), 0)
+	}
+	if got := trc.Emitted(); got != 20 {
+		t.Fatalf("Emitted = %d, want 20", got)
+	}
+	if got := trc.Dropped(); got != 12 {
+		t.Fatalf("Dropped = %d, want 12", got)
+	}
+	evs := trc.Snapshot()
+	if len(evs) != 8 {
+		t.Fatalf("snapshot kept %d events, want 8", len(evs))
+	}
+	// The retained events are exactly the newest 8, in order.
+	for i, ev := range evs {
+		if want := uint64(12 + i + 1); ev.Seq != want {
+			t.Fatalf("event %d has seq %d, want %d", i, ev.Seq, want)
+		}
+	}
+}
+
+func TestCapacityRoundsUpToPowerOfTwo(t *testing.T) {
+	trc, _ := newTestTracer(100)
+	if got := trc.Capacity(); got != 128 {
+		t.Fatalf("Capacity = %d, want 128", got)
+	}
+	trc, _ = newTestTracer(0)
+	if got := trc.Capacity(); got != DefaultCapacity {
+		t.Fatalf("default Capacity = %d, want %d", got, DefaultCapacity)
+	}
+}
+
+func TestNilTracerSafe(t *testing.T) {
+	var trc *Tracer
+	span := trc.Begin(KindRegister, 1, 2)
+	if span != 0 {
+		t.Fatalf("nil Begin returned %d, want 0", span)
+	}
+	trc.End(span, KindRegister, 1, 0) // and span 0 end on a live tracer below
+	trc.Instant(KindPin, 0, 0)
+	trc.Counter(KindLaneDepth, 3, 1)
+	trc.Reset()
+	if trc.Emitted() != 0 || trc.Dropped() != 0 || trc.Capacity() != 0 {
+		t.Fatal("nil tracer reported nonzero state")
+	}
+	if trc.Snapshot() != nil {
+		t.Fatal("nil tracer snapshot not nil")
+	}
+
+	live, _ := newTestTracer(8)
+	live.End(0, KindRegister, 1, 0) // ending span 0 must be a no-op
+	if got := live.Emitted(); got != 0 {
+		t.Fatalf("End(0) emitted %d events, want 0", got)
+	}
+}
+
+func TestSpanIDsUnique(t *testing.T) {
+	trc, _ := newTestTracer(8)
+	seen := map[SpanID]bool{}
+	for i := 0; i < 100; i++ {
+		s := trc.Begin(KindDescSend, 0, 0)
+		if seen[s] {
+			t.Fatalf("span id %d repeated", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestReset(t *testing.T) {
+	trc, _ := newTestTracer(8)
+	trc.Instant(KindDMA, 1, 2)
+	trc.Reset()
+	if got := trc.Snapshot(); len(got) != 0 {
+		t.Fatalf("snapshot after Reset has %d events", len(got))
+	}
+	// Emission resumes after a reset.
+	trc.Instant(KindDMA, 3, 4)
+	if got := trc.Snapshot(); len(got) != 1 {
+		t.Fatalf("snapshot after re-emit has %d events, want 1", len(got))
+	}
+}
+
+func TestConcurrentEmitAndSnapshot(t *testing.T) {
+	trc, _ := newTestTracer(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				span := trc.Begin(KindDescSend, uint64(g), uint64(i))
+				trc.Instant(KindDMA, uint64(i), 0)
+				trc.End(span, KindDescSend, 1, uint64(i))
+			}
+		}(g)
+	}
+	for s := 0; s < 4; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				evs := trc.Snapshot()
+				for j := 1; j < len(evs); j++ {
+					if evs[j].Seq <= evs[j-1].Seq {
+						t.Error("snapshot out of order")
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := trc.Emitted(), uint64(8*500*3); got != want {
+		t.Fatalf("Emitted = %d, want %d", got, want)
+	}
+}
+
+func TestKindStringsExhaustive(t *testing.T) {
+	for k := KindNone; k < numKinds; k++ {
+		s := k.String()
+		if s == "" || strings.HasPrefix(s, "kind(") {
+			t.Errorf("Kind %d has no name", uint16(k))
+		}
+		if c := k.Category(); k != KindNone && c == "other" {
+			t.Errorf("Kind %v has no category", k)
+		}
+	}
+	// Out-of-range kinds fall back to the numeric form.
+	if got := numKinds.String(); !strings.HasPrefix(got, "kind(") {
+		t.Errorf("sentinel String = %q", got)
+	}
+}
+
+func TestPhaseStringsExhaustive(t *testing.T) {
+	for p := PhaseBegin; p < numPhases; p++ {
+		if s := p.String(); s == "" || s == "phase(?)" {
+			t.Errorf("Phase %d has no name", uint8(p))
+		}
+	}
+	if got := numPhases.String(); got != "phase(?)" {
+		t.Errorf("sentinel Phase String = %q", got)
+	}
+}

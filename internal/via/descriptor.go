@@ -4,6 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+
+	"repro/internal/simtime"
+	"repro/internal/trace"
 )
 
 // Op is the operation a descriptor requests.
@@ -19,6 +22,10 @@ const (
 	OpRDMAWrite
 	// OpRDMARead reads remote registered memory into the local buffer.
 	OpRDMARead
+
+	// opCount counts the operations; the String exhaustiveness test
+	// iterates up to it.
+	opCount
 )
 
 func (o Op) String() string {
@@ -68,6 +75,10 @@ const (
 	// the NIC lost the completion write-back: the data arrived, the
 	// sender just cannot prove it from this descriptor alone.
 	StatusCompletionLost
+
+	// statusCount counts the statuses; the String exhaustiveness test
+	// iterates up to it.
+	statusCount
 )
 
 func (s Status) String() string {
@@ -150,6 +161,13 @@ type Descriptor struct {
 	mu        sync.Mutex
 	completed bool
 	done      chan struct{}
+
+	// span and postSim are observability state stamped at post time
+	// when an observer is attached to the NIC (zero otherwise): the
+	// lifecycle span id and the virtual post timestamp.  They are owned
+	// by the poster until completion, like the descriptor itself.
+	span    trace.SpanID
+	postSim simtime.Duration
 }
 
 // ErrDescriptorBusy reports a descriptor posted twice concurrently.
@@ -169,13 +187,13 @@ func (d *Descriptor) TotalLength() int {
 	return n
 }
 
-// complete finalizes the descriptor.  The first completion wins; later
-// calls are ignored.
-func (d *Descriptor) complete(st Status, transferred int) {
+// complete finalizes the descriptor and reports whether this call won
+// the completion.  The first completion wins; later calls are ignored.
+func (d *Descriptor) complete(st Status, transferred int) bool {
 	d.mu.Lock()
 	if d.completed {
 		d.mu.Unlock()
-		return
+		return false
 	}
 	d.Status = st
 	d.Transferred = transferred
@@ -184,6 +202,7 @@ func (d *Descriptor) complete(st Status, transferred int) {
 		close(d.done)
 	}
 	d.mu.Unlock()
+	return true
 }
 
 // Done returns a channel closed when the descriptor completes.
@@ -222,5 +241,7 @@ func (d *Descriptor) Reset() {
 	d.Transferred = 0
 	d.completed = false
 	d.done = nil
+	d.span = 0
+	d.postSim = 0
 	d.mu.Unlock()
 }

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/faultinject"
+	"repro/internal/trace"
 )
 
 // The NIC's default descriptor processing is synchronous: PostSend runs
@@ -80,9 +81,12 @@ func (n *NIC) StartEngineLanes(lanes int) {
 	n.eng = e
 	e.wg.Add(lanes)
 	for i := range e.lanes {
-		go func(ln *engineLane) {
+		go func(lane int, ln *engineLane) {
 			defer e.wg.Done()
 			for item := range ln.ch {
+				if obs := n.obs.Load(); obs != nil {
+					obs.trc.Instant(trace.KindLaneDequeue, uint64(lane), uint64(len(ln.ch)))
+				}
 				// SiteLane models the lane hardware itself: stall rules
 				// delay the dequeue (a slow lane), error rules fault the
 				// descriptor as a DMA engine failure.
@@ -94,7 +98,7 @@ func (n *NIC) StartEngineLanes(lanes int) {
 				}
 				n.process(item.vi, item.d)
 			}
-		}(&e.lanes[i])
+		}(i, &e.lanes[i])
 	}
 }
 
@@ -141,9 +145,11 @@ func (n *NIC) EngineLanes() int {
 // when the lane has been closed by a concurrent StopEngine — the
 // caller must then run the descriptor itself.  A full lane completes
 // the descriptor with StatusQueueOverflow (still reported true: the
-// descriptor has been dealt with).
-func (e *engine) enqueue(v *VI, d *Descriptor) bool {
-	ln := &e.lanes[v.id%len(e.lanes)]
+// descriptor has been dealt with).  obs is the caller's loaded
+// observer (nil when detached).
+func (e *engine) enqueue(obs *nicObs, v *VI, d *Descriptor) bool {
+	lane := v.id % len(e.lanes)
+	ln := &e.lanes[lane]
 	ln.mu.Lock()
 	if ln.closed {
 		ln.mu.Unlock()
@@ -151,6 +157,11 @@ func (e *engine) enqueue(v *VI, d *Descriptor) bool {
 	}
 	select {
 	case ln.ch <- engineItem{vi: v, d: d}:
+		if obs != nil {
+			depth := len(ln.ch)
+			obs.laneDepth.Observe(int64(depth))
+			obs.trc.Instant(trace.KindLaneEnqueue, uint64(lane), uint64(depth))
+		}
 		ln.mu.Unlock()
 		return true
 	default:
@@ -170,7 +181,7 @@ func (n *NIC) dispatch(v *VI, d *Descriptor) {
 		n.process(v, d)
 		return
 	}
-	if !e.enqueue(v, d) {
+	if !e.enqueue(n.obs.Load(), v, d) {
 		// Lost the race with StopEngine.  Wait for the lanes to finish
 		// draining so this VI's earlier descriptors complete first, then
 		// process inline — per-VI order holds and the completion is

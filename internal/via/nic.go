@@ -9,6 +9,7 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/phys"
 	"repro/internal/simtime"
+	"repro/internal/trace"
 )
 
 // Fault-injection sites the NIC guards (see package faultinject).
@@ -80,6 +81,9 @@ type NIC struct {
 	// inj is the attached fault injector (nil in production: the data
 	// path pays one atomic load + branch per guarded operation).
 	inj atomic.Pointer[faultinject.Injector]
+	// obs is the attached observer (tracing + metrics); nil in
+	// production, same hot-path discipline as inj.
+	obs atomic.Pointer[nicObs]
 	// nw is the fabric the NIC is attached to (set by Network.Attach),
 	// consulted for link partitions.
 	nw atomic.Pointer[Network]
@@ -418,6 +422,7 @@ func (n *NIC) scatter(v *VI, d *Descriptor, payload []byte) error {
 // processSend implements the two-sided send/receive path: gather locally,
 // cross the wire, match the peer's receive descriptor, scatter remotely.
 func (n *NIC) processSend(v, peer *VI, d *Descriptor) {
+	sc := n.stageStart()
 	payload, pb, err := n.gather(v, d)
 	if err != nil {
 		if isInjected(err) {
@@ -443,7 +448,9 @@ func (n *NIC) processSend(v, peer *VI, d *Descriptor) {
 		n.meter.Charge(n.meter.Costs.DMAStartup)
 		n.meter.ChargeN(n.meter.Costs.DMAPerByte, len(payload))
 	}
+	sc.mark(trace.KindDMA, len(payload))
 	n.meter.Charge(n.meter.Costs.WireLatency)
+	sc.mark(trace.KindWire, len(payload))
 
 	rd := peer.popRecv()
 	if rd == nil {
@@ -480,6 +487,7 @@ func (n *NIC) processSend(v, peer *VI, d *Descriptor) {
 		v.completeSend(d, StatusProtectionError, 0)
 		return
 	}
+	sc.mark(trace.KindScatter, len(payload))
 	rd.Immediate = d.Immediate
 	rd.HasImmediate = d.HasImmediate
 	peer.completeRecv(rd, StatusSuccess, len(payload))
@@ -503,6 +511,7 @@ func (n *NIC) processSend(v, peer *VI, d *Descriptor) {
 // the remote region's tag and write-enable, scatter into remote memory.
 // No remote descriptor is consumed.
 func (n *NIC) processRDMAWrite(v, peer *VI, d *Descriptor) {
+	sc := n.stageStart()
 	payload, pb, err := n.gather(v, d)
 	if err != nil {
 		if isInjected(err) {
@@ -520,7 +529,9 @@ func (n *NIC) processRDMAWrite(v, peer *VI, d *Descriptor) {
 	}
 	n.meter.Charge(n.meter.Costs.DMAStartup)
 	n.meter.ChargeN(n.meter.Costs.DMAPerByte, len(payload))
+	sc.mark(trace.KindDMA, len(payload))
 	n.meter.Charge(n.meter.Costs.WireLatency)
+	sc.mark(trace.KindWire, len(payload))
 
 	pn := peer.nic
 	err = pn.tptCopy(d.Remote.Handle, d.Remote.Offset, payload, peer.tag, true,
@@ -534,6 +545,7 @@ func (n *NIC) processRDMAWrite(v, peer *VI, d *Descriptor) {
 		v.completeSend(d, StatusProtectionError, 0)
 		return
 	}
+	sc.mark(trace.KindScatter, len(payload))
 	if err := n.completionCheck(v); err != nil {
 		n.faultSend(v, d, err)
 		return
@@ -548,6 +560,7 @@ func (n *NIC) processRDMAWrite(v, peer *VI, d *Descriptor) {
 // memory (tag + read-enable checked at the remote NIC) and scatter it
 // into the local segments.
 func (n *NIC) processRDMARead(v, peer *VI, d *Descriptor) {
+	sc := n.stageStart()
 	if err := n.linkCheck(peer); err != nil {
 		n.faultSend(v, d, err)
 		return
@@ -570,7 +583,9 @@ func (n *NIC) processRDMARead(v, peer *VI, d *Descriptor) {
 	}
 	pn.meter.Charge(pn.meter.Costs.DMAStartup)
 	pn.meter.ChargeN(pn.meter.Costs.DMAPerByte, total)
+	sc.mark(trace.KindDMA, total)
 	n.meter.Charge(n.meter.Costs.WireLatency) // response
+	sc.mark(trace.KindWire, total)
 	if err := n.scatter(v, d, buf); err != nil {
 		if isInjected(err) {
 			n.faultSend(v, d, err)
@@ -580,6 +595,7 @@ func (n *NIC) processRDMARead(v, peer *VI, d *Descriptor) {
 		v.completeSend(d, StatusProtectionError, 0)
 		return
 	}
+	sc.mark(trace.KindScatter, total)
 	if err := n.completionCheck(v); err != nil {
 		n.faultSend(v, d, err)
 		return

@@ -1,0 +1,7 @@
+//go:build !race
+
+package via
+
+// raceEnabled reports whether the race detector is active; its
+// instrumentation allocates, which would break the zero-alloc proofs.
+const raceEnabled = false

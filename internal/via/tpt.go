@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/faultinject"
 	"repro/internal/phys"
+	"repro/internal/trace"
 )
 
 // ProtectionTag identifies a protection domain.  Every VI and every TPT
@@ -85,6 +86,9 @@ type tpt struct {
 	// inj guards data-path translations (SiteTPT); set through
 	// NIC.SetFaultInjector, nil in production.
 	inj atomic.Pointer[faultinject.Injector]
+	// obs is the attached observer (set through NIC.AttachObs, nil in
+	// production).
+	obs atomic.Pointer[nicObs]
 
 	mu      sync.RWMutex
 	entries []tptEntry
@@ -196,6 +200,20 @@ type extent struct {
 // before any extent is returned: tag, attributes and bounds — a DMA
 // either translates completely or not at all.
 func (t *tpt) translateRange(h MemHandle, off, length int, tag ProtectionTag, needAttr func(MemAttrs) bool, exts []extent) ([]extent, error) {
+	out, err := t.translateRangeUnobserved(h, off, length, tag, needAttr, exts)
+	if obs := t.obs.Load(); obs != nil {
+		obs.translates.Inc()
+		if err != nil {
+			obs.translateErrs.Inc()
+		}
+		obs.trc.Instant(trace.KindTranslate, uint64(h), uint64(length))
+	}
+	return out, err
+}
+
+// translateRangeUnobserved is translateRange without the observability
+// accounting (split out so the accounting has a single exit point).
+func (t *tpt) translateRangeUnobserved(h MemHandle, off, length int, tag ProtectionTag, needAttr func(MemAttrs) bool, exts []extent) ([]extent, error) {
 	if inj := t.inj.Load(); inj != nil {
 		if err := inj.Check(faultinject.Op{Site: SiteTPT, Key: uint64(h), N: length}); err != nil {
 			return nil, fmt.Errorf("%w: %w", ErrTranslationFault, err)

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/trace"
 )
 
 // VIState is the lifecycle state of a virtual interface.
@@ -22,6 +24,10 @@ const (
 	// posts are refused with ErrVIErrorState.  The only way out is an
 	// explicit Reset followed by a reconnect.
 	VIError
+
+	// viStateCount counts the states; the String exhaustiveness test
+	// iterates up to it.
+	viStateCount
 )
 
 func (s VIState) String() string {
@@ -129,14 +135,34 @@ func (v *VI) SetMaxTransferSize(n int) {
 
 // completeSend finalizes a send-queue descriptor and notifies the CQ.
 func (v *VI) completeSend(d *Descriptor, st Status, n int) {
-	d.complete(st, n)
+	if d.complete(st, n) {
+		v.observeComplete(d, trace.KindDescSend, st, n, false)
+	}
 	v.sendCQ.push(Completion{VI: v, Desc: d})
 }
 
 // completeRecv finalizes a receive descriptor and notifies the CQ.
 func (v *VI) completeRecv(d *Descriptor, st Status, n int) {
-	d.complete(st, n)
+	if d.complete(st, n) {
+		v.observeComplete(d, trace.KindDescRecv, st, n, true)
+	}
 	v.recvCQ.push(Completion{VI: v, Desc: d, Recv: true})
+}
+
+// observeComplete closes a descriptor's lifecycle span and records its
+// post-to-complete virtual latency.  Only the winning completion calls
+// it, so every posted span ends exactly once.
+func (v *VI) observeComplete(d *Descriptor, k trace.Kind, st Status, n int, recv bool) {
+	obs := v.nic.obs.Load()
+	if obs == nil || d.span == 0 {
+		return
+	}
+	obs.trc.End(d.span, k, uint64(st), uint64(n))
+	h := obs.descSend
+	if recv {
+		h = obs.descRecv
+	}
+	h.Observe(int64(v.nic.meter.Now() - d.postSim))
 }
 
 // ID returns the VI number on its NIC.
@@ -183,6 +209,10 @@ func (v *VI) PostRecv(d *Descriptor) error {
 		v.recvHead = 0
 	}
 	v.recvQ = append(v.recvQ, d)
+	if obs := v.nic.obs.Load(); obs != nil {
+		d.span = obs.trc.Begin(trace.KindDescRecv, v.uid, uint64(d.TotalLength()))
+		d.postSim = v.nic.meter.Now()
+	}
 	return nil
 }
 
@@ -215,6 +245,10 @@ func (v *VI) PostSend(d *Descriptor) error {
 	v.sendsInFlight++
 	v.mu.Unlock()
 
+	if obs := v.nic.obs.Load(); obs != nil {
+		d.span = obs.trc.Begin(trace.KindDescSend, v.uid, uint64(d.TotalLength()))
+		d.postSim = v.nic.meter.Now()
+	}
 	v.nic.dispatch(v, d)
 
 	v.mu.Lock()
@@ -274,6 +308,10 @@ func (v *VI) enterError(cause error) {
 	v.recvQ, v.recvHead = nil, 0
 	v.mu.Unlock()
 	v.nic.ctr.viErrors.Add(1)
+	if obs := v.nic.obs.Load(); obs != nil {
+		obs.viErrors.Inc()
+		obs.trc.Instant(trace.KindVIError, v.uid, uint64(len(pending)))
+	}
 	if n := len(pending); n > 0 {
 		v.nic.ctr.descFlushed.Add(uint64(n))
 	}
@@ -315,5 +353,9 @@ func (v *VI) Reset() error {
 		v.completeRecv(d, StatusCancelled, 0)
 	}
 	v.nic.ctr.recoveries.Add(1)
+	if obs := v.nic.obs.Load(); obs != nil {
+		obs.viResets.Inc()
+		obs.trc.Instant(trace.KindVIReset, v.uid, 0)
+	}
 	return nil
 }
