@@ -1,0 +1,117 @@
+// Command benchcmp is the CI benchmark regression gate: it compares two
+// `go test -bench` outputs and fails when any benchmark present in both
+// runs got slower than the threshold allows.
+//
+// Usage:
+//
+//	benchcmp [-threshold 1.10] base.txt new.txt
+//
+// Benchmark names are normalized by stripping the trailing GOMAXPROCS
+// suffix (`BenchmarkDataPath/4KiB-8` → `BenchmarkDataPath/4KiB`), and
+// when a run holds several samples of one benchmark (-count, -cpu) the
+// minimum ns/op is kept — the minimum is the least noisy estimate of
+// the code's true cost, which is what a regression gate should compare.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+var cpuSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseBench reads a `go test -bench` output and returns the minimum
+// ns/op per normalized benchmark name.
+func parseBench(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		// Find the "<number> ns/op" pair; its position varies with the
+		// metrics a benchmark reports.
+		for i := 2; i+1 < len(fields); i++ {
+			if fields[i+1] != "ns/op" {
+				continue
+			}
+			ns, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			name := cpuSuffix.ReplaceAllString(fields[0], "")
+			if old, ok := out[name]; !ok || ns < old {
+				out[name] = ns
+			}
+			break
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark results found", path)
+	}
+	return out, nil
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 1.10,
+		"fail when new ns/op exceeds base ns/op by more than this factor")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchcmp [-threshold 1.10] base.txt new.txt")
+		os.Exit(2)
+	}
+	base, err := parseBench(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+	cur, err := parseBench(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	failed := false
+	for _, name := range names {
+		b := base[name]
+		n, ok := cur[name]
+		if !ok {
+			fmt.Printf("%-48s base %10.1f ns/op   MISSING from new run\n", name, b)
+			failed = true
+			continue
+		}
+		ratio := n / b
+		verdict := "ok"
+		if ratio > *threshold {
+			verdict = fmt.Sprintf("REGRESSED > %.0f%%", (*threshold-1)*100)
+			failed = true
+		}
+		fmt.Printf("%-48s base %10.1f   new %10.1f   %+6.1f%%   %s\n",
+			name, b, n, (ratio-1)*100, verdict)
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "benchcmp: benchmark regression gate failed")
+		os.Exit(1)
+	}
+}

@@ -49,8 +49,9 @@ func main() {
 		"bigphys":    bench.Bigphys,
 		"msgrate":    bench.MsgRate,
 		"chaos":      bench.Chaos,
+		"rendezvous": bench.Rendezvous,
 	}
-	order := []string{"regcost", "deregcost", "survival", "protocols", "regcache", "regconc", "multireg", "divergence", "piodma", "latency", "ablation", "bigphys", "msgrate", "chaos", "obs"}
+	order := []string{"regcost", "deregcost", "survival", "protocols", "regcache", "regconc", "multireg", "divergence", "piodma", "latency", "ablation", "bigphys", "msgrate", "chaos", "rendezvous", "obs"}
 
 	run := func(name string) {
 		if err := runners[name](os.Stdout); err != nil {

@@ -317,3 +317,45 @@ func TestBigphysOutput(t *testing.T) {
 		t.Fatalf("bad output:\n%s", out)
 	}
 }
+
+// TestRendezvousPointShape checks the E19 headline at one point: on
+// swap-cold buffers the pipelined rendezvous must beat the serialized
+// one by at least 1.5x, and the trace spans must prove substantial
+// registration/transfer overlap.
+func TestRendezvousPointShape(t *testing.T) {
+	ser, err := rendezvousRun(256*1024, -1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := rendezvousRun(256*1024, 2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ser.hasSpan {
+		t.Error("serialized run emitted chunk spans")
+	}
+	if !pipe.hasSpan {
+		t.Fatal("pipelined run emitted no chunk spans")
+	}
+	speedup := float64(ser.elapsed) / float64(pipe.elapsed)
+	if speedup < 1.5 {
+		t.Errorf("swap-cold speedup = %.2fx, want >= 1.5x (serialized %v, pipelined %v)",
+			speedup, ser.elapsed, pipe.elapsed)
+	}
+	if pipe.overlap < 0.5 {
+		t.Errorf("overlap fraction = %.2f, want >= 0.5", pipe.overlap)
+	}
+}
+
+// TestRendezvousOutput smoke-runs the full E19 table.
+func TestRendezvousOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full E19 sweep")
+	}
+	out := sweepOutput(t, func(w *strings.Builder) error { return Rendezvous(w) })
+	for _, want := range []string{"E19", "swap-cold", "256KiB", "1MiB", "overlap"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}

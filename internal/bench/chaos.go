@@ -32,6 +32,7 @@ import (
 	"repro/internal/proc"
 	"repro/internal/report"
 	"repro/internal/simtime"
+	"repro/internal/trace"
 	"repro/internal/via"
 	"repro/internal/vipl"
 )
@@ -49,12 +50,17 @@ type chaosClass struct {
 	name       string
 	degradable bool         // registration faults degrade to eager, not fail
 	proto      msg.Protocol // forced A→B protocol ("" = mixed eager/one-copy)
+	sizes      []int        // ping-pong A→B sizes (nil = harness default)
+	burstSize  int          // burst message size (0 = harness default)
 	relTimeout time.Duration
 	setup      func(f *chaosFabric)
 	// beforeRound optionally perturbs the fabric before a round (and
 	// once before the burst); it may return a cleanup func.
 	beforeRound func(f *chaosFabric, r int) func()
 	teardown    func(f *chaosFabric)
+	// verify optionally checks post-drain invariants (e.g. trace-paired
+	// registration accounting).
+	verify func(f *chaosFabric) error
 }
 
 func chaosClasses() []chaosClass {
@@ -90,6 +96,23 @@ func chaosClasses() []chaosClass {
 				f.agentA.SetFaultInjector(f.inj)
 				f.inj.FailProb(kagent.SiteRegister, 0.5, nil)
 			}},
+		// Multi-chunk zero-copy sends so registration faults land in the
+		// middle of a pipelined rendezvous: the sender must degrade to
+		// the one-copy path (an internal fallback — the Send still
+		// succeeds), payloads must stay intact, and the post-drain
+		// verify proves no chunk registration leaked by pairing the
+		// agents' register/deregister trace spans.
+		{name: "pipeline", degradable: true, proto: msg.ZeroCopy,
+			sizes:     []int{160 * 1024, 256 * 1024, 320*1024 + 37},
+			burstSize: 192 * 1024,
+			setup: func(f *chaosFabric) {
+				f.trc = trace.New(f.meter, 1<<15)
+				f.agentA.AttachObs(f.trc, nil)
+				f.agentB.AttachObs(f.trc, nil)
+				f.agentA.SetFaultInjector(f.inj)
+				f.inj.FailProb(kagent.SiteRegister, 0.3, nil)
+			},
+			verify: chaosPipelineVerify},
 		{name: "phys", beforeRound: chaosPhysFault},
 	}
 }
@@ -134,6 +157,48 @@ func chaosPhysFault(f *chaosFabric, r int) func() {
 	}
 }
 
+// chaosPipelineVerify closes the pipeline class: after both endpoints'
+// registration caches drop their retained regions, every successful
+// registration the agents' trace saw must pair with a successful
+// deregistration of the same handle — a mid-pipeline abort that leaked
+// a chunk registration would leave an unpaired handle.
+func chaosPipelineVerify(f *chaosFabric) error {
+	if _, err := f.epA.Cache().Flush(); err != nil {
+		return fmt.Errorf("chaos pipeline: cache flush A: %w", err)
+	}
+	if _, err := f.epB.Cache().Flush(); err != nil {
+		return fmt.Errorf("chaos pipeline: cache flush B: %w", err)
+	}
+	if n := f.trc.Dropped(); n != 0 {
+		return fmt.Errorf("chaos pipeline: trace dropped %d events — registration pairing proof incomplete", n)
+	}
+	balance := map[uint64]int{}
+	regs := 0
+	for _, ev := range f.trc.Snapshot() {
+		// Register/deregister span ends carry Arg1=1 on success and
+		// Arg2=the NIC memory handle.
+		if ev.Phase != trace.PhaseEnd || ev.Arg1 != 1 {
+			continue
+		}
+		switch ev.Kind {
+		case trace.KindRegister:
+			balance[ev.Arg2]++
+			regs++
+		case trace.KindDeregister:
+			balance[ev.Arg2]--
+		}
+	}
+	if regs == 0 {
+		return fmt.Errorf("chaos pipeline: trace saw no successful registrations — the workload missed the rendezvous path")
+	}
+	for h, n := range balance {
+		if n != 0 {
+			return fmt.Errorf("chaos pipeline: handle %d register/deregister imbalance %+d — leaked registration", h, n)
+		}
+	}
+	return nil
+}
+
 // chaosFabric is a self-contained two-node fabric for one class run.
 type chaosFabric struct {
 	meter            *simtime.Meter
@@ -144,7 +209,8 @@ type chaosFabric struct {
 	nw               *via.Network
 	nicA, nicB       *via.NIC
 	inj              *faultinject.Injector
-	sideInjected     uint64 // injections from per-round side injectors
+	trc              *trace.Tracer // set by classes with a verify hook
+	sideInjected     uint64        // injections from per-round side injectors
 }
 
 func newChaosFabric(seed int64, rel msg.ReliabilityConfig) (*chaosFabric, error) {
@@ -248,6 +314,9 @@ func (f *chaosFabric) oneWay(from, to *msg.Endpoint, fromProc, toProc *proc.Proc
 // B→A eager pong every round.
 func (f *chaosFabric) pingPong(cl *chaosClass) (ok, loud, degraded int, err error) {
 	sizes := []int{512, 3000, 2*msg.SlotSize + 37}
+	if cl.sizes != nil {
+		sizes = cl.sizes
+	}
 	for r := 0; r < chaosRounds; r++ {
 		var cleanup func()
 		if cl.beforeRound != nil {
@@ -302,7 +371,10 @@ func (f *chaosFabric) burst(cl *chaosClass) (ok, loud, degraded int, err error) 
 			cleanup()
 		}
 	}()
-	const size = 512
+	size := 512
+	if cl.burstSize > 0 {
+		size = cl.burstSize
+	}
 	type rres struct {
 		ok, loud int
 		err      error
@@ -442,9 +514,16 @@ func runChaosClass(cl chaosClass, idx int) (chaosResult, error) {
 	if err == nil {
 		err = chaosWatchdog(cl.name+" drain", f.drain)
 	}
+	if err == nil && cl.verify != nil {
+		err = cl.verify(f)
+	}
 	if err != nil {
 		return res, err
 	}
+
+	// Internal degradations: pipelined rendezvous that fell back to the
+	// one-copy path without surfacing an error.
+	res.degraded += int(f.epA.Stats().PipelineFallbacks + f.epB.Stats().PipelineFallbacks)
 
 	res.injected = f.inj.Stats().Total() + f.sideInjected
 	res.nic = sumStats(f.nicA.Stats(), f.nicB.Stats())

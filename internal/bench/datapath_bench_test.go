@@ -5,6 +5,8 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"repro/internal/cluster"
+	"repro/internal/msg"
 	"repro/internal/phys"
 	"repro/internal/simtime"
 	"repro/internal/via"
@@ -118,6 +120,69 @@ func BenchmarkDataPath(b *testing.B) {
 				b.ReportMetric((r.meter.Now()-simStart).Micros()/float64(b.N), "sim-µs/op")
 			}
 		})
+	}
+}
+
+// BenchmarkRendezvous is the regression guard for the pipelined
+// rendezvous control path: repeated warm-cache 256 KiB zero-copy
+// send/recv rounds, so after the first round every chunk registration is
+// a cache hit and the measured work is the grant/fin handshake, the
+// chunk loop and the descriptor path — the walltime overhead the
+// pipeline adds per message.
+func BenchmarkRendezvous(b *testing.B) {
+	const size = 256 * 1024
+	c, err := cluster.New(cluster.Config{
+		Nodes:    2,
+		Kernel:   benchKernelConfig(),
+		TPTSlots: 4096,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ea, eb, err := c.EndpointPair(0, 1, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src, err := ea.Process().Malloc(size)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dst, err := eb.Process().Malloc(size)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := src.FillPattern(0x5a); err != nil {
+		b.Fatal(err)
+	}
+	if err := dst.FillPattern(0x00); err != nil {
+		b.Fatal(err)
+	}
+	round := func() error {
+		errc := make(chan error, 1)
+		go func() {
+			_, err := eb.Recv(dst)
+			errc <- err
+		}()
+		if _, err := ea.Send(src, msg.ZeroCopy); err != nil {
+			return err
+		}
+		return <-errc
+	}
+	if err := round(); err != nil { // warm: fault pages in, fill regcache
+		b.Fatal(err)
+	}
+	simStart := c.Meter.Now()
+	b.ReportAllocs()
+	b.SetBytes(size)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := round(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if b.N > 0 {
+		b.ReportMetric((c.Meter.Now()-simStart).Micros()/float64(b.N), "sim-µs/op")
 	}
 }
 

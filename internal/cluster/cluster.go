@@ -102,18 +102,19 @@ func MustNew(cfg Config) *Cluster {
 
 // EndpointPair creates processes on two nodes, wraps them in message
 // endpoints and pairs them.  cacheRegions bounds each endpoint's
-// registration cache (0 = unbounded).
-func (c *Cluster) EndpointPair(i, j, cacheRegions int) (*msg.Endpoint, *msg.Endpoint, error) {
+// registration cache (0 = unbounded).  An optional msg.Options value
+// configures both endpoints.
+func (c *Cluster) EndpointPair(i, j, cacheRegions int, opts ...msg.Options) (*msg.Endpoint, *msg.Endpoint, error) {
 	if i < 0 || j < 0 || i >= len(c.Nodes) || j >= len(c.Nodes) {
 		return nil, nil, fmt.Errorf("cluster: node index out of range")
 	}
 	pa := c.Nodes[i].NewProcess("sender", false)
 	pb := c.Nodes[j].NewProcess("receiver", false)
-	ea, err := msg.NewEndpoint("ep-a", c.Nodes[i].OpenNic(pa), c.Meter, cacheRegions)
+	ea, err := msg.NewEndpoint("ep-a", c.Nodes[i].OpenNic(pa), c.Meter, cacheRegions, opts...)
 	if err != nil {
 		return nil, nil, err
 	}
-	eb, err := msg.NewEndpoint("ep-b", c.Nodes[j].OpenNic(pb), c.Meter, cacheRegions)
+	eb, err := msg.NewEndpoint("ep-b", c.Nodes[j].OpenNic(pb), c.Meter, cacheRegions, opts...)
 	if err != nil {
 		return nil, nil, err
 	}

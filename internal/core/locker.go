@@ -135,6 +135,19 @@ type Locker interface {
 	Lock(k *mm.Kernel, as *mm.AddressSpace, addr pgtable.VAddr, length int) (*Lock, error)
 }
 
+// BatchLocker is implemented by strategies that can lock a whole range
+// in one kernel-internal batch: the caller has already entered the
+// kernel (and paid that crossing), so LockNested pins every page of the
+// range without charging further crossings — one ioctl covers the whole
+// batch.  Strategies that juggle per-page state from user context can't
+// offer this; the kiobuf strategy can, which is the paper's argument
+// for it.
+type BatchLocker interface {
+	Locker
+	// LockNested is Lock for a caller already inside the kernel.
+	LockNested(k *mm.Kernel, as *mm.AddressSpace, addr pgtable.VAddr, length int) (*Lock, error)
+}
+
 // New returns the Locker implementing the strategy.
 func New(s Strategy) (Locker, error) {
 	switch s {

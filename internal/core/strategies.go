@@ -219,7 +219,21 @@ type kiobufLocker struct{}
 func (kiobufLocker) Name() Strategy { return StrategyKiobuf }
 
 func (kiobufLocker) Lock(k *mm.Kernel, as *mm.AddressSpace, addr pgtable.VAddr, length int) (*Lock, error) {
-	kb, err := kiobuf.MapUserKiobuf(k, as, addr, length)
+	return kiobufLock(k, as, addr, length, false)
+}
+
+// LockNested implements BatchLocker: the caller is already inside the
+// kernel, so the whole pin batch rides on that one crossing.
+func (kiobufLocker) LockNested(k *mm.Kernel, as *mm.AddressSpace, addr pgtable.VAddr, length int) (*Lock, error) {
+	return kiobufLock(k, as, addr, length, true)
+}
+
+func kiobufLock(k *mm.Kernel, as *mm.AddressSpace, addr pgtable.VAddr, length int, nested bool) (*Lock, error) {
+	mapKiobuf := kiobuf.MapUserKiobuf
+	if nested {
+		mapKiobuf = kiobuf.MapUserKiobufNested
+	}
+	kb, err := mapKiobuf(k, as, addr, length)
 	if err != nil {
 		return nil, fmt.Errorf("core: kiobuf lock: %w", err)
 	}

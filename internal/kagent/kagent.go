@@ -129,7 +129,16 @@ func (a *Agent) RegisterMem(as *mm.AddressSpace, addr pgtable.VAddr, length int,
 			return nil, fmt.Errorf("%w: %w", ErrRegistrationFault, err)
 		}
 	}
-	lock, err := a.locker.Lock(a.kernel, as, addr, length)
+	// The ioctl charge above already entered the kernel; a strategy that
+	// can batch (the kiobuf one) pins the whole range on that single
+	// crossing instead of paying another one inside Lock.
+	var lock *core.Lock
+	var err error
+	if bl, ok := a.locker.(core.BatchLocker); ok {
+		lock, err = bl.LockNested(a.kernel, as, addr, length)
+	} else {
+		lock, err = a.locker.Lock(a.kernel, as, addr, length)
+	}
 	if err != nil {
 		st.finishErr(trace.KindRegister)
 		return nil, fmt.Errorf("kagent: lock (%s): %w", a.locker.Name(), err)

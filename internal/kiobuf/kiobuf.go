@@ -31,6 +31,10 @@ type Kiobuf struct {
 	Pages []phys.PFN
 
 	mapped bool
+	// nested records that the map was made from inside the kernel
+	// (MapUserKiobufNested), so the unmap must not charge a crossing
+	// either.
+	nested bool
 }
 
 // Errors returned by the facility.
@@ -55,11 +59,27 @@ func PageCount(addr pgtable.VAddr, length int) int {
 // range require N unmaps before the pages become evictable again —
 // exactly the nesting the VIA specification demands of registrations.
 func MapUserKiobuf(k *mm.Kernel, as *mm.AddressSpace, addr pgtable.VAddr, length int) (*Kiobuf, error) {
+	return mapUserKiobuf(k, as, addr, length, false)
+}
+
+// MapUserKiobufNested is MapUserKiobuf for callers already executing
+// inside the kernel (a driver servicing an ioctl): the pin batch is
+// identical but no kernel crossing is charged on map or on the later
+// Unmap — the caller's own entry covers the whole batch.
+func MapUserKiobufNested(k *mm.Kernel, as *mm.AddressSpace, addr pgtable.VAddr, length int) (*Kiobuf, error) {
+	return mapUserKiobuf(k, as, addr, length, true)
+}
+
+func mapUserKiobuf(k *mm.Kernel, as *mm.AddressSpace, addr pgtable.VAddr, length int, nested bool) (*Kiobuf, error) {
 	if length <= 0 {
 		return nil, ErrEmpty
 	}
 	n := PageCount(addr, length)
-	pfns, err := k.PinUserPages(as, addr, n, true)
+	pin := k.PinUserPages
+	if nested {
+		pin = k.PinUserPagesNested
+	}
+	pfns, err := pin(as, addr, n, true)
 	if err != nil {
 		return nil, fmt.Errorf("kiobuf: map_user_kiobuf: %w", err)
 	}
@@ -70,6 +90,7 @@ func MapUserKiobuf(k *mm.Kernel, as *mm.AddressSpace, addr pgtable.VAddr, length
 		Length: length,
 		Pages:  pfns,
 		mapped: true,
+		nested: nested,
 	}, nil
 }
 
@@ -80,7 +101,11 @@ func (b *Kiobuf) Unmap() error {
 		return ErrNotMapped
 	}
 	b.mapped = false
-	err := b.kernel.UnpinUserPages(b.Pages)
+	unpin := b.kernel.UnpinUserPages
+	if b.nested {
+		unpin = b.kernel.UnpinUserPagesNested
+	}
+	err := unpin(b.Pages)
 	b.Pages = nil
 	return err
 }

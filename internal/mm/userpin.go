@@ -22,6 +22,19 @@ import (
 // buffer requires it, and it resolves COW up front so the frame list
 // stays authoritative).
 func (k *Kernel) PinUserPages(as *AddressSpace, addr pgtable.VAddr, npages int, write bool) ([]phys.PFN, error) {
+	return k.pinUserPages(as, addr, npages, write, true)
+}
+
+// PinUserPagesNested is PinUserPages for callers already inside the
+// kernel (a driver ioctl that has paid its own crossing): it does the
+// same fault-in + pin batch under the kernel lock but charges no
+// KernelCall — the whole page list costs one crossing total, which is
+// the kiobuf batching argument of the paper.
+func (k *Kernel) PinUserPagesNested(as *AddressSpace, addr pgtable.VAddr, npages int, write bool) ([]phys.PFN, error) {
+	return k.pinUserPages(as, addr, npages, write, false)
+}
+
+func (k *Kernel) pinUserPages(as *AddressSpace, addr pgtable.VAddr, npages int, write, crossing bool) ([]phys.PFN, error) {
 	k.mu.Lock()
 	defer k.mu.Unlock()
 	if as.dead {
@@ -30,7 +43,9 @@ func (k *Kernel) PinUserPages(as *AddressSpace, addr pgtable.VAddr, npages int, 
 	if npages <= 0 {
 		return nil, fmt.Errorf("mm: pin of %d pages", npages)
 	}
-	k.charge(k.costs().KernelCall)
+	if crossing {
+		k.charge(k.costs().KernelCall)
+	}
 	start := pgtable.PageOf(addr)
 	pfns := make([]phys.PFN, 0, npages)
 	undo := func() {
@@ -63,9 +78,22 @@ func (k *Kernel) PinUserPages(as *AddressSpace, addr pgtable.VAddr, npages int, 
 
 // UnpinUserPages releases the pins and references taken by PinUserPages.
 func (k *Kernel) UnpinUserPages(pfns []phys.PFN) error {
+	return k.unpinUserPages(pfns, true)
+}
+
+// UnpinUserPagesNested is UnpinUserPages without the KernelCall charge,
+// for callers already inside the kernel (paired with
+// PinUserPagesNested).
+func (k *Kernel) UnpinUserPagesNested(pfns []phys.PFN) error {
+	return k.unpinUserPages(pfns, false)
+}
+
+func (k *Kernel) unpinUserPages(pfns []phys.PFN, crossing bool) error {
 	k.mu.Lock()
 	defer k.mu.Unlock()
-	k.charge(k.costs().KernelCall)
+	if crossing {
+		k.charge(k.costs().KernelCall)
+	}
 	var firstErr error
 	for _, pfn := range pfns {
 		if err := k.phys.Unpin(pfn); err != nil && firstErr == nil {

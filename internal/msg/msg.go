@@ -20,6 +20,7 @@ import (
 	"repro/internal/proc"
 	"repro/internal/regcache"
 	"repro/internal/simtime"
+	"repro/internal/trace"
 	"repro/internal/via"
 	"repro/internal/vipl"
 )
@@ -57,6 +58,58 @@ const (
 	OneCopyMax = 128 * 1024
 )
 
+// Pipelined-rendezvous defaults.
+const (
+	// DefaultPipelineChunk is the rendezvous pipeline chunk size.
+	DefaultPipelineChunk = 64 * 1024
+	// DefaultPipelineDepth double-buffers the pipeline: the next chunk's
+	// registration is acquired while the previous chunk's RDMA is in
+	// flight.
+	DefaultPipelineDepth = 2
+)
+
+// Options tunes an endpoint's protocol thresholds and rendezvous
+// pipeline.  The zero value of every field selects the default, so
+// Options{} is equivalent to passing no options at all.
+type Options struct {
+	// EagerMax is the largest message Auto sends eagerly (0 = the
+	// package-level EagerMax).
+	EagerMax int
+	// OneCopyMax is the largest message Auto sends by chunked one-copy
+	// (0 = the package-level OneCopyMax).
+	OneCopyMax int
+	// PipelineDepth selects the rendezvous shape: 0 picks
+	// DefaultPipelineDepth; a negative depth disables chunking entirely
+	// (the serialized legacy rendezvous: whole-buffer registration, one
+	// RDMA write); 1 chunks the transfer but keeps registration and
+	// transfer strictly serialized (the overlap ablation); >= 2
+	// double-buffers, hiding each chunk's registration behind the
+	// previous chunk's transfer.  The deterministic lockstep schedule
+	// never holds more than two chunks in flight, so depths above 2
+	// behave exactly like 2 (DESIGN.md §9).
+	PipelineDepth int
+	// PipelineChunk is the pipeline chunk size in bytes (0 =
+	// DefaultPipelineChunk).
+	PipelineChunk int
+}
+
+// withDefaults fills zero fields with the package defaults.
+func (o Options) withDefaults() Options {
+	if o.EagerMax == 0 {
+		o.EagerMax = EagerMax
+	}
+	if o.OneCopyMax == 0 {
+		o.OneCopyMax = OneCopyMax
+	}
+	if o.PipelineDepth == 0 {
+		o.PipelineDepth = DefaultPipelineDepth
+	}
+	if o.PipelineChunk == 0 {
+		o.PipelineChunk = DefaultPipelineChunk
+	}
+	return o
+}
+
 // Stats counts endpoint activity.
 type Stats struct {
 	SentMsgs   uint64
@@ -66,6 +119,13 @@ type Stats struct {
 	EagerSends uint64
 	OneCopies  uint64
 	ZeroCopies uint64
+	// PipelinedSends counts zero-copy sends that ran the pipelined
+	// rendezvous; PipelineChunks the chunks they moved.
+	PipelinedSends uint64
+	PipelineChunks uint64
+	// PipelineFallbacks counts pipelined rendezvous that degraded to the
+	// one-copy path after a chunk registration fault.
+	PipelineFallbacks uint64
 }
 
 // Errors returned by endpoints.
@@ -98,6 +158,9 @@ const (
 	kRingRepost                 // reliability: connection is back, repost your ring
 	kAbort                      // reliability: sender gave up, stop waiting
 	kDone                       // reliability: receiver delivered the sequence number
+	kChunkGrant                 // pipelined rendezvous: one chunk's remote handle
+	kChunkFin                   // pipelined rendezvous: one chunk's RDMA completed
+	kRndvAbort                  // pipelined rendezvous: unwind, sender degrades
 )
 
 type ctrlMsg struct {
@@ -109,6 +172,15 @@ type ctrlMsg struct {
 	// completion (data delivered, sender unsure) is detected and
 	// discarded by the receiver instead of delivered twice.
 	seq uint64
+	// Pipelined rendezvous fields: chunk is the pipeline chunk size
+	// (carried by the RTS), idx the chunk index, offset the byte offset
+	// within the granted region the chunk lands at, and cost the
+	// sim-time the peer spent on the operation the message reports —
+	// the other side's overlap accounting rewinds by it (DESIGN.md §9).
+	chunk  int
+	idx    int
+	offset int
+	cost   simtime.Duration
 }
 
 // ctrlBytes approximates the size of one control struct on the wire.
@@ -154,17 +226,25 @@ type Endpoint struct {
 	sendBuf *proc.Buffer
 	sendReg *vipl.MemRegion
 
+	opts  Options
 	stats Stats
 }
 
 // NewEndpoint builds an endpoint for a process on its NIC handle.
-// cacheRegions bounds the registration cache (0 = unbounded).
-func NewEndpoint(name string, nic *vipl.Nic, meter *simtime.Meter, cacheRegions int) (*Endpoint, error) {
+// cacheRegions bounds the registration cache (0 = unbounded).  At most
+// one Options value may follow; omitted (or zero) fields keep the
+// package defaults.
+func NewEndpoint(name string, nic *vipl.Nic, meter *simtime.Meter, cacheRegions int, opts ...Options) (*Endpoint, error) {
+	var o Options
+	if len(opts) > 0 {
+		o = opts[0]
+	}
 	e := &Endpoint{
 		name:    name,
 		nic:     nic,
 		cache:   regcache.New(nic, cacheRegions),
 		meter:   meter,
+		opts:    o.withDefaults(),
 		ctrl:    make(chan ctrlMsg, 4*RingSlots),
 		rctrl:   make(chan ctrlMsg, 4*RingSlots),
 		credits: make(chan struct{}, RingSlots),
@@ -252,12 +332,19 @@ func (e *Endpoint) Process() *proc.Process { return e.nic.Process() }
 // VI exposes the endpoint's virtual interface (diagnostics).
 func (e *Endpoint) VI() *via.VI { return e.vi }
 
-// Choose maps a message size to the protocol Auto would use.
+// Choose maps a message size to the protocol Auto would use under the
+// default thresholds.
 func Choose(size int) Protocol {
+	return Options{}.withDefaults().Choose(size)
+}
+
+// Choose maps a message size to the protocol Auto would use under these
+// (default-filled) options.
+func (o Options) Choose(size int) Protocol {
 	switch {
-	case size <= EagerMax:
+	case size <= o.EagerMax:
 		return Eager
-	case size <= OneCopyMax:
+	case size <= o.OneCopyMax:
 		return OneCopy
 	default:
 		return ZeroCopy
@@ -274,7 +361,7 @@ func (e *Endpoint) Send(b *proc.Buffer, p Protocol) (int, error) {
 		return 0, ErrEmptyMessage
 	}
 	if p == Auto || p == "" {
-		p = Choose(b.Bytes)
+		p = e.opts.Choose(b.Bytes)
 	}
 	switch p {
 	case Eager:
@@ -337,7 +424,14 @@ func (e *Endpoint) Recv(b *proc.Buffer) (int, error) {
 			}
 			return n, err
 		case kRTS:
-			return e.recvZeroCopy(b, m)
+			n, err := e.recvZeroCopy(b, m)
+			if errors.Is(err, errRndvAborted) {
+				// The pipelined rendezvous unwound after a chunk
+				// registration fault; the sender degrades to the one-copy
+				// path, whose announcement arrives next.  Keep receiving.
+				continue
+			}
+			return n, err
 		case kReset:
 			if e.rel == nil {
 				return 0, fmt.Errorf("msg: unexpected control message kind %d", m.kind)
@@ -464,23 +558,182 @@ func (e *Endpoint) recvInline(b *proc.Buffer, m ctrlMsg) (int, error) {
 	return got, nil
 }
 
-// sendZeroCopy implements the rendezvous: acquire the registration
-// (through the cache), RTS, wait for CTS carrying the receiver's
-// registered handle, RDMA-write the payload, send Fin.
+// errRndvAborted is the internal signal that a pipelined rendezvous was
+// unwound after a chunk registration fault.  The sender turns it into a
+// one-copy fallback; the receiver's Recv loop keeps receiving, expecting
+// that fallback's announcement.
+var errRndvAborted = errors.New("msg: pipelined rendezvous aborted")
+
+// sendZeroCopy implements the rendezvous.  With a non-negative pipeline
+// depth and a buffer spanning multiple chunks it runs the pipelined
+// protocol (sendPipelined); otherwise the legacy serialized form:
+// acquire the whole-buffer registration, RTS, wait for CTS carrying the
+// receiver's handle, one RDMA write, Fin.
 func (e *Endpoint) sendZeroCopy(b *proc.Buffer) (int, error) {
-	reg, err := e.cache.Acquire(b, 0, b.Bytes, via.MemAttrs{}, regcache.ClassUser)
-	if err != nil {
-		return 0, err
+	chunk := e.opts.PipelineChunk
+	nchunks := (b.Bytes + chunk - 1) / chunk
+	if e.opts.PipelineDepth < 0 || nchunks <= 1 {
+		reg, err := e.cache.Acquire(b, 0, b.Bytes, via.MemAttrs{}, regcache.ClassUser)
+		if err != nil {
+			return 0, err
+		}
+		defer func() { _ = e.cache.Release(reg) }()
+		return e.sendZeroCopyReg(b, reg)
 	}
-	defer func() { _ = e.cache.Release(reg) }()
-	return e.sendZeroCopyReg(b, reg)
+	n, err := e.sendPipelined(b, chunk, nchunks)
+	if errors.Is(err, errRndvAborted) {
+		// A chunk registration faulted mid-pipeline (on either side) and
+		// both sides have unwound their chunk registrations.  Degrade to
+		// the one-copy path: it needs no receiver-side registration and
+		// rides the reliability layer's retries.
+		e.stats.PipelineFallbacks++
+		if obs := e.obs.Load(); obs != nil {
+			obs.event(trace.KindPipeFallback, uint64(b.Bytes), uint64(nchunks))
+		}
+		return e.sendReliable(b, false)
+	}
+	return n, err
 }
 
-// recvZeroCopy registers the destination buffer (write-enabled), hands
-// the handle to the sender and waits for the Fin.
+// sendPipelined is the pipelined rendezvous send (DESIGN.md §9): the
+// buffer moves as nchunks chunks, and while chunk i's RDMA write is in
+// flight the receiver acquires chunk i+1's registration — the sender
+// acquires its own upon the grant.  The shared virtual clock is a
+// total-work meter, so the overlap is modelled explicitly: each side
+// rewinds by the cost the incoming control message reports (the work
+// the peer did "during" the same window), times its own work, and the
+// sender closes every window by charging the deficit up to
+// max(transfer, peer registration, own registration).  Trace spans
+// (KindChunkXfer / KindChunkReg) carry the rewound timestamps, so an
+// exported trace shows chunk i+1's registrations overlapping chunk i's
+// transfer.
+//
+// With PipelineDepth 1 the same chunked message flow runs strictly
+// serialized: no rewinds, no deficit — the ablation E19 compares
+// against.
+func (e *Endpoint) sendPipelined(b *proc.Buffer, chunk, nchunks int) (int, error) {
+	size := b.Bytes
+	overlap := e.opts.PipelineDepth >= 2
+	e.sendCtrl(ctrlMsg{kind: kRTS, size: size, nchunks: nchunks, chunk: chunk})
+
+	var (
+		reg      *vipl.MemRegion
+		sent     int
+		prevXfer simtime.Duration
+	)
+	defer func() {
+		if reg != nil {
+			_ = e.cache.Release(reg)
+		}
+	}()
+
+	for i := 0; i < nchunks; i++ {
+		g, err := e.awaitGrant(i)
+		if err != nil {
+			return sent, err
+		}
+		off := i * chunk
+		n := min(chunk, size-off)
+
+		// Overlap window: the receiver's registration (g.cost) and the
+		// previous chunk's transfer (prevXfer) were concurrent with the
+		// acquire below; rewind to the window start, do the acquire, then
+		// close the window at the maximum of the three costs.
+		if overlap {
+			e.meter.Retreat(g.cost)
+		}
+		obs, sp := e.chunkSpanBegin(trace.KindChunkReg, i, n)
+		sw := e.meter.Start()
+		creg, err := e.cache.Acquire(b, off, n, via.MemAttrs{}, regcache.ClassUser)
+		regCost := sw.Elapsed()
+		e.chunkSpanEnd(obs, sp, trace.KindChunkReg, err == nil, i)
+		if err != nil {
+			e.sendCtrl(ctrlMsg{kind: kRndvAbort, idx: i})
+			return sent, fmt.Errorf("%w: chunk %d registration: %w", errRndvAborted, i, err)
+		}
+		if overlap {
+			if d := maxDur(prevXfer, g.cost, regCost) - regCost; d > 0 {
+				e.meter.Charge(d)
+			}
+		}
+		if reg != nil {
+			_ = e.cache.Release(reg)
+		}
+		reg = creg
+
+		obs, sp = e.chunkSpanBegin(trace.KindChunkXfer, i, n)
+		sw = e.meter.Start()
+		d := via.NewDescriptor(via.OpRDMAWrite, reg.Seg(0, n))
+		d.Remote = via.RemoteSegment{Handle: g.handle, Offset: g.offset}
+		if err := e.vi.PostSend(d); err != nil {
+			e.chunkSpanEnd(obs, sp, trace.KindChunkXfer, false, i)
+			return sent, err
+		}
+		if st := d.Wait(); st != via.StatusSuccess {
+			e.chunkSpanEnd(obs, sp, trace.KindChunkXfer, false, i)
+			return sent, fmt.Errorf("%w: pipelined chunk %d/%d RDMA write failed: %v", ErrTransport, i, nchunks, st)
+		}
+		e.chunkSpanEnd(obs, sp, trace.KindChunkXfer, true, i)
+		sent += n
+		fin := ctrlMsg{kind: kChunkFin, idx: i, size: n}
+		if overlap {
+			prevXfer = sw.Elapsed()
+			fin.cost = prevXfer
+		}
+		e.sendCtrl(fin)
+	}
+	e.stats.SentMsgs++
+	e.stats.SentBytes += uint64(sent)
+	e.stats.ZeroCopies++
+	e.stats.PipelinedSends++
+	e.stats.PipelineChunks += uint64(nchunks)
+	if obs := e.obs.Load(); obs != nil {
+		obs.pipeline(nchunks)
+	}
+	return sent, nil
+}
+
+// awaitGrant waits for chunk idx's grant, recognizing a receiver-side
+// unwind.
+func (e *Endpoint) awaitGrant(idx int) (ctrlMsg, error) {
+	g := <-e.ctrl
+	switch g.kind {
+	case kChunkGrant:
+		if g.idx != idx {
+			return g, fmt.Errorf("msg: pipelined grant out of order: got %d, want %d", g.idx, idx)
+		}
+		return g, nil
+	case kRndvAbort:
+		return g, fmt.Errorf("%w: receiver unwound at chunk %d", errRndvAborted, g.idx)
+	default:
+		return g, fmt.Errorf("msg: expected chunk grant, got kind %d", g.kind)
+	}
+}
+
+// maxDur returns the largest of three durations.
+func maxDur(a, b, c simtime.Duration) simtime.Duration {
+	if b > a {
+		a = b
+	}
+	if c > a {
+		a = c
+	}
+	return a
+}
+
+// recvZeroCopy is the rendezvous receive.  An RTS carrying a chunk
+// count selects the pipelined protocol; the legacy form registers the
+// whole destination buffer (write-enabled), hands the handle to the
+// sender and waits for the Fin.
 func (e *Endpoint) recvZeroCopy(b *proc.Buffer, m ctrlMsg) (int, error) {
 	if m.size > b.Bytes {
+		if m.nchunks > 0 {
+			e.sendCtrl(ctrlMsg{kind: kRndvAbort})
+		}
 		return 0, fmt.Errorf("%w: message %d, buffer %d", ErrTooSmall, m.size, b.Bytes)
+	}
+	if m.nchunks > 0 {
+		return e.recvPipelined(b, m)
 	}
 	reg, err := e.cache.Acquire(b, 0, m.size, via.MemAttrs{EnableRDMAWrite: true}, regcache.ClassUser)
 	if err != nil {
@@ -495,4 +748,70 @@ func (e *Endpoint) recvZeroCopy(b *proc.Buffer, m ctrlMsg) (int, error) {
 	e.stats.RecvMsgs++
 	e.stats.RecvBytes += uint64(m.size)
 	return m.size, nil
+}
+
+// recvPipelined is the pipelined rendezvous receive: grant chunk 0,
+// then upon each chunk's fin acquire and grant the next one — rewinding
+// first by the transfer cost the fin reports, so the registration's
+// sim-time span overlaps the transfer it hid behind (the sender's
+// deficit charge closes each window; see sendPipelined).  At most two
+// chunk registrations are live at once.  A failed acquire unwinds: the
+// sender is told to degrade (kRndvAbort) and errRndvAborted tells
+// Recv's loop to keep receiving.
+func (e *Endpoint) recvPipelined(b *proc.Buffer, m ctrlMsg) (int, error) {
+	size, chunk, nchunks := m.size, m.chunk, m.nchunks
+
+	grant := func(idx int, prevCost simtime.Duration) (*vipl.MemRegion, error) {
+		e.meter.Retreat(prevCost)
+		off := idx * chunk
+		n := min(chunk, size-off)
+		obs, sp := e.chunkSpanBegin(trace.KindChunkReg, idx, n)
+		sw := e.meter.Start()
+		r, err := e.cache.Acquire(b, off, n, via.MemAttrs{EnableRDMAWrite: true}, regcache.ClassUser)
+		cost := sw.Elapsed()
+		e.chunkSpanEnd(obs, sp, trace.KindChunkReg, err == nil, idx)
+		if err != nil {
+			e.sendCtrl(ctrlMsg{kind: kRndvAbort, idx: idx})
+			return nil, fmt.Errorf("%w: chunk %d registration: %w", errRndvAborted, idx, err)
+		}
+		e.sendCtrl(ctrlMsg{kind: kChunkGrant, idx: idx, handle: r.Handle(), cost: cost})
+		return r, nil
+	}
+
+	held, err := grant(0, 0)
+	if err != nil {
+		return 0, err
+	}
+	got := 0
+	for i := 0; i < nchunks; i++ {
+		fin := <-e.ctrl
+		switch fin.kind {
+		case kChunkFin:
+			if fin.idx != i {
+				_ = e.cache.Release(held)
+				return got, fmt.Errorf("msg: pipelined fin out of order: got %d, want %d", fin.idx, i)
+			}
+		case kRndvAbort:
+			_ = e.cache.Release(held)
+			return got, fmt.Errorf("%w: sender unwound at chunk %d", errRndvAborted, fin.idx)
+		default:
+			_ = e.cache.Release(held)
+			return got, fmt.Errorf("msg: expected chunk fin, got kind %d", fin.kind)
+		}
+		got += fin.size
+		if i+1 < nchunks {
+			next, err := grant(i+1, fin.cost)
+			if err != nil {
+				_ = e.cache.Release(held)
+				return got, err
+			}
+			_ = e.cache.Release(held)
+			held = next
+		} else {
+			_ = e.cache.Release(held)
+		}
+	}
+	e.stats.RecvMsgs++
+	e.stats.RecvBytes += uint64(got)
+	return got, nil
 }

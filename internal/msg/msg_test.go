@@ -24,7 +24,7 @@ type cluster struct {
 	nicA, nicB       *via.NIC
 }
 
-func newCluster(t *testing.T, strategy core.Strategy, cacheRegions int) *cluster {
+func newCluster(t *testing.T, strategy core.Strategy, cacheRegions int, opts ...Options) *cluster {
 	t.Helper()
 	meter := simtime.NewMeter()
 	cfg := mm.Config{RAMPages: 2048, SwapPages: 4096, ClockBatch: 128, SwapBatch: 32}
@@ -48,10 +48,10 @@ func newCluster(t *testing.T, strategy core.Strategy, cacheRegions int) *cluster
 	c.procA = proc.New(c.kernelA, "sender", false)
 	c.procB = proc.New(c.kernelB, "receiver", false)
 	var err error
-	if c.epA, err = NewEndpoint("A", vipl.OpenNic(agentA, c.procA), meter, cacheRegions); err != nil {
+	if c.epA, err = NewEndpoint("A", vipl.OpenNic(agentA, c.procA), meter, cacheRegions, opts...); err != nil {
 		t.Fatal(err)
 	}
-	if c.epB, err = NewEndpoint("B", vipl.OpenNic(agentB, c.procB), meter, cacheRegions); err != nil {
+	if c.epB, err = NewEndpoint("B", vipl.OpenNic(agentB, c.procB), meter, cacheRegions, opts...); err != nil {
 		t.Fatal(err)
 	}
 	if err := Pair(nw, c.epA, c.epB); err != nil {
@@ -205,9 +205,13 @@ func TestRegistrationCacheHitsOnReuse(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	// The pipelined rendezvous acquires one registration per chunk, so
+	// the first send misses nchunks times and every later send hits
+	// nchunks times.
+	nchunks := (256*1024 + DefaultPipelineChunk - 1) / DefaultPipelineChunk
 	st := c.epA.Cache().Stats()
-	if st.Misses != 1 || st.Hits != rounds-1 {
-		t.Fatalf("sender cache stats: %+v", st)
+	if st.Misses != uint64(nchunks) || st.Hits != uint64((rounds-1)*nchunks) {
+		t.Fatalf("sender cache stats: %+v (want %d misses, %d hits)", st, nchunks, (rounds-1)*nchunks)
 	}
 }
 

@@ -22,6 +22,10 @@ type epObs struct {
 	duplicates *metrics.Counter
 	aborts     *metrics.Counter
 
+	pipeSends     *metrics.Counter
+	pipeChunks    *metrics.Counter
+	pipeFallbacks *metrics.Counter
+
 	// backoffNS is the wall-clock backoff slept per retry, in
 	// nanoseconds (backoff is real sleeping, not virtual time).
 	backoffNS *metrics.Histogram
@@ -36,13 +40,16 @@ func (e *Endpoint) AttachObs(trc *trace.Tracer, reg *metrics.Registry) {
 		return
 	}
 	e.obs.Store(&epObs{
-		trc:        trc,
-		retries:    reg.Counter("msg.retries"),
-		recoveries: reg.Counter("msg.recoveries"),
-		ackRescues: reg.Counter("msg.ack.rescues"),
-		duplicates: reg.Counter("msg.duplicates"),
-		aborts:     reg.Counter("msg.aborts"),
-		backoffNS:  reg.Histogram("msg.backoff.wallns"),
+		trc:           trc,
+		retries:       reg.Counter("msg.retries"),
+		recoveries:    reg.Counter("msg.recoveries"),
+		ackRescues:    reg.Counter("msg.ack.rescues"),
+		duplicates:    reg.Counter("msg.duplicates"),
+		aborts:        reg.Counter("msg.aborts"),
+		pipeSends:     reg.Counter("msg.pipeline.sends"),
+		pipeChunks:    reg.Counter("msg.pipeline.chunks"),
+		pipeFallbacks: reg.Counter("msg.pipeline.fallbacks"),
+		backoffNS:     reg.Histogram("msg.backoff.wallns"),
 	})
 }
 
@@ -60,6 +67,36 @@ func (o *epObs) event(k trace.Kind, a1, a2 uint64) {
 		o.duplicates.Inc()
 	case trace.KindAbort:
 		o.aborts.Inc()
+	case trace.KindPipeFallback:
+		o.pipeFallbacks.Inc()
 	}
 	o.trc.Instant(k, a1, a2)
+}
+
+// pipeline records one completed pipelined rendezvous send.
+func (o *epObs) pipeline(nchunks int) {
+	o.pipeSends.Inc()
+	o.pipeChunks.Add(uint64(nchunks))
+}
+
+// chunkSpanBegin opens a pipeline chunk span (registration or transfer)
+// when an observer is attached; the returned pair is inert otherwise.
+func (e *Endpoint) chunkSpanBegin(k trace.Kind, idx, n int) (*epObs, trace.SpanID) {
+	obs := e.obs.Load()
+	if obs == nil {
+		return nil, 0
+	}
+	return obs, obs.trc.Begin(k, uint64(idx), uint64(n))
+}
+
+// chunkSpanEnd closes a span opened by chunkSpanBegin.
+func (e *Endpoint) chunkSpanEnd(obs *epObs, sp trace.SpanID, k trace.Kind, ok bool, idx int) {
+	if obs == nil {
+		return
+	}
+	okArg := uint64(0)
+	if ok {
+		okArg = 1
+	}
+	obs.trc.End(sp, k, okArg, uint64(idx))
 }

@@ -1,0 +1,124 @@
+package msg
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestChooseBoundaries pins the Auto protocol switch points at their
+// exact edges under the default thresholds.
+func TestChooseBoundaries(t *testing.T) {
+	cases := []struct {
+		size int
+		want Protocol
+	}{
+		{1, Eager},
+		{EagerMax - 1, Eager},
+		{EagerMax, Eager},
+		{EagerMax + 1, OneCopy},
+		{OneCopyMax - 1, OneCopy},
+		{OneCopyMax, OneCopy},
+		{OneCopyMax + 1, ZeroCopy},
+		{1 << 20, ZeroCopy},
+	}
+	for _, c := range cases {
+		if got := Choose(c.size); got != c.want {
+			t.Errorf("Choose(%d) = %v, want %v", c.size, got, c.want)
+		}
+	}
+}
+
+// TestOptionsChooseCustom checks the thresholds move with the options,
+// again at the exact edges.
+func TestOptionsChooseCustom(t *testing.T) {
+	o := Options{EagerMax: 256, OneCopyMax: 4096}
+	cases := []struct {
+		size int
+		want Protocol
+	}{
+		{256, Eager},
+		{257, OneCopy},
+		{4096, OneCopy},
+		{4097, ZeroCopy},
+	}
+	for _, c := range cases {
+		if got := o.Choose(c.size); got != c.want {
+			t.Errorf("Options%+v.Choose(%d) = %v, want %v", o, c.size, got, c.want)
+		}
+	}
+}
+
+// TestOptionsWithDefaults checks zero fields pick up the package
+// defaults while set fields — including the negative legacy pipeline
+// depth, which must not be mistaken for "unset" — survive.
+func TestOptionsWithDefaults(t *testing.T) {
+	d := Options{}.withDefaults()
+	want := Options{
+		EagerMax:      EagerMax,
+		OneCopyMax:    OneCopyMax,
+		PipelineDepth: DefaultPipelineDepth,
+		PipelineChunk: DefaultPipelineChunk,
+	}
+	if d != want {
+		t.Errorf("Options{}.withDefaults() = %+v, want %+v", d, want)
+	}
+	set := Options{EagerMax: 1, OneCopyMax: 2, PipelineDepth: -1, PipelineChunk: 4096}
+	if got := set.withDefaults(); got != set {
+		t.Errorf("withDefaults clobbered set fields: %+v → %+v", set, got)
+	}
+}
+
+// TestEndpointOptionsSteerAuto proves a configured endpoint routes Auto
+// sends by its own thresholds, not the package defaults: with
+// OneCopyMax pulled below a message that would default to OneCopy, the
+// send goes zero-copy (and, being multi-chunk with the default depth,
+// pipelined).
+func TestEndpointOptionsSteerAuto(t *testing.T) {
+	c := newCluster(t, core.StrategyKiobuf, 0, Options{
+		EagerMax:   512,
+		OneCopyMax: 64 * 1024,
+	})
+	c.transfer(t, 1024, Auto, 1) // default: eager; here: one-copy
+	c.transfer(t, 96*1024, Auto, 2)
+	st := c.epA.Stats()
+	if st.EagerSends != 0 {
+		t.Errorf("eager sends = %d, want 0 (EagerMax lowered to 512)", st.EagerSends)
+	}
+	if st.OneCopies != 1 {
+		t.Errorf("one-copy sends = %d, want 1", st.OneCopies)
+	}
+	if st.ZeroCopies != 1 {
+		t.Errorf("zero-copy sends = %d, want 1", st.ZeroCopies)
+	}
+}
+
+// TestEndpointOptionsLegacyDepth checks PipelineDepth < 0 restores the
+// serialized whole-buffer rendezvous: zero-copy sends succeed and no
+// pipelined-send stats move.
+func TestEndpointOptionsLegacyDepth(t *testing.T) {
+	c := newCluster(t, core.StrategyKiobuf, 0, Options{PipelineDepth: -1})
+	c.transfer(t, 256*1024, ZeroCopy, 3)
+	st := c.epA.Stats()
+	if st.ZeroCopies != 1 {
+		t.Errorf("zero-copy sends = %d, want 1", st.ZeroCopies)
+	}
+	if st.PipelinedSends != 0 || st.PipelineChunks != 0 {
+		t.Errorf("legacy depth ran the pipeline: %d sends, %d chunks",
+			st.PipelinedSends, st.PipelineChunks)
+	}
+}
+
+// TestEndpointOptionsPipelineChunk checks a custom chunk size drives
+// the chunk count.
+func TestEndpointOptionsPipelineChunk(t *testing.T) {
+	c := newCluster(t, core.StrategyKiobuf, 0, Options{PipelineChunk: 32 * 1024})
+	c.transfer(t, 256*1024, ZeroCopy, 4)
+	st := c.epA.Stats()
+	if st.PipelinedSends != 1 {
+		t.Fatalf("pipelined sends = %d, want 1", st.PipelinedSends)
+	}
+	if st.PipelineChunks != 8 {
+		t.Errorf("pipeline chunks = %d, want 8 (256 KiB / 32 KiB)", st.PipelineChunks)
+	}
+}

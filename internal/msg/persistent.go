@@ -98,6 +98,25 @@ func (p *PersistentRecv) Start() (int, error) {
 	if m.size > p.buf.Bytes {
 		return 0, fmt.Errorf("%w: message %d, buffer %d", ErrTooSmall, m.size, p.buf.Bytes)
 	}
+	if m.nchunks > 0 {
+		// Pipelined sender: grant each chunk a window of the held
+		// whole-buffer registration.  The grants cost nothing (the
+		// registration is persistent), so the reported overlap cost is
+		// zero and the sender's own per-chunk acquires pace the pipeline.
+		for i := 0; i < m.nchunks; i++ {
+			e.sendCtrl(ctrlMsg{kind: kChunkGrant, idx: i, handle: p.reg.Handle(), offset: i * m.chunk})
+			fin := <-e.ctrl
+			switch {
+			case fin.kind == kRndvAbort:
+				return 0, fmt.Errorf("msg: persistent recv: sender unwound pipelined rendezvous at chunk %d", fin.idx)
+			case fin.kind != kChunkFin || fin.idx != i:
+				return 0, fmt.Errorf("msg: persistent recv expected chunk fin %d, got kind %d", i, fin.kind)
+			}
+		}
+		e.stats.RecvMsgs++
+		e.stats.RecvBytes += uint64(m.size)
+		return m.size, nil
+	}
 	e.sendCtrl(ctrlMsg{kind: kCTS, handle: p.reg.Handle()})
 	fin := <-e.ctrl
 	if fin.kind != kFin {

@@ -17,7 +17,10 @@
 // Scope: the inline protocols (eager and one-copy).  The zero-copy
 // rendezvous is not retried — its RDMA completion carries no receiver
 // acknowledgement, so a transparent retransmit could not be
-// deduplicated; failures surface to the caller.
+// deduplicated; transport failures surface to the caller.  A chunk
+// *registration* fault inside the pipelined rendezvous, however, is
+// handled before any data moves for that chunk: both sides unwind and
+// the sender degrades to the one-copy path, which does get retried.
 package msg
 
 import (

@@ -69,6 +69,30 @@ func (c *Clock) Advance(d Duration) Duration {
 	return Duration(c.now.Add(int64(d)))
 }
 
+// Retreat moves the clock backwards by d, clamping at zero, and returns
+// the new time.  It exists for overlap accounting: the clock is a
+// single shared total-work meter, so when two actors' costs would have
+// run concurrently on real hardware (the pipelined rendezvous hiding
+// registration behind an in-flight DMA), the second actor rewinds to
+// the start of the overlap window before charging its own cost, and the
+// window is closed by charging the deficit up to the maximum of the
+// concurrent costs (DESIGN.md §9).  Non-positive retreats are ignored.
+func (c *Clock) Retreat(d Duration) Duration {
+	if d <= 0 {
+		return c.Now()
+	}
+	for {
+		cur := c.now.Load()
+		next := cur - int64(d)
+		if next < 0 {
+			next = 0
+		}
+		if c.now.CompareAndSwap(cur, next) {
+			return Duration(next)
+		}
+	}
+}
+
 // Reset rewinds the clock to zero.  Only tests and benchmark harnesses
 // should call it.
 func (c *Clock) Reset() { c.now.Store(0) }
@@ -169,6 +193,15 @@ func (m *Meter) ChargeN(d Duration, n int) {
 	if n > 0 {
 		m.Charge(d * Duration(n))
 	}
+}
+
+// Retreat rewinds the clock by d for overlap accounting (see
+// Clock.Retreat; no-op on a nil meter).
+func (m *Meter) Retreat(d Duration) {
+	if m == nil || m.Clock == nil {
+		return
+	}
+	m.Clock.Retreat(d)
 }
 
 // Now returns the current virtual time (zero on a nil meter).

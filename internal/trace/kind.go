@@ -103,6 +103,21 @@ const (
 	// retries.  Arg1=sequence number.
 	KindAbort
 
+	// Pipelined rendezvous (still message layer).
+
+	// KindChunkReg spans one pipeline chunk's registration acquire.
+	// Begin: Arg1=chunk index, Arg2=chunk length.  End: Arg1=1 on
+	// success / 0 on failure, Arg2=chunk index.
+	KindChunkReg
+	// KindChunkXfer spans one pipeline chunk's RDMA write, post →
+	// completion.  Begin: Arg1=chunk index, Arg2=chunk length.  End:
+	// Arg1=1 on success / 0 on failure, Arg2=chunk index.
+	KindChunkXfer
+	// KindPipeFallback marks a pipelined rendezvous degrading to the
+	// one-copy path after a chunk registration fault.  Arg1=message
+	// size.
+	KindPipeFallback
+
 	numKinds // sentinel for exhaustiveness tests
 )
 
@@ -137,6 +152,9 @@ var kindNames = [numKinds]string{
 	KindAckRescue:     "ack-rescue",
 	KindDuplicate:     "duplicate",
 	KindAbort:         "abort",
+	KindChunkReg:      "chunk-reg",
+	KindChunkXfer:     "chunk-xfer",
+	KindPipeFallback:  "pipe-fallback",
 }
 
 func (k Kind) String() string {
@@ -156,7 +174,7 @@ func (k Kind) Category() string {
 		return "regcache"
 	case k >= KindDescSend && k <= KindVIReset:
 		return "via"
-	case k >= KindRetry && k <= KindAbort:
+	case k >= KindRetry && k <= KindPipeFallback:
 		return "msg"
 	default:
 		return "other"

@@ -182,6 +182,38 @@ func TestDataPathZeroAllocs(t *testing.T) {
 			t.Fatalf("attached data path allocates %v objects/op, want 0", got)
 		}
 	})
+
+	// The rendezvous data path is one-sided: repeated RDMA writes into a
+	// write-enabled remote region, no receive descriptor.  It must stay
+	// allocation-free too, observer attached (the pipelined rendezvous
+	// always runs with chunk spans on when a tracer is present).
+	t.Run("rdma", func(t *testing.T) {
+		r := newRig(t)
+		trc := trace.New(r.nicA.meter, 1<<10)
+		reg := metrics.NewRegistry()
+		r.nicA.AttachObs(trc, reg)
+		r.nicB.AttachObs(trc, reg)
+		hA, _ := regFrames(t, r.nicA, r.memA, 1, tagA, MemAttrs{})
+		hB, _ := regFrames(t, r.nicB, r.memB, 1, tagB, MemAttrs{EnableRDMAWrite: true})
+		sd := NewDescriptor(OpRDMAWrite, Segment{Handle: hA, Offset: 0, Length: n})
+		sd.Remote = RemoteSegment{Handle: hB, Offset: 0}
+		post := func() {
+			if err := r.viA.PostSend(sd); err != nil {
+				t.Fatal(err)
+			}
+			if sd.Status != StatusSuccess {
+				t.Fatalf("rdma status %v", sd.Status)
+			}
+		}
+		post() // warm: lane state
+		got := testing.AllocsPerRun(200, func() {
+			sd.Reset()
+			post()
+		})
+		if got != 0 {
+			t.Fatalf("rdma data path allocates %v objects/op, want 0", got)
+		}
+	})
 }
 
 // TestAttachObsRegistration checks the TPT-side counters move through

@@ -37,28 +37,22 @@ type MemAttrs struct {
 }
 
 // MemHandle names a registered memory region on one NIC.  The handle is
-// an index into the NIC's region table; the region in turn owns a
+// an index into the NIC's region directory; the region in turn owns a
 // contiguous range of TPT slots.
 type MemHandle uint32
 
 // NoMemHandle is the sentinel for "no region".
 const NoMemHandle MemHandle = ^MemHandle(0)
 
-// tptEntry is one slot of the Translation and Protection Table: the
-// physical address of one page plus the protection tag and attributes.
-type tptEntry struct {
-	valid bool
-	frame phys.Addr // page-aligned physical address recorded at registration
-	tag   ProtectionTag
-	attrs MemAttrs
-}
-
-// region describes one registered memory region.
+// region describes one registered memory region.  A region is immutable
+// once published in a snapshot: the data path reads frames directly and
+// never sees a half-built or half-torn-down registration.
 type region struct {
 	handle MemHandle
-	slots  []int // TPT slot indices, one per page, in order
-	offset int   // byte offset of the buffer start within the first page
-	length int   // registered length in bytes
+	slots  []int       // TPT slot indices (writer-side capacity accounting)
+	frames []phys.Addr // page-aligned physical frame per page, in order
+	offset int         // byte offset of the buffer start within the first page
+	length int         // registered length in bytes
 	tag    ProtectionTag
 	attrs  MemAttrs
 }
@@ -78,10 +72,22 @@ var (
 // generic ErrBadHandle.
 const tptTombstones = 1024
 
+// tptSnap is one immutable epoch of the region directory.  The data
+// path resolves translations against whichever snapshot it loads; the
+// map and every region it holds are never mutated after publication.
+type tptSnap struct {
+	regions map[MemHandle]*region
+}
+
 // tpt is the NIC's translation and protection table plus region
-// directory.  Registration and deregistration take the write lock; the
-// data path (translateRange and friends) only ever takes the read lock,
-// so concurrent DMA translations never serialize against each other.
+// directory.  The read path (translateRange and friends) is lock-free:
+// it loads the current snapshot with one atomic pointer load and walks
+// immutable state, so concurrent DMA translations never serialize —
+// against each other or against registrations.  Registration and
+// deregistration serialize on the writer mutex and publish a new
+// snapshot copy-on-write (epoch semantics: a translation that loaded
+// the previous snapshot may still complete against a region being
+// deregistered; see DESIGN.md §9 for why that matches hardware).
 type tpt struct {
 	// inj guards data-path translations (SiteTPT); set through
 	// NIC.SetFaultInjector, nil in production.
@@ -90,11 +96,16 @@ type tpt struct {
 	// production).
 	obs atomic.Pointer[nicObs]
 
-	mu      sync.RWMutex
-	entries []tptEntry
-	free    []int // free slot indices (LIFO)
-	regions map[MemHandle]*region
-	nextH   MemHandle
+	// snap is the published epoch the data path reads.
+	snap atomic.Pointer[tptSnap]
+
+	// mu serializes writers (register/deregister) and guards the slot
+	// free list and the tombstone set.  The data path never takes it;
+	// only the miss slow path does, to distinguish a released handle
+	// from one that never existed.
+	mu    sync.Mutex
+	free  []int // free slot indices (LIFO)
+	nextH MemHandle
 
 	// Tombstones for recently released handles: a bounded FIFO ring
 	// plus the membership set.  Handles are never reused, so a hit means
@@ -107,35 +118,54 @@ type tpt struct {
 
 func newTPT(slots int) *tpt {
 	t := &tpt{
-		entries: make([]tptEntry, slots),
-		free:    make([]int, 0, slots),
-		regions: make(map[MemHandle]*region),
-		tombs:   make(map[MemHandle]struct{}),
-		nextH:   1,
+		free:  make([]int, 0, slots),
+		tombs: make(map[MemHandle]struct{}),
+		nextH: 1,
 	}
 	for i := slots - 1; i >= 0; i-- {
 		t.free = append(t.free, i)
 	}
+	t.snap.Store(&tptSnap{regions: map[MemHandle]*region{}})
 	return t
 }
 
-// lookupLocked resolves a handle to its region, distinguishing a
-// recently released handle from one that never existed.  Callers hold
-// t.mu in either mode.
-func (t *tpt) lookupLocked(h MemHandle) (*region, error) {
-	r, ok := t.regions[h]
-	if ok {
-		return r, nil
+// publishLocked builds and publishes a new snapshot from the current one
+// with one region added (add != nil) and/or one removed (del set).
+// Callers hold t.mu.
+func (t *tpt) publishLocked(add *region, del MemHandle, hasDel bool) {
+	old := t.snap.Load()
+	next := make(map[MemHandle]*region, len(old.regions)+1)
+	for h, r := range old.regions {
+		if hasDel && h == del {
+			continue
+		}
+		next[h] = r
 	}
-	if _, dead := t.tombs[h]; dead {
-		return nil, fmt.Errorf("%w: %d", ErrRegionReleased, h)
+	if add != nil {
+		next[add.handle] = add
 	}
-	return nil, fmt.Errorf("%w: %d", ErrBadHandle, h)
+	t.snap.Store(&tptSnap{regions: next})
+}
+
+// missErr classifies a snapshot miss: a recently released handle reports
+// ErrRegionReleased, anything else ErrBadHandle.  This is the only place
+// the read path can touch the writer mutex, and only after it has
+// already failed.
+func (t *tpt) missErr(h MemHandle) error {
+	t.mu.Lock()
+	_, dead := t.tombs[h]
+	t.mu.Unlock()
+	if dead {
+		return fmt.Errorf("%w: %d", ErrRegionReleased, h)
+	}
+	return fmt.Errorf("%w: %d", ErrBadHandle, h)
 }
 
 // register enters the page list into the TPT and returns a handle.
 // pages are the page-aligned physical addresses of the buffer's frames;
-// offset/length describe the byte range within them.
+// offset/length describe the byte range within them.  The new region is
+// fully built before the snapshot carrying it is published, so the data
+// path can never observe a partial registration.
 func (t *tpt) register(pages []phys.Addr, offset, length int, tag ProtectionTag, attrs MemAttrs) (MemHandle, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -146,35 +176,38 @@ func (t *tpt) register(pages []phys.Addr, offset, length int, tag ProtectionTag,
 		return NoMemHandle, fmt.Errorf("%w: need %d slots, %d free", ErrTPTFull, len(pages), len(t.free))
 	}
 	slots := make([]int, len(pages))
+	frames := make([]phys.Addr, len(pages))
 	for i, pa := range pages {
-		s := t.free[len(t.free)-1]
+		slots[i] = t.free[len(t.free)-1]
 		t.free = t.free[:len(t.free)-1]
-		t.entries[s] = tptEntry{valid: true, frame: pa &^ phys.Addr(phys.PageMask), tag: tag, attrs: attrs}
-		slots[i] = s
+		frames[i] = pa &^ phys.Addr(phys.PageMask)
 	}
 	h := t.nextH
 	t.nextH++
-	t.regions[h] = &region{
-		handle: h, slots: slots, offset: offset, length: length, tag: tag, attrs: attrs,
-	}
+	t.publishLocked(&region{
+		handle: h, slots: slots, frames: frames, offset: offset, length: length, tag: tag, attrs: attrs,
+	}, 0, false)
 	return h, nil
 }
 
-// deregister invalidates the region's slots and frees the handle,
-// reporting how many TPT slots were invalidated.  The handle is
-// tombstoned so later accesses through it fail with ErrRegionReleased.
+// deregister removes the region from the published snapshot and frees
+// its slots, reporting how many TPT slots were invalidated.  The handle
+// is tombstoned so later accesses through it fail with
+// ErrRegionReleased.  A translation already running against the
+// previous snapshot may still complete — the same window a real NIC
+// has between the invalidate doorbell and the DMA engine's last
+// in-flight fetch.
 func (t *tpt) deregister(h MemHandle) (int, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	r, err := t.lookupLocked(h)
-	if err != nil {
-		return 0, err
+	r, ok := t.snap.Load().regions[h]
+	if !ok {
+		if _, dead := t.tombs[h]; dead {
+			return 0, fmt.Errorf("%w: %d", ErrRegionReleased, h)
+		}
+		return 0, fmt.Errorf("%w: %d", ErrBadHandle, h)
 	}
-	for _, s := range r.slots {
-		t.entries[s] = tptEntry{}
-		t.free = append(t.free, s)
-	}
-	delete(t.regions, h)
+	t.free = append(t.free, r.slots...)
 	if t.tombLen == tptTombstones {
 		delete(t.tombs, t.tombRing[t.tombNext])
 	} else {
@@ -183,6 +216,7 @@ func (t *tpt) deregister(h MemHandle) (int, error) {
 	t.tombRing[t.tombNext] = h
 	t.tombNext = (t.tombNext + 1) % tptTombstones
 	t.tombs[h] = struct{}{}
+	t.publishLocked(nil, h, true)
 	return len(r.slots), nil
 }
 
@@ -193,12 +227,12 @@ type extent struct {
 }
 
 // translateRange resolves the byte range [off, off+length) of a handle
-// into physically contiguous extents under a single read-lock
-// acquisition, appending them to exts (pass a scratch slice to avoid
-// allocation).  Adjacent frames coalesce, so a transfer over physically
-// contiguous pages yields one extent.  The whole range is validated
-// before any extent is returned: tag, attributes and bounds — a DMA
-// either translates completely or not at all.
+// into physically contiguous extents without taking any lock, appending
+// them to exts (pass a scratch slice to avoid allocation).  Adjacent
+// frames coalesce, so a transfer over physically contiguous pages
+// yields one extent.  The whole range is validated before any extent is
+// returned: tag, attributes and bounds — a DMA either translates
+// completely or not at all.
 func (t *tpt) translateRange(h MemHandle, off, length int, tag ProtectionTag, needAttr func(MemAttrs) bool, exts []extent) ([]extent, error) {
 	out, err := t.translateRangeUnobserved(h, off, length, tag, needAttr, exts)
 	if obs := t.obs.Load(); obs != nil {
@@ -219,11 +253,9 @@ func (t *tpt) translateRangeUnobserved(h MemHandle, off, length int, tag Protect
 			return nil, fmt.Errorf("%w: %w", ErrTranslationFault, err)
 		}
 	}
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	r, err := t.lookupLocked(h)
-	if err != nil {
-		return nil, err
+	r, ok := t.snap.Load().regions[h]
+	if !ok {
+		return nil, t.missErr(h)
 	}
 	if r.tag != tag {
 		return nil, fmt.Errorf("%w: region tag %d vs access tag %d", ErrTagMismatch, r.tag, tag)
@@ -236,12 +268,7 @@ func (t *tpt) translateRangeUnobserved(h MemHandle, off, length int, tag Protect
 	}
 	abs := r.offset + off
 	for length > 0 {
-		slot := r.slots[abs/phys.PageSize]
-		e := &t.entries[slot]
-		if !e.valid {
-			return nil, fmt.Errorf("via: invalid TPT slot %d for handle %d", slot, h)
-		}
-		pa := e.frame + phys.Addr(abs&phys.PageMask)
+		pa := r.frames[abs/phys.PageSize] + phys.Addr(abs&phys.PageMask)
 		n := phys.PageSize - abs&phys.PageMask
 		if n > length {
 			n = length
@@ -258,14 +285,13 @@ func (t *tpt) translateRangeUnobserved(h MemHandle, off, length int, tag Protect
 }
 
 // translate resolves (handle, byte offset) to a physical address after
-// checking the protection tag.  needAttr selects the RDMA attribute an
-// incoming remote access must additionally satisfy (nil for local use).
+// checking the protection tag, lock-free like translateRange.  needAttr
+// selects the RDMA attribute an incoming remote access must additionally
+// satisfy (nil for local use).
 func (t *tpt) translate(h MemHandle, off int, tag ProtectionTag, needAttr func(MemAttrs) bool) (phys.Addr, error) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	r, err := t.lookupLocked(h)
-	if err != nil {
-		return 0, err
+	r, ok := t.snap.Load().regions[h]
+	if !ok {
+		return 0, t.missErr(h)
 	}
 	if r.tag != tag {
 		return 0, fmt.Errorf("%w: region tag %d vs access tag %d", ErrTagMismatch, r.tag, tag)
@@ -277,36 +303,26 @@ func (t *tpt) translate(h MemHandle, off int, tag ProtectionTag, needAttr func(M
 		return 0, ErrRDMADisabled
 	}
 	abs := r.offset + off
-	page := abs / phys.PageSize
-	slot := r.slots[page]
-	e := t.entries[slot]
-	if !e.valid {
-		return 0, fmt.Errorf("via: invalid TPT slot %d for handle %d", slot, h)
-	}
-	return e.frame + phys.Addr(abs%phys.PageSize), nil
+	return r.frames[abs/phys.PageSize] + phys.Addr(abs%phys.PageSize), nil
 }
 
 // regionLength reports the registered length of a handle.
 func (t *tpt) regionLength(h MemHandle) (int, error) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	r, err := t.lookupLocked(h)
-	if err != nil {
-		return 0, err
+	r, ok := t.snap.Load().regions[h]
+	if !ok {
+		return 0, t.missErr(h)
 	}
 	return r.length, nil
 }
 
 // freeSlots reports the number of unused TPT slots.
 func (t *tpt) freeSlots() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	return len(t.free)
 }
 
 // regionCount reports how many regions are currently registered.
 func (t *tpt) regionCount() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return len(t.regions)
+	return len(t.snap.Load().regions)
 }
