@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	viabench -table=regcost|deregcost|survival|protocols|regcache|regconc|multireg|divergence|msgrate|obs|all
+//	viabench -table=regcost|deregcost|survival|protocols|regcache|regconc|multireg|divergence|msgrate|nopin|obs|all
 //
 // The obs table (E18, the observability layer's latency decomposition)
 // accepts two extra flags: -trace=out.json exports its event trace as
@@ -50,8 +50,9 @@ func main() {
 		"msgrate":    bench.MsgRate,
 		"chaos":      bench.Chaos,
 		"rendezvous": bench.Rendezvous,
+		"nopin":      bench.NoPin,
 	}
-	order := []string{"regcost", "deregcost", "survival", "protocols", "regcache", "regconc", "multireg", "divergence", "piodma", "latency", "ablation", "bigphys", "msgrate", "chaos", "rendezvous", "obs"}
+	order := []string{"regcost", "deregcost", "survival", "protocols", "regcache", "regconc", "multireg", "divergence", "piodma", "latency", "ablation", "bigphys", "msgrate", "chaos", "rendezvous", "nopin", "obs"}
 
 	run := func(name string) {
 		if err := runners[name](os.Stdout); err != nil {

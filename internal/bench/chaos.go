@@ -53,7 +53,11 @@ type chaosClass struct {
 	sizes      []int        // ping-pong A→B sizes (nil = harness default)
 	burstSize  int          // burst message size (0 = harness default)
 	relTimeout time.Duration
-	setup      func(f *chaosFabric)
+	epOpts     msg.Options // endpoint options (e.g. pin-free payloads)
+	// mmTweak adjusts both kernels' memory config before construction
+	// (e.g. shrink RAM so reclaim runs organically mid-transfer).
+	mmTweak func(cfg *mm.Config)
+	setup   func(f *chaosFabric)
 	// beforeRound optionally perturbs the fabric before a round (and
 	// once before the burst); it may return a cleanup func.
 	beforeRound func(f *chaosFabric, r int) func()
@@ -114,6 +118,27 @@ func chaosClasses() []chaosClass {
 			},
 			verify: chaosPipelineVerify},
 		{name: "phys", beforeRound: chaosPhysFault},
+		// Pin-free payload registrations under a swap storm: every
+		// zero-copy payload is registered RegNoPin, RAM is sized so a
+		// 40-page payload can never be wholly resident (direct reclaim
+		// runs mid-transfer), and a concurrent storm evicts more pages
+		// while DMA is in flight.  Every transfer therefore hits
+		// non-present translations mid-stream and must recover through IO
+		// page faults (fault-and-retry).  Payloads still verify 100%; the
+		// post-drain hook proves the storm actually reached the TPT.
+		// Second chance is off so a single direct-reclaim pass always
+		// makes progress instead of just aging accessed bits (a
+		// zero-progress pass reads as OOM on this fault path).
+		{name: "nopin", proto: msg.ZeroCopy,
+			sizes:     []int{160 * 1024, 100 * 1024},
+			burstSize: 96 * 1024,
+			epOpts:    msg.Options{NoPin: true},
+			mmTweak: func(cfg *mm.Config) {
+				cfg.RAMPages = 64
+				cfg.NoSecondChance = true
+			},
+			beforeRound: chaosNopinStorm,
+			verify:      chaosNopinVerify},
 	}
 }
 
@@ -155,6 +180,43 @@ func chaosPhysFault(f *chaosFabric, r int) func() {
 		f.kernelB.Phys().SetFaultInjector(nil)
 		f.sideInjected += side.Stats().Total()
 	}
+}
+
+// chaosNopinStorm runs a reclaim storm concurrent with the round: both
+// kernels evict continuously for a bounded real-time window, so pages
+// of pin-free payload registrations go non-present while the transfer
+// is in flight and the DMA must fault and repair mid-stream.  The
+// cleanup joins the storm and books its evictions as injected faults.
+func chaosNopinStorm(f *chaosFabric, r int) func() {
+	done := make(chan int, 1)
+	go func() {
+		n := 0
+		deadline := time.Now().Add(5 * time.Millisecond)
+		for time.Now().Before(deadline) {
+			n += f.kernelA.SwapOut(64)
+			n += f.kernelB.SwapOut(64)
+			time.Sleep(10 * time.Microsecond)
+		}
+		done <- n
+	}()
+	return func() { f.sideInjected += uint64(<-done) }
+}
+
+// chaosNopinVerify proves the nopin schedule was alive: the storm must
+// have invalidated live TPT entries, and the DMA path must have hit —
+// and repaired — non-present translations.  A flat counter means the
+// pages were silently pinned (or the storm missed) and the class tested
+// nothing.
+func chaosNopinVerify(f *chaosFabric) error {
+	st := sumStats(f.nicA.Stats(), f.nicB.Stats())
+	if st.TPTInvalidations == 0 {
+		return fmt.Errorf("chaos nopin: storm never invalidated a TPT entry — payloads pinned?")
+	}
+	if st.IOPageFaults == 0 || st.FaultRetries == 0 || st.TPTRepairs == 0 {
+		return fmt.Errorf("chaos nopin: no IO-page-fault recovery (faults=%d retries=%d repairs=%d)",
+			st.IOPageFaults, st.FaultRetries, st.TPTRepairs)
+	}
+	return nil
 }
 
 // chaosPipelineVerify closes the pipeline class: after both endpoints'
@@ -213,9 +275,12 @@ type chaosFabric struct {
 	sideInjected     uint64        // injections from per-round side injectors
 }
 
-func newChaosFabric(seed int64, rel msg.ReliabilityConfig) (*chaosFabric, error) {
+func newChaosFabric(seed int64, rel msg.ReliabilityConfig, cl *chaosClass) (*chaosFabric, error) {
 	meter := simtime.NewMeter()
 	cfg := mm.Config{RAMPages: 4096, SwapPages: 8192, ClockBatch: 128, SwapBatch: 32}
+	if cl.mmTweak != nil {
+		cl.mmTweak(&cfg)
+	}
 	f := &chaosFabric{
 		meter:   meter,
 		kernelA: mm.NewKernel(cfg, meter),
@@ -235,10 +300,10 @@ func newChaosFabric(seed int64, rel msg.ReliabilityConfig) (*chaosFabric, error)
 	f.procA = proc.New(f.kernelA, "chaos-a", false)
 	f.procB = proc.New(f.kernelB, "chaos-b", false)
 	var err error
-	if f.epA, err = msg.NewEndpoint("A", vipl.OpenNic(f.agentA, f.procA), meter, 0); err != nil {
+	if f.epA, err = msg.NewEndpoint("A", vipl.OpenNic(f.agentA, f.procA), meter, 0, cl.epOpts); err != nil {
 		return nil, err
 	}
-	if f.epB, err = msg.NewEndpoint("B", vipl.OpenNic(f.agentB, f.procB), meter, 0); err != nil {
+	if f.epB, err = msg.NewEndpoint("B", vipl.OpenNic(f.agentB, f.procB), meter, 0, cl.epOpts); err != nil {
 		return nil, err
 	}
 	if err := msg.Pair(f.nw, f.epA, f.epB); err != nil {
@@ -480,7 +545,7 @@ func runChaosClass(cl chaosClass, idx int) (chaosResult, error) {
 		BackoffMax:  2 * time.Millisecond,
 		Seed:        chaosSeed + int64(idx),
 	}
-	f, err := newChaosFabric(chaosSeed+int64(idx), rel)
+	f, err := newChaosFabric(chaosSeed+int64(idx), rel, &cl)
 	if err != nil {
 		return res, err
 	}
@@ -528,7 +593,7 @@ func runChaosClass(cl chaosClass, idx int) (chaosResult, error) {
 	res.injected = f.inj.Stats().Total() + f.sideInjected
 	res.nic = sumStats(f.nicA.Stats(), f.nicB.Stats())
 	res.rel = sumRel(f.epA.ReliabilityStats(), f.epB.ReliabilityStats())
-	if res.injected == 0 && res.nic.Faults == 0 && res.degraded == 0 {
+	if res.injected == 0 && res.nic.Faults == 0 && res.nic.IOPageFaults == 0 && res.degraded == 0 {
 		return res, fmt.Errorf("class %q injected nothing — the fault schedule is dead", cl.name)
 	}
 	if err := leakcheck.Verify(base, 5*time.Second); err != nil {
@@ -559,6 +624,12 @@ func sumStats(a, b via.Stats) via.Stats {
 	a.DescriptorsFlushed += b.DescriptorsFlushed
 	a.Recoveries += b.Recoveries
 	a.NICResets += b.NICResets
+	a.IOPageFaults += b.IOPageFaults
+	a.FaultRetries += b.FaultRetries
+	a.SpecRetransmits += b.SpecRetransmits
+	a.RetransmitBytes += b.RetransmitBytes
+	a.TPTInvalidations += b.TPTInvalidations
+	a.TPTRepairs += b.TPTRepairs
 	return a
 }
 
@@ -579,7 +650,7 @@ func Chaos(w io.Writer) error {
 		Note: "every delivered payload verified, every failure typed; drain of " +
 			fmt.Sprint(2*chaosDrainMsgs) + " clean messages and a goroutine leak check close each class",
 		Headers: []string{"class", "ok", "loud", "degraded", "injected",
-			"faults", "vi-err", "flushed", "resets", "retries", "recov", "acks", "dups", "timeouts"},
+			"faults", "vi-err", "flushed", "resets", "io-faults", "repairs", "retries", "recov", "acks", "dups", "timeouts"},
 	}
 	for i, cl := range chaosClasses() {
 		r, err := runChaosClass(cl, i)
@@ -588,6 +659,7 @@ func Chaos(w io.Writer) error {
 		}
 		t.AddRow(r.class, r.ok, r.loud, r.degraded, r.injected,
 			r.nic.Faults, r.nic.VIErrors, r.nic.DescriptorsFlushed, r.nic.NICResets,
+			r.nic.IOPageFaults, r.nic.TPTRepairs,
 			r.rel.Retries, r.rel.Recoveries, r.rel.AckRescues, r.rel.Duplicates, r.rel.Timeouts)
 	}
 	t.Fprint(w)

@@ -1,0 +1,44 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/phys"
+	"repro/internal/via"
+)
+
+// BenchmarkRegisterPinned is the regression guard for the pinned
+// registration control path: a warm register/deregister cycle of an
+// 8-page region through the kernel agent.  The pin-free mode added
+// attribute threading, notifier plumbing and epoch-deferred TPT slot
+// frees to this path; the benchmark holds the pinned baseline to its
+// pre-nopin cost.
+func BenchmarkRegisterPinned(b *testing.B) {
+	c, node, err := oneNode(core.StrategyKiobuf)
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = c
+	p := node.NewProcess("bench", false)
+	const npages = 8
+	buf, err := p.Malloc(npages * phys.PageSize)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := buf.FillPattern(1); err != nil {
+		b.Fatal(err)
+	}
+	tag := via.ProtectionTag(p.ID())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reg, err := node.Agent.RegisterMem(p.AS(), buf.Addr, buf.Bytes, tag, via.MemAttrs{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := node.Agent.DeregisterMem(reg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -51,7 +51,16 @@ type Registration struct {
 
 	lock *core.Lock
 	as   *mm.AddressSpace
+
+	// noPin marks a pin-free (RegNoPin) registration; notifierID and
+	// tracker tie it to the mm range notifier that keeps the TPT honest.
+	noPin      bool
+	notifierID int
+	tracker    *nopinTracker
 }
+
+// NoPin reports whether this is a pin-free registration.
+func (r *Registration) NoPin() bool { return r.noPin }
 
 // Pages reports the physical page addresses recorded at registration.
 func (r *Registration) Pages() []phys.Addr { return r.lock.Pages }
@@ -81,6 +90,11 @@ type Agent struct {
 
 	nextID atomic.Int64
 	shards [regShards]regShard
+
+	// nopinMu guards nopinRegs, the handle→registration index the NIC's
+	// IO-page-fault upcall resolves against.
+	nopinMu   sync.Mutex
+	nopinRegs map[via.MemHandle]*Registration
 }
 
 // Errors returned by the agent.
@@ -94,6 +108,10 @@ func New(k *mm.Kernel, nic *via.NIC, locker core.Locker) *Agent {
 	for i := range a.shards {
 		a.shards[i].regs = make(map[int]*Registration)
 	}
+	a.nopinRegs = make(map[via.MemHandle]*Registration)
+	// The agent is the NIC's host: IO page faults from pin-free regions
+	// come back here to be resolved.
+	nic.SetIOFaultHandler(a.resolveIOFault)
 	return a
 }
 
@@ -128,6 +146,11 @@ func (a *Agent) RegisterMem(as *mm.AddressSpace, addr pgtable.VAddr, length int,
 			st.finishErr(trace.KindRegister)
 			return nil, fmt.Errorf("%w: %w", ErrRegistrationFault, err)
 		}
+	}
+	// Pin-free registrations take their own path: a notifier instead of
+	// a pin, whatever locking strategy the agent was built with.
+	if attrs.NoPin {
+		return a.registerNoPin(as, addr, length, tag, attrs, st)
 	}
 	// The ioctl charge above already entered the kernel; a strategy that
 	// can batch (the kiobuf one) pins the whole range on that single
@@ -185,6 +208,11 @@ func (a *Agent) DeregisterMem(reg *Registration) error {
 	}
 	delete(s.regs, reg.ID)
 	s.mu.Unlock()
+	if reg.noPin {
+		// Quiesce the notifier before the TPT region goes: no more
+		// invalidations can arrive for a handle being torn down.
+		a.dropNoPin(reg)
+	}
 	if err := a.nic.DeregisterMemory(reg.Handle); err != nil {
 		_ = reg.lock.Unlock()
 		st.finishErr(trace.KindDeregister)
@@ -214,6 +242,9 @@ func (a *Agent) Registrations() int {
 // mechanism keeps this at 100%; the refcount strategy decays under
 // pressure (experiment E10).  The probe never faults pages in.
 func (a *Agent) ConsistentPages(reg *Registration) (consistent, total int, err error) {
+	if reg.noPin {
+		return a.consistentNoPin(reg)
+	}
 	start := pgtable.PageOf(reg.Addr)
 	total = len(reg.lock.Pages)
 	for i := 0; i < total; i++ {

@@ -1,0 +1,205 @@
+package kagent
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/pgtable"
+	"repro/internal/phys"
+	"repro/internal/via"
+)
+
+// swapStorm drives reclaim until it has evicted at least want pages (or
+// gives up), returning the eviction count.  Passes repeat because the
+// second-chance aging clears accessed bits before pages become victims.
+func swapStorm(r *rig, want int) int {
+	evicted := 0
+	for i := 0; i < 16 && evicted < want; i++ {
+		evicted += r.k.SwapOut(want)
+	}
+	return evicted
+}
+
+// TestNoPinRegistrationSurvivesSwapStorm is the end-to-end RegNoPin
+// path under the default fault-and-retry policy: the kernel evicts
+// pages out from under the registration, the notifier marks the TPT
+// entries non-present, and DMA recovers through IO page faults — with
+// the payload delivered intact.
+func TestNoPinRegistrationSurvivesSwapStorm(t *testing.T) {
+	r := newRig(t, core.StrategyKiobuf)
+	const npages = 8
+	addr := r.buf(t, npages)
+	size := npages * phys.PageSize
+
+	want := make([]byte, size)
+	for i := range want {
+		want[i] = byte(i*13 + 1)
+	}
+	if err := r.k.CopyToUser(r.as, addr, want); err != nil {
+		t.Fatal(err)
+	}
+
+	reg, err := r.agent.RegisterMem(r.as, addr, size, testTag, via.MemAttrs{NoPin: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reg.NoPin() {
+		t.Fatal("registration not marked nopin")
+	}
+	if c, total, err := r.agent.ConsistentPages(reg); err != nil || c != total {
+		t.Fatalf("fresh consistency = %d/%d, %v", c, total, err)
+	}
+
+	// Pin-free means evictable: the storm must actually take pages from
+	// under the registration, and each eviction must reach the TPT.
+	if evicted := swapStorm(r, npages); evicted == 0 {
+		t.Fatal("swap storm evicted nothing — pages are pinned?")
+	}
+	st := r.nic.Stats()
+	if st.TPTInvalidations == 0 {
+		t.Fatal("evictions did not invalidate TPT entries")
+	}
+	present, total, err := r.nic.PresentPages(reg.Handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if present == total {
+		t.Fatalf("all %d translations still present after storm", total)
+	}
+	// Even with holes, no present entry may aim at a stale frame.
+	if c, tot, err := r.agent.ConsistentPages(reg); err != nil || c != tot {
+		t.Fatalf("post-storm consistency = %d/%d, %v", c, tot, err)
+	}
+
+	// DMA the whole region out: every hole must fault, be repaired, and
+	// deliver the original payload.
+	got := make([]byte, size)
+	if err := r.nic.DMAReadLocal(reg.Handle, 0, got, testTag); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("payload corrupted across eviction and repair")
+	}
+	st = r.nic.Stats()
+	if st.IOPageFaults == 0 || st.FaultRetries == 0 || st.TPTRepairs == 0 {
+		t.Fatalf("recovery counters flat: %+v", st)
+	}
+
+	// DMA write into the recovered region is CPU-visible: the repair
+	// pointed the TPT at the frames the process page table holds.
+	mark := []byte("MARKER")
+	if err := r.nic.DMAWriteLocal(reg.Handle, phys.PageSize+5, mark, testTag); err != nil {
+		t.Fatal(err)
+	}
+	cpu := make([]byte, len(mark))
+	if err := r.k.CopyFromUser(r.as, addr+pgtable.VAddr(phys.PageSize+5), cpu); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cpu, mark) {
+		t.Fatalf("CPU sees %q, DMA wrote %q", cpu, mark)
+	}
+
+	if err := r.agent.DeregisterMem(reg); err != nil {
+		t.Fatal(err)
+	}
+	if r.agent.Registrations() != 0 || r.nic.Regions() != 0 {
+		t.Fatal("teardown incomplete")
+	}
+	// The notifier is gone: further evictions must not touch the NIC.
+	invBefore := r.nic.Stats().TPTInvalidations
+	swapStorm(r, npages)
+	if got := r.nic.Stats().TPTInvalidations; got != invBefore {
+		t.Fatalf("notifier still firing after deregister (%d → %d)", invBefore, got)
+	}
+	if err := r.k.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNoPinSpeculativePolicy runs the same storm under NP-RDMA-style
+// speculative DMA: present pages stream immediately, holes are repaired
+// and retransmitted, payload still verifies.
+func TestNoPinSpeculativePolicy(t *testing.T) {
+	r := newRig(t, core.StrategyKiobuf)
+	r.nic.SetIOFaultPolicy(via.FaultSpeculative)
+	const npages = 8
+	addr := r.buf(t, npages)
+	size := npages * phys.PageSize
+
+	want := make([]byte, size)
+	for i := range want {
+		want[i] = byte(i * 31)
+	}
+	if err := r.k.CopyToUser(r.as, addr, want); err != nil {
+		t.Fatal(err)
+	}
+	reg, err := r.agent.RegisterMem(r.as, addr, size, testTag, via.MemAttrs{NoPin: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evicted := swapStorm(r, npages); evicted == 0 {
+		t.Fatal("swap storm evicted nothing")
+	}
+	got := make([]byte, size)
+	if err := r.nic.DMAReadLocal(reg.Handle, 0, got, testTag); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("speculative payload corrupted")
+	}
+	st := r.nic.Stats()
+	if st.SpecRetransmits == 0 || st.RetransmitBytes == 0 {
+		t.Fatalf("no retransmits recorded: %+v", st)
+	}
+	if err := r.agent.DeregisterMem(reg); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.k.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNoPinFreesPinBudget: a nopin registration holds no pins, so the
+// pinned-page gauge of the physical allocator stays flat — the memory
+// the mode frees for the kernel to manage.
+func TestNoPinFreesPinBudget(t *testing.T) {
+	r := newRig(t, core.StrategyKiobuf)
+	const npages = 8
+	addr := r.buf(t, npages)
+	addr2 := r.buf(t, npages)
+
+	pinsBefore := totalPins(r)
+	regNP, err := r.agent.RegisterMem(r.as, addr, npages*phys.PageSize, testTag, via.MemAttrs{NoPin: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := totalPins(r); got != pinsBefore {
+		t.Fatalf("nopin registration took %d pins", got-pinsBefore)
+	}
+	regP, err := r.agent.RegisterMem(r.as, addr2, npages*phys.PageSize, testTag, via.MemAttrs{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := totalPins(r); got != pinsBefore+npages {
+		t.Fatalf("pinned registration holds %d pins, want %d", got-pinsBefore, npages)
+	}
+	if err := r.agent.DeregisterMem(regP); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.agent.DeregisterMem(regNP); err != nil {
+		t.Fatal(err)
+	}
+	if got := totalPins(r); got != pinsBefore {
+		t.Fatalf("pins leaked: %d", got-pinsBefore)
+	}
+}
+
+// totalPins sums kernel pins across all frames.
+func totalPins(r *rig) int {
+	n := 0
+	for i := 0; i < r.k.Phys().NumFrames(); i++ {
+		n += int(r.k.Phys().Pins(phys.PFN(i)))
+	}
+	return n
+}

@@ -78,6 +78,7 @@ func (k *Kernel) DestroyProcess(as *AddressSpace) error {
 	var errs []error
 	as.pt.Range(0, pgtable.MaxVPN+1, func(v pgtable.VPN, e pgtable.PTE) bool {
 		if e.Present() {
+			k.notifyPageLocked(as, v, NotifyUnmap)
 			if err := k.putMappedFrameLocked(e.PFN()); err != nil {
 				errs = append(errs, err)
 			}
@@ -187,6 +188,7 @@ func (k *Kernel) Munmap(as *AddressSpace, addr pgtable.VAddr, npages int) error 
 			continue
 		}
 		if e.Present() {
+			k.notifyPageLocked(as, v, NotifyUnmap)
 			if err := k.putMappedFrameLocked(e.PFN()); err != nil && firstErr == nil {
 				firstErr = err
 			}

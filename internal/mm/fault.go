@@ -170,6 +170,10 @@ func (k *Kernel) cowLocked(as *AddressSpace, v pgtable.VPN, e pgtable.PTE) error
 	}
 	copy(dst, src)
 	k.charge(k.costs().PageCopy)
+	// The mapping moves to the fresh copy; the old frame stays with the
+	// other sharers, so any TPT translation of it is now stale.  (The
+	// sole-owner path above keeps the frame and does not notify.)
+	k.notifyPageLocked(as, v, NotifyCOW)
 	if err := k.putMappedFrameLocked(old); err != nil {
 		return err
 	}

@@ -37,17 +37,18 @@ var (
 
 // Stats counts kernel MM activity for the experiments.
 type Stats struct {
-	MinorFaults  uint64 // demand-zero and COW faults
-	MajorFaults  uint64 // faults serviced from swap
-	SwapOuts     uint64 // pages written to swap
-	SwapIns      uint64 // pages read back from swap
-	SwapCacheHit uint64 // re-evictions that skipped the device write
-	COWCopies    uint64 // copy-on-write page copies
-	ClockScans   uint64 // page-map entries inspected by shrink_mmap
-	CacheReclaim uint64 // page-cache frames reclaimed by shrink_mmap
-	DirectScans  uint64 // try_to_free_pages invocations
-	KswapdRuns   uint64 // background reclaim passes
-	IOClobbers   uint64 // PG_locked cleared under an in-flight kernel I/O
+	MinorFaults   uint64 // demand-zero and COW faults
+	MajorFaults   uint64 // faults serviced from swap
+	SwapOuts      uint64 // pages written to swap
+	SwapIns       uint64 // pages read back from swap
+	SwapCacheHit  uint64 // re-evictions that skipped the device write
+	COWCopies     uint64 // copy-on-write page copies
+	ClockScans    uint64 // page-map entries inspected by shrink_mmap
+	CacheReclaim  uint64 // page-cache frames reclaimed by shrink_mmap
+	DirectScans   uint64 // try_to_free_pages invocations
+	KswapdRuns    uint64 // background reclaim passes
+	IOClobbers    uint64 // PG_locked cleared under an in-flight kernel I/O
+	NotifierFires uint64 // range-notifier callbacks fired (nopin invalidation)
 }
 
 // Config tunes the kernel.
@@ -120,6 +121,12 @@ type Kernel struct {
 	// in-flight kernel I/O per frame (owners of PG_locked).
 	pageIO map[phys.PFN]int
 
+	// range notifiers (the MMU-notifier registry): callbacks fired when
+	// a page inside a watched range is swapped out, unmapped or
+	// COW-replaced.  See notifier.go for the contract.
+	notifiers    map[int]*rangeNotifier
+	nextNotifier int
+
 	stats Stats
 
 	// kswapd control.
@@ -153,6 +160,7 @@ func NewKernel(cfg Config, meter *simtime.Meter) *Kernel {
 		pageCache: make(map[phys.PFN]*cachePage),
 		swapCache: make(map[phys.PFN]swapdev.Slot),
 		pageIO:    make(map[phys.PFN]int),
+		notifiers: make(map[int]*rangeNotifier),
 	}
 }
 

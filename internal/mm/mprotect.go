@@ -47,6 +47,7 @@ func (k *Kernel) DoMprotect(as *AddressSpace, addr pgtable.VAddr, npages int, pr
 			if _, err := as.pt.Clear(v); err != nil {
 				return err
 			}
+			k.notifyPageLocked(as, v, NotifyUnmap)
 			if err := k.putMappedFrameLocked(e.PFN()); err != nil {
 				return err
 			}

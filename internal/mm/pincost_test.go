@@ -1,0 +1,73 @@
+package mm
+
+import (
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+// TestPinChargeSymmetry is the regression test for the reclaim-path
+// accounting bug: a PinUserPages batch that fails mid-loop runs undo()
+// and must charge neither the KernelCall crossing nor any per-page
+// PinPage cost — only the page-table work (PTE walks, fault-ins) it
+// really performed.  The old code charged up front, so a failed batch
+// billed work it then undid, skewing the registration-cost experiments.
+func TestPinChargeSymmetry(t *testing.T) {
+	m := simtime.NewMeter()
+	k := NewKernel(Config{
+		RAMPages:   64,
+		SwapPages:  256,
+		FreeLow:    4,
+		FreeHigh:   8,
+		ClockBatch: 32,
+		SwapBatch:  8,
+	}, m)
+	as := k.CreateProcess("p", false)
+	const npages = 4
+	addr := mmapRW(t, k, as, npages)
+	// Pre-fault so success and failure runs do identical fault work
+	// (none) and the deltas below are pure walk/pin/crossing costs.
+	touchPages(t, k, as, addr, npages)
+	costs := m.Costs
+
+	// Success: one crossing + per-page (walk + pin).
+	before := m.Now()
+	pfns, err := k.PinUserPages(as, addr, npages, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOK := costs.KernelCall + simtime.Duration(npages)*(costs.PTEWalk+costs.PinPage)
+	if got := m.Now() - before; got != wantOK {
+		t.Fatalf("successful pin charged %v, want %v", got, wantOK)
+	}
+	if err := k.UnpinUserPages(pfns); err != nil {
+		t.Fatal(err)
+	}
+
+	// Failure: the range runs two pages past the VMA, so the batch dies
+	// on page npages (a segv from translate).  The charge must be the
+	// walks of the npages resident pages plus the failing page's fault
+	// attempt (one more PTEWalk inside the fault handler is not reached
+	// — the VMA lookup rejects first), and nothing else.
+	before = m.Now()
+	if _, err := k.PinUserPages(as, addr, npages+2, true); err == nil {
+		t.Fatal("pin past the VMA end succeeded")
+	}
+	wantFail := simtime.Duration(npages+1) * costs.PTEWalk
+	if got := m.Now() - before; got != wantFail {
+		t.Fatalf("failed pin charged %v, want %v (no KernelCall, no PinPage)", got, wantFail)
+	}
+
+	// And the undo left no pins or extra references behind: a full swap
+	// storm can still evict every page.
+	if got := k.OrphanFrames(); got != 0 {
+		t.Fatalf("failed pin stranded %d orphan frames", got)
+	}
+	evicted := 0
+	for i := 0; i < 8 && evicted < npages; i++ {
+		evicted += k.SwapOut(npages)
+	}
+	if evicted != npages {
+		t.Fatalf("after failed pin, only %d/%d pages evictable (leaked pin?)", evicted, npages)
+	}
+}

@@ -178,6 +178,7 @@ func (k *Kernel) tryToSwapOutLocked(as *AddressSpace, v pgtable.VPN, e pgtable.P
 				_, _ = k.swap.Free(slot)
 				return false
 			}
+			k.notifyPageLocked(as, v, NotifySwapOut)
 			_, _ = k.phys.Put(pfn)
 			k.stats.SwapOuts++
 			k.stats.SwapCacheHit++
@@ -198,6 +199,7 @@ func (k *Kernel) tryToSwapOutLocked(as *AddressSpace, v pgtable.VPN, e pgtable.P
 			_, _ = k.swap.Free(slot)
 			return false
 		}
+		k.notifyPageLocked(as, v, NotifySwapOut)
 		_, _ = k.phys.Put(pfn)
 		k.stats.SwapOuts++
 		return true
@@ -223,6 +225,7 @@ func (k *Kernel) tryToSwapOutLocked(as *AddressSpace, v pgtable.VPN, e pgtable.P
 		_, _ = k.swap.Free(slot)
 		return false
 	}
+	k.notifyPageLocked(as, v, NotifySwapOut)
 	_, _ = k.phys.Put(pfn)
 	k.stats.SwapOuts++
 	return true

@@ -43,9 +43,6 @@ func (k *Kernel) pinUserPages(as *AddressSpace, addr pgtable.VAddr, npages int, 
 	if npages <= 0 {
 		return nil, fmt.Errorf("mm: pin of %d pages", npages)
 	}
-	if crossing {
-		k.charge(k.costs().KernelCall)
-	}
 	start := pgtable.PageOf(addr)
 	pfns := make([]phys.PFN, 0, npages)
 	undo := func() {
@@ -70,9 +67,16 @@ func (k *Kernel) pinUserPages(as *AddressSpace, addr pgtable.VAddr, npages int, 
 			undo()
 			return nil, err
 		}
-		k.charge(k.costs().PinPage)
 		pfns = append(pfns, pfn)
 	}
+	// Charge only on commit: a batch that fails mid-loop undoes its pins
+	// and must not bill the crossing or the per-page pin work, or the
+	// failed path skews the E4/E18a accounting (translateLocked still
+	// charges the PTE walks and any fault work it really performed).
+	if crossing {
+		k.charge(k.costs().KernelCall)
+	}
+	k.chargeN(k.costs().PinPage, len(pfns))
 	return pfns, nil
 }
 

@@ -91,6 +91,17 @@ type Options struct {
 	// PipelineChunk is the pipeline chunk size in bytes (0 =
 	// DefaultPipelineChunk).
 	PipelineChunk int
+	// NoPin registers payload buffers pin-free (RegNoPin): the kernel
+	// may evict their pages mid-transfer and the NIC recovers through IO
+	// page faults.  The endpoint's own ring and bounce buffers stay
+	// pinned — they are NIC-owned infrastructure, not user payload.
+	NoPin bool
+}
+
+// payloadAttrs builds the registration attributes for user payload
+// buffers, honouring the endpoint's pin-free option.
+func (e *Endpoint) payloadAttrs(rdmaWrite bool) via.MemAttrs {
+	return via.MemAttrs{EnableRDMAWrite: rdmaWrite, NoPin: e.opts.NoPin}
 }
 
 // withDefaults fills zero fields with the package defaults.
@@ -469,7 +480,7 @@ func (e *Endpoint) sendInline(b *proc.Buffer, eager bool, seq uint64) (int, erro
 	var reg *vipl.MemRegion
 	if !eager {
 		var err error
-		reg, err = e.cache.Acquire(b, 0, size, via.MemAttrs{}, regcache.ClassUser)
+		reg, err = e.cache.Acquire(b, 0, size, e.payloadAttrs(false), regcache.ClassUser)
 		if err != nil {
 			return 0, err
 		}
@@ -573,7 +584,7 @@ func (e *Endpoint) sendZeroCopy(b *proc.Buffer) (int, error) {
 	chunk := e.opts.PipelineChunk
 	nchunks := (b.Bytes + chunk - 1) / chunk
 	if e.opts.PipelineDepth < 0 || nchunks <= 1 {
-		reg, err := e.cache.Acquire(b, 0, b.Bytes, via.MemAttrs{}, regcache.ClassUser)
+		reg, err := e.cache.Acquire(b, 0, b.Bytes, e.payloadAttrs(false), regcache.ClassUser)
 		if err != nil {
 			return 0, err
 		}
@@ -644,7 +655,7 @@ func (e *Endpoint) sendPipelined(b *proc.Buffer, chunk, nchunks int) (int, error
 		}
 		obs, sp := e.chunkSpanBegin(trace.KindChunkReg, i, n)
 		sw := e.meter.Start()
-		creg, err := e.cache.Acquire(b, off, n, via.MemAttrs{}, regcache.ClassUser)
+		creg, err := e.cache.Acquire(b, off, n, e.payloadAttrs(false), regcache.ClassUser)
 		regCost := sw.Elapsed()
 		e.chunkSpanEnd(obs, sp, trace.KindChunkReg, err == nil, i)
 		if err != nil {
@@ -735,7 +746,7 @@ func (e *Endpoint) recvZeroCopy(b *proc.Buffer, m ctrlMsg) (int, error) {
 	if m.nchunks > 0 {
 		return e.recvPipelined(b, m)
 	}
-	reg, err := e.cache.Acquire(b, 0, m.size, via.MemAttrs{EnableRDMAWrite: true}, regcache.ClassUser)
+	reg, err := e.cache.Acquire(b, 0, m.size, e.payloadAttrs(true), regcache.ClassUser)
 	if err != nil {
 		return 0, err
 	}
@@ -767,7 +778,7 @@ func (e *Endpoint) recvPipelined(b *proc.Buffer, m ctrlMsg) (int, error) {
 		n := min(chunk, size-off)
 		obs, sp := e.chunkSpanBegin(trace.KindChunkReg, idx, n)
 		sw := e.meter.Start()
-		r, err := e.cache.Acquire(b, off, n, via.MemAttrs{EnableRDMAWrite: true}, regcache.ClassUser)
+		r, err := e.cache.Acquire(b, off, n, e.payloadAttrs(true), regcache.ClassUser)
 		cost := sw.Elapsed()
 		e.chunkSpanEnd(obs, sp, trace.KindChunkReg, err == nil, idx)
 		if err != nil {

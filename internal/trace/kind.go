@@ -83,6 +83,18 @@ const (
 	KindVIError
 	// KindVIReset marks a VI reset out of the error state.  Arg1=VI uid.
 	KindVIReset
+	// KindIOPageFault marks DMA touching a non-present nopin
+	// translation.  Arg1=handle, Arg2=region page index.
+	KindIOPageFault
+	// KindNotifierInvalidate marks an MMU-notifier downcall clearing a
+	// TPT present bit.  Arg1=handle, Arg2=region page index.
+	KindNotifierInvalidate
+	// KindTPTRepair marks the host restoring a nopin translation after
+	// fault-in.  Arg1=handle, Arg2=region page index.
+	KindTPTRepair
+	// KindSpecRetransmit marks a speculative-DMA chunk retransmitted
+	// after host-side validation.  Arg1=handle, Arg2=bytes.
+	KindSpecRetransmit
 
 	// Message-layer reliability.
 
@@ -124,37 +136,41 @@ const (
 // kindNames maps kinds to their exporter names.  Keep in sync with the
 // constant block above; TestKindStringsExhaustive enforces it.
 var kindNames = [numKinds]string{
-	KindNone:          "none",
-	KindRegister:      "register",
-	KindPin:           "pin",
-	KindTPTInsert:     "tpt-insert",
-	KindDeregister:    "deregister",
-	KindTPTInvalidate: "tpt-invalidate",
-	KindCacheHit:      "cache-hit",
-	KindCacheMiss:     "cache-miss",
-	KindCacheWait:     "cache-wait",
-	KindCacheEvict:    "cache-evict",
-	KindCacheFlush:    "cache-flush",
-	KindDescSend:      "desc-send",
-	KindDescRecv:      "desc-recv",
-	KindLaneEnqueue:   "lane-enqueue",
-	KindLaneDequeue:   "lane-dequeue",
-	KindLaneDepth:     "lane-depth",
-	KindTranslate:     "translate",
-	KindDMA:           "dma",
-	KindWire:          "wire",
-	KindScatter:       "scatter",
-	KindVIError:       "vi-error",
-	KindVIReset:       "vi-reset",
-	KindRetry:         "retry",
-	KindBackoff:       "backoff",
-	KindRecovery:      "recovery",
-	KindAckRescue:     "ack-rescue",
-	KindDuplicate:     "duplicate",
-	KindAbort:         "abort",
-	KindChunkReg:      "chunk-reg",
-	KindChunkXfer:     "chunk-xfer",
-	KindPipeFallback:  "pipe-fallback",
+	KindNone:               "none",
+	KindRegister:           "register",
+	KindPin:                "pin",
+	KindTPTInsert:          "tpt-insert",
+	KindDeregister:         "deregister",
+	KindTPTInvalidate:      "tpt-invalidate",
+	KindCacheHit:           "cache-hit",
+	KindCacheMiss:          "cache-miss",
+	KindCacheWait:          "cache-wait",
+	KindCacheEvict:         "cache-evict",
+	KindCacheFlush:         "cache-flush",
+	KindDescSend:           "desc-send",
+	KindDescRecv:           "desc-recv",
+	KindLaneEnqueue:        "lane-enqueue",
+	KindLaneDequeue:        "lane-dequeue",
+	KindLaneDepth:          "lane-depth",
+	KindTranslate:          "translate",
+	KindDMA:                "dma",
+	KindWire:               "wire",
+	KindScatter:            "scatter",
+	KindVIError:            "vi-error",
+	KindVIReset:            "vi-reset",
+	KindIOPageFault:        "io-page-fault",
+	KindNotifierInvalidate: "notifier-invalidate",
+	KindTPTRepair:          "tpt-repair",
+	KindSpecRetransmit:     "spec-retransmit",
+	KindRetry:              "retry",
+	KindBackoff:            "backoff",
+	KindRecovery:           "recovery",
+	KindAckRescue:          "ack-rescue",
+	KindDuplicate:          "duplicate",
+	KindAbort:              "abort",
+	KindChunkReg:           "chunk-reg",
+	KindChunkXfer:          "chunk-xfer",
+	KindPipeFallback:       "pipe-fallback",
 }
 
 func (k Kind) String() string {
@@ -172,7 +188,7 @@ func (k Kind) Category() string {
 		return "kagent"
 	case k >= KindCacheHit && k <= KindCacheFlush:
 		return "regcache"
-	case k >= KindDescSend && k <= KindVIReset:
+	case k >= KindDescSend && k <= KindSpecRetransmit:
 		return "via"
 	case k >= KindRetry && k <= KindPipeFallback:
 		return "msg"

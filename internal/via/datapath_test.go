@@ -264,10 +264,14 @@ func TestStaleHandleReleased(t *testing.T) {
 	}
 }
 
-// TestTombstoneBound verifies the tombstone ring is bounded: once more
-// than tptTombstones handles have been released, the oldest fall back
-// to ErrBadHandle.
-func TestTombstoneBound(t *testing.T) {
+// TestStaleHandleWrap is the regression test for the tombstone-ring bug:
+// with the old bounded ring (1024 entries), the 1025th deregistration
+// evicted the oldest tombstone and its handle misclassified as
+// ErrBadHandle — indistinguishable from a handle that never existed.
+// Handles are never reused, so the exact classification (1 ≤ h < nextH
+// means released) must hold no matter how many registrations have come
+// and gone.
+func TestStaleHandleWrap(t *testing.T) {
 	tb := newTPT(4)
 	oldest, err := tb.register([]phys.Addr{0}, 0, 8, 1, MemAttrs{})
 	if err != nil {
@@ -276,7 +280,8 @@ func TestTombstoneBound(t *testing.T) {
 	if _, err := tb.deregister(oldest); err != nil {
 		t.Fatal(err)
 	}
-	for i := 0; i < tptTombstones; i++ {
+	// Churn well past the old ring size of 1024.
+	for i := 0; i < 1100; i++ {
 		h, err := tb.register([]phys.Addr{0}, 0, 8, 1, MemAttrs{})
 		if err != nil {
 			t.Fatal(err)
@@ -285,8 +290,19 @@ func TestTombstoneBound(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if _, err := tb.translate(oldest, 0, 1, nil); !errors.Is(err, ErrBadHandle) {
-		t.Fatalf("evicted tombstone: %v, want ErrBadHandle", err)
+	if _, err := tb.translate(oldest, 0, 1, nil); !errors.Is(err, ErrRegionReleased) {
+		t.Fatalf("oldest released handle: %v, want ErrRegionReleased", err)
+	}
+	if _, err := tb.deregister(oldest); !errors.Is(err, ErrRegionReleased) {
+		t.Fatalf("double dereg after churn: %v, want ErrRegionReleased", err)
+	}
+	// Never-issued handles still classify as bad, on both sides of the
+	// issued range.
+	if _, err := tb.translate(tb.peekNextHandle()+100, 0, 1, nil); !errors.Is(err, ErrBadHandle) {
+		t.Fatalf("future handle: %v, want ErrBadHandle", err)
+	}
+	if _, err := tb.translate(0, 0, 1, nil); !errors.Is(err, ErrBadHandle) {
+		t.Fatalf("zero handle: %v, want ErrBadHandle", err)
 	}
 }
 

@@ -75,6 +75,10 @@ const (
 	// the NIC lost the completion write-back: the data arrived, the
 	// sender just cannot prove it from this descriptor alone.
 	StatusCompletionLost
+	// StatusIOPageFault means DMA hit a non-present nopin translation
+	// and the fault could not be recovered (no handler installed, or
+	// the retry/retransmit budget ran out).
+	StatusIOPageFault
 
 	// statusCount counts the statuses; the String exhaustiveness test
 	// iterates up to it.
@@ -105,6 +109,8 @@ func (s Status) String() string {
 		return "link-error"
 	case StatusCompletionLost:
 		return "completion-lost"
+	case StatusIOPageFault:
+		return "io-page-fault"
 	default:
 		return fmt.Sprintf("status(%d)", uint8(s))
 	}

@@ -47,6 +47,14 @@ type Stats struct {
 	DescriptorsFlushed uint64 // descriptors flushed by error/disconnect paths
 	Recoveries         uint64 // successful VI Resets out of the error state
 	NICResets          uint64 // FaultReset invocations
+
+	// Nopin (RegNoPin) accounting: the pin-free data path's scoreboard.
+	IOPageFaults     uint64 // DMA touches on non-present nopin translations
+	FaultRetries     uint64 // fault-and-retry resolutions (park → fault-in → resume)
+	SpecRetransmits  uint64 // speculative-DMA chunks retransmitted after validation
+	RetransmitBytes  uint64 // payload bytes carried by those retransmits
+	TPTInvalidations uint64 // notifier downcalls that cleared a present bit
+	TPTRepairs       uint64 // host repairs that restored a translation
 }
 
 // nicCounters are the live statistics, one lock-free atomic per field so
@@ -68,6 +76,13 @@ type nicCounters struct {
 	descFlushed atomic.Uint64
 	recoveries  atomic.Uint64
 	nicResets   atomic.Uint64
+
+	ioPageFaults    atomic.Uint64
+	faultRetries    atomic.Uint64
+	specRetransmits atomic.Uint64
+	retransmitBytes atomic.Uint64
+	tptInvalidates  atomic.Uint64
+	tptRepairs      atomic.Uint64
 }
 
 // NIC is one simulated VIA network interface controller.
@@ -88,12 +103,40 @@ type NIC struct {
 	// consulted for link partitions.
 	nw atomic.Pointer[Network]
 
+	// ioFaultHandler is the host-side IO-page-fault upcall for nopin
+	// regions (installed by the kernel agent); ioFaultPolicy selects
+	// fault-and-retry vs speculative recovery.  Both are atomic so the
+	// DMA engine reads them lock-free mid-transfer.
+	ioFaultHandler atomic.Pointer[IOFaultHandler]
+	ioFaultPolicy  atomic.Uint32
+
 	mu         sync.Mutex
 	vis        map[int]*VI
 	nextVI     int
 	eng        *engine
 	resetHooks []func()
 }
+
+// IOFaultHandler is the host upcall the NIC raises on an IO page fault:
+// fault page `page` of region `h` back in and repair the TPT entry
+// (via RepairTPTPage).  It runs on the DMA engine's goroutine while the
+// faulting descriptor is parked.
+type IOFaultHandler func(h MemHandle, page int) error
+
+// IOFaultPolicy selects how the DMA engine recovers from an IO page
+// fault on a nopin translation.
+type IOFaultPolicy uint32
+
+const (
+	// FaultRetry parks the descriptor, asks the host to fault the page
+	// back in and repair the TPT entry, then re-translates and resumes —
+	// the precise-fault model (Psistakis et al.).
+	FaultRetry IOFaultPolicy = iota
+	// FaultSpeculative streams the present pages immediately, validates
+	// the translation epoch host-side afterwards, and retransmits only
+	// the stale chunks — the NP-RDMA model.
+	FaultSpeculative
+)
 
 // DefaultTPTSlots is the default TPT size (pages registrable at once) —
 // 8 Mi of registered memory, a plausible mid-range card of the era.
@@ -140,7 +183,85 @@ func (n *NIC) Stats() Stats {
 		DescriptorsFlushed: n.ctr.descFlushed.Load(),
 		Recoveries:         n.ctr.recoveries.Load(),
 		NICResets:          n.ctr.nicResets.Load(),
+
+		IOPageFaults:     n.ctr.ioPageFaults.Load(),
+		FaultRetries:     n.ctr.faultRetries.Load(),
+		SpecRetransmits:  n.ctr.specRetransmits.Load(),
+		RetransmitBytes:  n.ctr.retransmitBytes.Load(),
+		TPTInvalidations: n.ctr.tptInvalidates.Load(),
+		TPTRepairs:       n.ctr.tptRepairs.Load(),
 	}
+}
+
+// SetIOFaultHandler installs (or, with nil, removes) the host upcall
+// invoked when DMA faults on a non-present nopin translation.  Without
+// a handler, IO page faults surface as StatusIOPageFault completions.
+func (n *NIC) SetIOFaultHandler(fn IOFaultHandler) {
+	if fn == nil {
+		n.ioFaultHandler.Store(nil)
+		return
+	}
+	n.ioFaultHandler.Store(&fn)
+}
+
+// SetIOFaultPolicy selects the recovery policy for IO page faults.
+func (n *NIC) SetIOFaultPolicy(p IOFaultPolicy) { n.ioFaultPolicy.Store(uint32(p)) }
+
+// IOFaultPolicyInEffect reports the current recovery policy.
+func (n *NIC) IOFaultPolicyInEffect() IOFaultPolicy {
+	return IOFaultPolicy(n.ioFaultPolicy.Load())
+}
+
+// InvalidateTPTPage is the MMU-notifier downcall: the kernel is about to
+// evict (swap/unmap/COW-break) a page inside a nopin region, so its TPT
+// entry goes non-present.  Reports whether a present entry was cleared.
+// Safe to call concurrently with the data path — the edit is a
+// copy-on-write snapshot publish, and an in-flight translation that
+// loaded the prior snapshot completes against the old frame, the same
+// window a real NIC has between the invalidate MMIO and the DMA engine
+// draining.
+func (n *NIC) InvalidateTPTPage(h MemHandle, page int) bool {
+	if !n.tpt.invalidatePage(h, page) {
+		return false
+	}
+	n.meter.Charge(n.meter.Costs.TPTUpdate)
+	n.ctr.tptInvalidates.Add(1)
+	if obs := n.obs.Load(); obs != nil {
+		obs.tptInvalidates.Inc()
+		obs.trc.Instant(trace.KindNotifierInvalidate, uint64(h), uint64(page))
+	}
+	return true
+}
+
+// RepairTPTPage restores one page of a nopin region after the host
+// faulted it back in: the fresh frame address is entered and the
+// present bit set under a new epoch.
+func (n *NIC) RepairTPTPage(h MemHandle, page int, pa phys.Addr) error {
+	if err := n.tpt.repairPage(h, page, pa); err != nil {
+		return err
+	}
+	n.meter.Charge(n.meter.Costs.TPTUpdate)
+	n.ctr.tptRepairs.Add(1)
+	if obs := n.obs.Load(); obs != nil {
+		obs.tptRepairs.Inc()
+		obs.trc.Instant(trace.KindTPTRepair, uint64(h), uint64(page))
+	}
+	return nil
+}
+
+// PresentPages reports how many of a region's TPT entries are currently
+// present (all, for pinned regions) — the experiments' probe for how
+// much of a nopin region the kernel has evicted.
+func (n *NIC) PresentPages(h MemHandle) (present, total int, err error) {
+	return n.tpt.presentPages(h)
+}
+
+// TPTPageState reports one page's current translation: the frame address
+// recorded in the TPT and whether the entry is present (diagnostics and
+// the consistency probes; pinned regions are always present).
+func (n *NIC) TPTPageState(h MemHandle, page int) (pa phys.Addr, present bool, err error) {
+	pa, present, _, err = n.tpt.pageState(h, page)
+	return pa, present, err
 }
 
 // SetFaultInjector attaches (or, with nil, detaches) a fault injector.
@@ -259,6 +380,13 @@ func (n *NIC) DMAReadLocal(h MemHandle, off int, data []byte, tag ProtectionTag)
 // whole page run is resolved into physically contiguous extents under a
 // single TPT read-lock acquisition (a 64-page transfer costs one lock
 // round-trip, not 64), then copied extent by extent.
+//
+// On an IO page fault (a nopin translation the kernel has invalidated)
+// recovery depends on the installed policy: fault-and-retry parks the
+// transfer, raises the fault to the host handler, and re-translates
+// once the entry is repaired; speculative hands the whole transfer to
+// tptCopySpec.  Without a handler the fault propagates and completes
+// the descriptor with StatusIOPageFault.
 func (n *NIC) tptCopy(h MemHandle, off int, buf []byte, tag ProtectionTag, write bool, needAttr func(MemAttrs) bool) error {
 	if len(buf) == 0 {
 		return nil
@@ -268,6 +396,64 @@ func (n *NIC) tptCopy(h MemHandle, off int, buf []byte, tag ProtectionTag, write
 			return fmt.Errorf("%w: %w", ErrDMAFault, err)
 		}
 	}
+	err := n.tptCopyOnce(h, off, buf, tag, write, needAttr)
+	if err == nil || !errors.Is(err, ErrIOPageFault) {
+		// The pinned-region fast path ends here, allocation-free: fault
+		// classification (errors.As and its escaping target) lives in the
+		// cold recovery function.
+		return err
+	}
+	return n.tptCopyFaulting(h, off, buf, tag, write, needAttr, err)
+}
+
+// tptCopyFaulting is the recovery slow path entered when a transfer hit
+// a non-present nopin translation.
+func (n *NIC) tptCopyFaulting(h MemHandle, off int, buf []byte, tag ProtectionTag, write bool, needAttr func(MemAttrs) bool, err error) error {
+	// Generous bound: every page of the transfer may fault once, plus
+	// slack for pages re-evicted between repair and resume.  Hitting it
+	// means the host is evicting faster than it repairs (livelock), and
+	// the descriptor completes with StatusIOPageFault.
+	maxRetries := 4*((len(buf)+phys.PageSize-1)/phys.PageSize) + 16
+	for attempt := 0; ; attempt++ {
+		var pf *IOPageFaultError
+		if err == nil || !errors.As(err, &pf) {
+			return err
+		}
+		handler := n.ioFaultHandler.Load()
+		if handler == nil {
+			n.ctr.ioPageFaults.Add(1)
+			return err
+		}
+		if IOFaultPolicy(n.ioFaultPolicy.Load()) == FaultSpeculative {
+			return n.tptCopySpec(h, off, buf, tag, write, needAttr, *handler)
+		}
+		// Fault-and-retry: the descriptor parks, the NIC raises the
+		// fault interrupt (one doorbell-class MMIO), the host faults the
+		// page back in and repairs the entry, and the transfer resumes
+		// from a fresh translation.
+		n.ctr.ioPageFaults.Add(1)
+		if obs := n.obs.Load(); obs != nil {
+			obs.ioFaults.Inc()
+			obs.trc.Instant(trace.KindIOPageFault, uint64(pf.Handle), uint64(pf.Page))
+		}
+		if attempt >= maxRetries {
+			return fmt.Errorf("via: IO fault not resolving after %d retries: %w", attempt, pf)
+		}
+		n.meter.Charge(n.meter.Costs.Doorbell)
+		if herr := (*handler)(pf.Handle, pf.Page); herr != nil {
+			return fmt.Errorf("via: IO fault handler: %w (fault: %w)", herr, pf)
+		}
+		n.ctr.faultRetries.Add(1)
+		if obs := n.obs.Load(); obs != nil {
+			obs.faultRetries.Inc()
+		}
+		err = n.tptCopyOnce(h, off, buf, tag, write, needAttr)
+	}
+}
+
+// tptCopyOnce is a single translate-and-copy pass (the pre-nopin
+// tptCopy body).
+func (n *NIC) tptCopyOnce(h MemHandle, off int, buf []byte, tag ProtectionTag, write bool, needAttr func(MemAttrs) bool) error {
 	ep := extentPool.Get().(*[]extent)
 	exts, err := n.tpt.translateRange(h, off, len(buf), tag, needAttr, (*ep)[:0])
 	if err != nil {
@@ -289,6 +475,125 @@ func (n *NIC) tptCopy(h MemHandle, off int, buf []byte, tag ProtectionTag, write
 	*ep = exts[:0]
 	extentPool.Put(ep)
 	return err
+}
+
+// tptCopySpec is the NP-RDMA-style speculative path: DMA proceeds
+// immediately over every page whose translation is present, then the
+// host validates the region's translation epoch; chunks whose page was
+// non-present (or whose translation changed mid-flight) are faulted in
+// and retransmitted — per-chunk wire and startup costs are charged
+// again, which is exactly the cost model NP-RDMA trades against never
+// stalling the common case.
+func (n *NIC) tptCopySpec(h MemHandle, off int, buf []byte, tag ProtectionTag, write bool, needAttr func(MemAttrs) bool, handler IOFaultHandler) error {
+	type piece struct {
+		pos    int // byte position within buf
+		page   int // region page index
+		inPage int // offset within the page
+		n      int
+		frame  phys.Addr // frame the piece was copied against
+	}
+	var done []piece  // streamed this pass, pending validation
+	var stale []piece // needs fault-in + retransmit
+	copyPiece := func(p *piece) error {
+		pa := p.frame + phys.Addr(p.inPage)
+		if write {
+			return n.mem.WritePhys(pa, buf[p.pos:p.pos+p.n])
+		}
+		return n.mem.ReadPhys(pa, buf[p.pos:p.pos+p.n])
+	}
+
+	// Pass 0: stream everything present, collect the holes.
+	epoch, err := n.tpt.walkRange(h, off, len(buf), tag, needAttr, func(pos, page int, pa phys.Addr, cn int, present bool) {
+		p := piece{pos: pos, page: page, inPage: int(pa & phys.Addr(phys.PageMask)), n: cn,
+			frame: pa &^ phys.Addr(phys.PageMask)}
+		if present {
+			done = append(done, p)
+		} else {
+			stale = append(stale, p)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	for i := range done {
+		if err := copyPiece(&done[i]); err != nil {
+			return err
+		}
+	}
+	// Host-side validation: if the region epoch moved while we streamed,
+	// any piece whose translation changed joins the stale set.
+	if cur, err := n.tpt.regionEpoch(h); err != nil {
+		return err
+	} else if cur != epoch {
+		for _, p := range done {
+			frame, present, _, err := n.tpt.pageState(h, p.page)
+			if err != nil {
+				return err
+			}
+			if !present || frame != p.frame {
+				stale = append(stale, p)
+			}
+		}
+	}
+
+	maxRounds := 4 + 4*((len(buf)+phys.PageSize-1)/phys.PageSize)
+	for round := 0; len(stale) > 0; round++ {
+		if round >= maxRounds {
+			return fmt.Errorf("via: speculative DMA not converging after %d rounds: %w",
+				round, &IOPageFaultError{Handle: h, Page: stale[0].page, Epoch: epoch})
+		}
+		n.ctr.ioPageFaults.Add(uint64(len(stale)))
+		if obs := n.obs.Load(); obs != nil {
+			for _, p := range stale {
+				obs.ioFaults.Inc()
+				obs.trc.Instant(trace.KindIOPageFault, uint64(h), uint64(p.page))
+			}
+		}
+		// Host faults every stale page back in and repairs its entry.
+		for _, p := range stale {
+			if herr := handler(h, p.page); herr != nil {
+				return fmt.Errorf("via: IO fault handler: %w", herr)
+			}
+		}
+		// Retransmit round: one startup + wire crossing for the round,
+		// per-byte cost for the chunks carried.
+		n.meter.Charge(n.meter.Costs.DMAStartup)
+		n.meter.Charge(n.meter.Costs.WireLatency)
+		var next []piece
+		for i := range stale {
+			p := stale[i]
+			frame, present, _, err := n.tpt.pageState(h, p.page)
+			if err != nil {
+				return err
+			}
+			if !present {
+				next = append(next, p)
+				continue
+			}
+			p.frame = frame
+			if err := copyPiece(&p); err != nil {
+				return err
+			}
+			n.meter.ChargeN(n.meter.Costs.DMAPerByte, p.n)
+			n.ctr.specRetransmits.Add(1)
+			n.ctr.retransmitBytes.Add(uint64(p.n))
+			if obs := n.obs.Load(); obs != nil {
+				obs.specRetransmits.Inc()
+				obs.trc.Instant(trace.KindSpecRetransmit, uint64(h), uint64(p.n))
+			}
+			// Validate the retransmit too: a page re-evicted mid-copy
+			// goes another round.
+			frame2, present2, _, err := n.tpt.pageState(h, p.page)
+			if err != nil {
+				return err
+			}
+			if !present2 || frame2 != frame {
+				next = append(next, p)
+			}
+		}
+		stale = next
+	}
+	return nil
 }
 
 // process executes one send-queue descriptor synchronously (the DMA
@@ -334,6 +639,8 @@ func statusForFault(err error) Status {
 		return StatusLinkError
 	case errors.Is(err, ErrCompletionDropped):
 		return StatusCompletionLost
+	case errors.Is(err, ErrIOPageFault):
+		return StatusIOPageFault
 	case errors.Is(err, ErrDMAFault), errors.Is(err, faultinject.ErrInjected):
 		// Unclassified injected errors (e.g. raw phys frame faults)
 		// surface as DMA engine faults: that is how the card sees them.
@@ -345,6 +652,11 @@ func statusForFault(err error) Status {
 
 // isInjected reports whether an error came from the fault injector.
 func isInjected(err error) bool { return errors.Is(err, faultinject.ErrInjected) }
+
+// isDataFault reports errors that must fault the VI (typed status +
+// error state) rather than complete the descriptor as a protection
+// error: injected faults and unrecovered IO page faults.
+func isDataFault(err error) bool { return isInjected(err) || errors.Is(err, ErrIOPageFault) }
 
 // faultSend is the descriptor half of a data-path fault: the faulted
 // send completes with its typed status and the VI (plus peer) enters
@@ -425,7 +737,7 @@ func (n *NIC) processSend(v, peer *VI, d *Descriptor) {
 	sc := n.stageStart()
 	payload, pb, err := n.gather(v, d)
 	if err != nil {
-		if isInjected(err) {
+		if isDataFault(err) {
 			n.faultSend(v, d, err)
 			return
 		}
@@ -477,7 +789,7 @@ func (n *NIC) processSend(v, peer *VI, d *Descriptor) {
 		pn.meter.Charge(pn.meter.Costs.DMAStartup)
 	}
 	if err := pn.scatter(peer, rd, payload); err != nil {
-		if isInjected(err) {
+		if isDataFault(err) {
 			peer.completeRecv(rd, statusForFault(err), 0)
 			n.faultSend(v, d, err)
 			return
@@ -514,7 +826,7 @@ func (n *NIC) processRDMAWrite(v, peer *VI, d *Descriptor) {
 	sc := n.stageStart()
 	payload, pb, err := n.gather(v, d)
 	if err != nil {
-		if isInjected(err) {
+		if isDataFault(err) {
 			n.faultSend(v, d, err)
 			return
 		}
@@ -537,7 +849,7 @@ func (n *NIC) processRDMAWrite(v, peer *VI, d *Descriptor) {
 	err = pn.tptCopy(d.Remote.Handle, d.Remote.Offset, payload, peer.tag, true,
 		func(a MemAttrs) bool { return a.EnableRDMAWrite })
 	if err != nil {
-		if isInjected(err) {
+		if isDataFault(err) {
 			n.faultSend(v, d, err)
 			return
 		}
@@ -573,7 +885,7 @@ func (n *NIC) processRDMARead(v, peer *VI, d *Descriptor) {
 	err := pn.tptCopy(d.Remote.Handle, d.Remote.Offset, buf, peer.tag, false,
 		func(a MemAttrs) bool { return a.EnableRDMARead })
 	if err != nil {
-		if isInjected(err) {
+		if isDataFault(err) {
 			n.faultSend(v, d, err)
 			return
 		}
@@ -587,7 +899,7 @@ func (n *NIC) processRDMARead(v, peer *VI, d *Descriptor) {
 	n.meter.Charge(n.meter.Costs.WireLatency) // response
 	sc.mark(trace.KindWire, total)
 	if err := n.scatter(v, d, buf); err != nil {
-		if isInjected(err) {
+		if isDataFault(err) {
 			n.faultSend(v, d, err)
 			return
 		}

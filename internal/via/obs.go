@@ -31,6 +31,14 @@ type nicObs struct {
 	translateErrs *metrics.Counter
 	viErrors      *metrics.Counter
 	viResets      *metrics.Counter
+
+	// Nopin data path: IO page faults, fault-and-retry resolutions,
+	// speculative retransmits, notifier invalidations and repairs.
+	ioFaults        *metrics.Counter
+	faultRetries    *metrics.Counter
+	specRetransmits *metrics.Counter
+	tptInvalidates  *metrics.Counter
+	tptRepairs      *metrics.Counter
 }
 
 // AttachObs attaches (or, with two nils, detaches) an observer to the
@@ -56,6 +64,12 @@ func (n *NIC) AttachObs(trc *trace.Tracer, reg *metrics.Registry) {
 		translateErrs: reg.Counter("via.translate.errors"),
 		viErrors:      reg.Counter("via.vi.errors"),
 		viResets:      reg.Counter("via.vi.resets"),
+
+		ioFaults:        reg.Counter("via.nopin.iofaults"),
+		faultRetries:    reg.Counter("via.nopin.retries"),
+		specRetransmits: reg.Counter("via.nopin.retransmits"),
+		tptInvalidates:  reg.Counter("via.nopin.invalidates"),
+		tptRepairs:      reg.Counter("via.nopin.repairs"),
 	}
 	n.obs.Store(o)
 	n.tpt.obs.Store(o)

@@ -34,6 +34,11 @@ type MemAttrs struct {
 	EnableRDMAWrite bool
 	// EnableRDMARead permits incoming RDMA reads from the region.
 	EnableRDMARead bool
+	// NoPin registers the region without pinning its pages (the RegNoPin
+	// mode): the kernel remains free to evict them, the TPT tracks a
+	// present bit per page, and DMA touching a non-present entry raises
+	// an IO page fault instead of silently reading an orphaned frame.
+	NoPin bool
 }
 
 // MemHandle names a registered memory region on one NIC.  The handle is
@@ -46,7 +51,10 @@ const NoMemHandle MemHandle = ^MemHandle(0)
 
 // region describes one registered memory region.  A region is immutable
 // once published in a snapshot: the data path reads frames directly and
-// never sees a half-built or half-torn-down registration.
+// never sees a half-built or half-torn-down registration.  Nopin
+// invalidation and repair never mutate a published region either — they
+// clone it, edit the clone, and publish the clone under the same handle
+// (the PR-5 copy-on-write epoch machinery).
 type region struct {
 	handle MemHandle
 	slots  []int       // TPT slot indices (writer-side capacity accounting)
@@ -55,6 +63,29 @@ type region struct {
 	length int         // registered length in bytes
 	tag    ProtectionTag
 	attrs  MemAttrs
+	// present holds one valid bit per page for nopin regions; nil for
+	// pinned regions, whose translations can never go non-present.
+	present []uint64
+	// epoch counts invalidate/repair edits of this region.  Speculative
+	// DMA snapshots it before copying and revalidates afterwards.
+	epoch uint64
+}
+
+// pagePresent reports whether page i of the region has a valid
+// translation.  Pinned regions (present == nil) always do.
+func (r *region) pagePresent(i int) bool {
+	return r.present == nil || r.present[i/64]&(1<<uint(i%64)) != 0
+}
+
+// clone returns a deep copy of the mutable nopin state (frames and
+// present bits) sharing the immutable rest, ready to edit and republish.
+func (r *region) clone() *region {
+	nr := *r
+	nr.frames = append([]phys.Addr(nil), r.frames...)
+	if r.present != nil {
+		nr.present = append([]uint64(nil), r.present...)
+	}
+	return &nr
 }
 
 // Errors reported by the TPT and the DMA paths.
@@ -65,12 +96,25 @@ var (
 	ErrOutOfRegion    = errors.New("via: access outside registered region")
 	ErrRDMADisabled   = errors.New("via: RDMA access not enabled on region")
 	ErrRegionReleased = errors.New("via: memory handle already deregistered")
+	// ErrIOPageFault reports DMA touching a nopin TPT entry whose page
+	// the host has invalidated (swapped out, unmapped, COW-broken).
+	ErrIOPageFault = errors.New("via: IO page fault on non-present translation")
 )
 
-// tptTombstones bounds how many recently released handles the table
-// remembers so stale accesses report ErrRegionReleased rather than the
-// generic ErrBadHandle.
-const tptTombstones = 1024
+// IOPageFaultError carries which page of which region faulted, so the
+// host-side handler can fault exactly that page back in and repair the
+// entry.  It unwraps to ErrIOPageFault.
+type IOPageFaultError struct {
+	Handle MemHandle
+	Page   int    // page index within the region
+	Epoch  uint64 // region epoch at which the fault was observed
+}
+
+func (e *IOPageFaultError) Error() string {
+	return fmt.Sprintf("via: IO page fault: handle %d page %d (epoch %d)", e.Handle, e.Page, e.Epoch)
+}
+
+func (e *IOPageFaultError) Unwrap() error { return ErrIOPageFault }
 
 // tptSnap is one immutable epoch of the region directory.  The data
 // path resolves translations against whichever snapshot it loads; the
@@ -83,11 +127,12 @@ type tptSnap struct {
 // directory.  The read path (translateRange and friends) is lock-free:
 // it loads the current snapshot with one atomic pointer load and walks
 // immutable state, so concurrent DMA translations never serialize —
-// against each other or against registrations.  Registration and
-// deregistration serialize on the writer mutex and publish a new
-// snapshot copy-on-write (epoch semantics: a translation that loaded
-// the previous snapshot may still complete against a region being
-// deregistered; see DESIGN.md §9 for why that matches hardware).
+// against each other or against registrations.  Registration,
+// deregistration and nopin invalidate/repair serialize on the writer
+// mutex and publish a new snapshot copy-on-write (epoch semantics: a
+// translation that loaded the previous snapshot may still complete
+// against a region being deregistered; see DESIGN.md §9 for why that
+// matches hardware).
 type tpt struct {
 	// inj guards data-path translations (SiteTPT); set through
 	// NIC.SetFaultInjector, nil in production.
@@ -99,27 +144,25 @@ type tpt struct {
 	// snap is the published epoch the data path reads.
 	snap atomic.Pointer[tptSnap]
 
-	// mu serializes writers (register/deregister) and guards the slot
-	// free list and the tombstone set.  The data path never takes it;
-	// only the miss slow path does, to distinguish a released handle
-	// from one that never existed.
+	// mu serializes writers (register/deregister/invalidate/repair) and
+	// guards the slot free list.  The data path never takes it; only the
+	// miss slow path does, to distinguish a released handle from one
+	// that never existed.
 	mu    sync.Mutex
-	free  []int // free slot indices (LIFO)
+	free  []int // free slot indices (LIFO), reusable immediately
 	nextH MemHandle
-
-	// Tombstones for recently released handles: a bounded FIFO ring
-	// plus the membership set.  Handles are never reused, so a hit means
-	// the handle was valid once and has been deregistered since.
-	tombs    map[MemHandle]struct{}
-	tombRing [tptTombstones]MemHandle
-	tombLen  int
-	tombNext int
+	// grace holds slots of deregistered regions for one writer epoch:
+	// a lock-free reader may still be consuming the snapshot that
+	// contained the region, so its slots must not be handed to a new
+	// registration until the snapshot excluding the region has been
+	// published and a later writer operation proves time has passed.
+	// Every writer promotes grace → free on entry.
+	grace []int
 }
 
 func newTPT(slots int) *tpt {
 	t := &tpt{
 		free:  make([]int, 0, slots),
-		tombs: make(map[MemHandle]struct{}),
 		nextH: 1,
 	}
 	for i := slots - 1; i >= 0; i-- {
@@ -129,9 +172,20 @@ func newTPT(slots int) *tpt {
 	return t
 }
 
+// promoteGraceLocked moves slots parked by an earlier deregister onto
+// the free list.  Called on entry to every writer operation: by then the
+// snapshot excluding their region has long been published, so reuse is
+// safe (the epoch-deferred free).
+func (t *tpt) promoteGraceLocked() {
+	if len(t.grace) > 0 {
+		t.free = append(t.free, t.grace...)
+		t.grace = t.grace[:0]
+	}
+}
+
 // publishLocked builds and publishes a new snapshot from the current one
-// with one region added (add != nil) and/or one removed (del set).
-// Callers hold t.mu.
+// with one region added or replaced (add != nil) and/or one removed
+// (del set).  Callers hold t.mu.
 func (t *tpt) publishLocked(add *region, del MemHandle, hasDel bool) {
 	old := t.snap.Load()
 	next := make(map[MemHandle]*region, len(old.regions)+1)
@@ -147,18 +201,29 @@ func (t *tpt) publishLocked(add *region, del MemHandle, hasDel bool) {
 	t.snap.Store(&tptSnap{regions: next})
 }
 
-// missErr classifies a snapshot miss: a recently released handle reports
-// ErrRegionReleased, anything else ErrBadHandle.  This is the only place
-// the read path can touch the writer mutex, and only after it has
+// missErr classifies a snapshot miss.  Handles are issued monotonically
+// and never reused, so any handle below nextH was valid once and must
+// have been deregistered since — exact classification with no bounded
+// tombstone ring to wrap and forget (the ring misclassified every
+// handle older than its capacity as ErrBadHandle).  This is the only
+// place the read path can touch the writer mutex, and only after it has
 // already failed.
 func (t *tpt) missErr(h MemHandle) error {
 	t.mu.Lock()
-	_, dead := t.tombs[h]
+	released := h >= 1 && h < t.nextH
 	t.mu.Unlock()
-	if dead {
+	if released {
 		return fmt.Errorf("%w: %d", ErrRegionReleased, h)
 	}
 	return fmt.Errorf("%w: %d", ErrBadHandle, h)
+}
+
+// peekNextHandle reports the next handle to be issued (tests use it to
+// build handles guaranteed never to have existed).
+func (t *tpt) peekNextHandle() MemHandle {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.nextH
 }
 
 // register enters the page list into the TPT and returns a handle.
@@ -169,6 +234,7 @@ func (t *tpt) missErr(h MemHandle) error {
 func (t *tpt) register(pages []phys.Addr, offset, length int, tag ProtectionTag, attrs MemAttrs) (MemHandle, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	t.promoteGraceLocked()
 	if len(pages) == 0 || length <= 0 {
 		return NoMemHandle, fmt.Errorf("via: empty registration")
 	}
@@ -184,40 +250,94 @@ func (t *tpt) register(pages []phys.Addr, offset, length int, tag ProtectionTag,
 	}
 	h := t.nextH
 	t.nextH++
-	t.publishLocked(&region{
+	r := &region{
 		handle: h, slots: slots, frames: frames, offset: offset, length: length, tag: tag, attrs: attrs,
-	}, 0, false)
+	}
+	if attrs.NoPin {
+		r.present = make([]uint64, (len(pages)+63)/64)
+		for i := range pages {
+			r.present[i/64] |= 1 << uint(i%64)
+		}
+	}
+	t.publishLocked(r, 0, false)
 	return h, nil
 }
 
-// deregister removes the region from the published snapshot and frees
-// its slots, reporting how many TPT slots were invalidated.  The handle
-// is tombstoned so later accesses through it fail with
-// ErrRegionReleased.  A translation already running against the
-// previous snapshot may still complete — the same window a real NIC
-// has between the invalidate doorbell and the DMA engine's last
-// in-flight fetch.
+// deregister removes the region from the published snapshot, reporting
+// how many TPT slots were invalidated.  The excluding snapshot is
+// published FIRST; only then are the slots parked on the grace list, so
+// a lock-free reader still consuming the prior snapshot can never race
+// a new registration writing into the same slots (see promoteGraceLocked).
+// A translation already running against the previous snapshot may still
+// complete — the same window a real NIC has between the invalidate
+// doorbell and the DMA engine's last in-flight fetch.
 func (t *tpt) deregister(h MemHandle) (int, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	t.promoteGraceLocked()
 	r, ok := t.snap.Load().regions[h]
 	if !ok {
-		if _, dead := t.tombs[h]; dead {
+		if h >= 1 && h < t.nextH {
 			return 0, fmt.Errorf("%w: %d", ErrRegionReleased, h)
 		}
 		return 0, fmt.Errorf("%w: %d", ErrBadHandle, h)
 	}
-	t.free = append(t.free, r.slots...)
-	if t.tombLen == tptTombstones {
-		delete(t.tombs, t.tombRing[t.tombNext])
-	} else {
-		t.tombLen++
-	}
-	t.tombRing[t.tombNext] = h
-	t.tombNext = (t.tombNext + 1) % tptTombstones
-	t.tombs[h] = struct{}{}
 	t.publishLocked(nil, h, true)
+	t.grace = append(t.grace, r.slots...)
 	return len(r.slots), nil
+}
+
+// invalidatePage marks one page of a nopin region non-present — the
+// MMU-notifier downcall.  It publishes a cloned region with the present
+// bit cleared and the epoch advanced; in-flight translations that loaded
+// the prior snapshot may still complete, exactly like deregister.  It
+// reports whether the page was present (false also for unknown handles
+// or out-of-range pages, which arrive harmlessly when the host tears a
+// registration down concurrently with reclaim).
+func (t *tpt) invalidatePage(h MemHandle, page int) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.promoteGraceLocked()
+	r, ok := t.snap.Load().regions[h]
+	if !ok || r.present == nil || page < 0 || page >= len(r.frames) {
+		return false
+	}
+	if !r.pagePresent(page) {
+		return false
+	}
+	nr := r.clone()
+	nr.present[page/64] &^= 1 << uint(page%64)
+	nr.epoch++
+	t.publishLocked(nr, 0, false)
+	return true
+}
+
+// repairPage restores one page of a nopin region after the host faulted
+// it back in: the new frame is entered and the present bit set, under a
+// fresh epoch so speculative validation can tell the entry changed.
+func (t *tpt) repairPage(h MemHandle, page int, pa phys.Addr) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.promoteGraceLocked()
+	r, ok := t.snap.Load().regions[h]
+	if !ok {
+		if h >= 1 && h < t.nextH {
+			return fmt.Errorf("%w: %d", ErrRegionReleased, h)
+		}
+		return fmt.Errorf("%w: %d", ErrBadHandle, h)
+	}
+	if r.present == nil {
+		return fmt.Errorf("via: repairPage on pinned region %d", h)
+	}
+	if page < 0 || page >= len(r.frames) {
+		return fmt.Errorf("%w: page %d of %d", ErrOutOfRegion, page, len(r.frames))
+	}
+	nr := r.clone()
+	nr.frames[page] = pa &^ phys.Addr(phys.PageMask)
+	nr.present[page/64] |= 1 << uint(page%64)
+	nr.epoch++
+	t.publishLocked(nr, 0, false)
+	return nil
 }
 
 // extent is one physically contiguous run of a translated byte range.
@@ -231,8 +351,9 @@ type extent struct {
 // them to exts (pass a scratch slice to avoid allocation).  Adjacent
 // frames coalesce, so a transfer over physically contiguous pages
 // yields one extent.  The whole range is validated before any extent is
-// returned: tag, attributes and bounds — a DMA either translates
-// completely or not at all.
+// returned: tag, attributes, bounds and (for nopin regions) present
+// bits — a DMA either translates completely or not at all; the first
+// non-present page raises an IOPageFaultError.
 func (t *tpt) translateRange(h MemHandle, off, length int, tag ProtectionTag, needAttr func(MemAttrs) bool, exts []extent) ([]extent, error) {
 	out, err := t.translateRangeUnobserved(h, off, length, tag, needAttr, exts)
 	if obs := t.obs.Load(); obs != nil {
@@ -267,6 +388,13 @@ func (t *tpt) translateRangeUnobserved(h MemHandle, off, length int, tag Protect
 		return nil, ErrRDMADisabled
 	}
 	abs := r.offset + off
+	if r.present != nil {
+		for p, end := abs/phys.PageSize, (abs+length-1)/phys.PageSize; p <= end; p++ {
+			if !r.pagePresent(p) {
+				return nil, &IOPageFaultError{Handle: h, Page: p, Epoch: r.epoch}
+			}
+		}
+	}
 	for length > 0 {
 		pa := r.frames[abs/phys.PageSize] + phys.Addr(abs&phys.PageMask)
 		n := phys.PageSize - abs&phys.PageMask
@@ -282,6 +410,58 @@ func (t *tpt) translateRangeUnobserved(h MemHandle, off, length int, tag Protect
 		length -= n
 	}
 	return exts, nil
+}
+
+// walkRange is the speculative-DMA variant of translateRange: after the
+// same validation (tag, attributes, bounds) it visits every page-bounded
+// piece of the byte range, reporting the piece's position in the
+// transfer, its region page index, physical address, byte count and
+// present bit — non-present pieces are reported, not failed, so the
+// engine can stream the present ones and retransmit the holes after
+// host-side validation.  It returns the region epoch the walk observed.
+func (t *tpt) walkRange(h MemHandle, off, length int, tag ProtectionTag, needAttr func(MemAttrs) bool,
+	fn func(bufPos, page int, pa phys.Addr, n int, present bool)) (uint64, error) {
+	r, ok := t.snap.Load().regions[h]
+	if !ok {
+		return 0, t.missErr(h)
+	}
+	if r.tag != tag {
+		return 0, fmt.Errorf("%w: region tag %d vs access tag %d", ErrTagMismatch, r.tag, tag)
+	}
+	if off < 0 || length < 0 || off+length > r.length {
+		return 0, fmt.Errorf("%w: range [%d,%d) of %d", ErrOutOfRegion, off, off+length, r.length)
+	}
+	if needAttr != nil && !needAttr(r.attrs) {
+		return 0, ErrRDMADisabled
+	}
+	abs := r.offset + off
+	pos := 0
+	for length > 0 {
+		page := abs / phys.PageSize
+		pa := r.frames[page] + phys.Addr(abs&phys.PageMask)
+		n := phys.PageSize - abs&phys.PageMask
+		if n > length {
+			n = length
+		}
+		fn(pos, page, pa, n, r.pagePresent(page))
+		abs += n
+		pos += n
+		length -= n
+	}
+	return r.epoch, nil
+}
+
+// pageState reports the current frame, present bit and epoch for one
+// page of a region — the host-side validation read of speculative DMA.
+func (t *tpt) pageState(h MemHandle, page int) (pa phys.Addr, present bool, epoch uint64, err error) {
+	r, ok := t.snap.Load().regions[h]
+	if !ok {
+		return 0, false, 0, t.missErr(h)
+	}
+	if page < 0 || page >= len(r.frames) {
+		return 0, false, 0, fmt.Errorf("%w: page %d of %d", ErrOutOfRegion, page, len(r.frames))
+	}
+	return r.frames[page], r.pagePresent(page), r.epoch, nil
 }
 
 // translate resolves (handle, byte offset) to a physical address after
@@ -303,6 +483,9 @@ func (t *tpt) translate(h MemHandle, off int, tag ProtectionTag, needAttr func(M
 		return 0, ErrRDMADisabled
 	}
 	abs := r.offset + off
+	if !r.pagePresent(abs / phys.PageSize) {
+		return 0, &IOPageFaultError{Handle: h, Page: abs / phys.PageSize, Epoch: r.epoch}
+	}
 	return r.frames[abs/phys.PageSize] + phys.Addr(abs%phys.PageSize), nil
 }
 
@@ -315,11 +498,41 @@ func (t *tpt) regionLength(h MemHandle) (int, error) {
 	return r.length, nil
 }
 
-// freeSlots reports the number of unused TPT slots.
+// regionEpoch reports the current invalidate/repair epoch of a handle
+// (always zero for pinned regions).
+func (t *tpt) regionEpoch(h MemHandle) (uint64, error) {
+	r, ok := t.snap.Load().regions[h]
+	if !ok {
+		return 0, t.missErr(h)
+	}
+	return r.epoch, nil
+}
+
+// presentPages reports how many of a region's pages currently have
+// valid translations (all of them for pinned regions).
+func (t *tpt) presentPages(h MemHandle) (present, total int, err error) {
+	r, ok := t.snap.Load().regions[h]
+	if !ok {
+		return 0, 0, t.missErr(h)
+	}
+	total = len(r.frames)
+	if r.present == nil {
+		return total, total, nil
+	}
+	for i := 0; i < total; i++ {
+		if r.pagePresent(i) {
+			present++
+		}
+	}
+	return present, total, nil
+}
+
+// freeSlots reports the number of TPT slots not owned by a live region
+// (immediately free plus grace-parked).
 func (t *tpt) freeSlots() int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return len(t.free)
+	return len(t.free) + len(t.grace)
 }
 
 // regionCount reports how many regions are currently registered.
