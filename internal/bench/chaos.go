@@ -20,13 +20,16 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/faultinject"
 	"repro/internal/kagent"
 	"repro/internal/leakcheck"
 	"repro/internal/mm"
+	"repro/internal/mpi"
 	"repro/internal/msg"
 	"repro/internal/phys"
 	"repro/internal/proc"
@@ -643,6 +646,138 @@ func sumRel(a, b msg.ReliabilityStats) msg.ReliabilityStats {
 	return a
 }
 
+const (
+	chaosMPIRounds = 6 // fresh world per round; even rounds are partitioned
+	chaosMPIRanks  = 8 // over two nodes — every recursive-doubling round crosses the link
+)
+
+// chaosMPI is the collective-layer fault class: an Allreduce over a
+// fresh 8-rank two-node world each round, with the inter-node link
+// severed mid-collective on even rounds.  The contract is per rank —
+// every rank either returns the correct global sum or a typed error
+// wrapping mpi.ErrCollectiveAborted; no rank may hang (the abort
+// doorbell plus bounded RecvTimeout/retries guarantee liveness, the
+// watchdog enforces it) and no goroutine may leak.  Worlds are not
+// reused after an abort: MPI_Abort semantics end the job, so recovery
+// means a clean next job, not a resumed one.
+func chaosMPI() (chaosResult, error) {
+	res := chaosResult{class: "mpi"}
+	base := leakcheck.Snapshot()
+	want := int64(chaosMPIRanks * (chaosMPIRanks - 1) / 2) // sum of rank IDs
+	for round := 0; round < chaosMPIRounds; round++ {
+		c := cluster.MustNew(cluster.Config{
+			Nodes:    2,
+			Strategy: core.StrategyKiobuf,
+			Kernel:   mm.Config{RAMPages: 4096, SwapPages: 8192, ClockBatch: 128, SwapBatch: 32},
+			TPTSlots: 2048,
+		})
+		w, err := mpi.NewWorldOpts(c, chaosMPIRanks, mpi.WorldOptions{
+			SharedCQ: true,
+			Endpoint: msg.Options{RecvTimeout: 250 * time.Millisecond},
+			Reliability: &msg.ReliabilityConfig{
+				MaxRetries:       2,
+				BackoffBase:      50 * time.Microsecond,
+				BackoffMax:       time.Millisecond,
+				HandshakeTimeout: 100 * time.Millisecond,
+				Seed:             chaosSeed + int64(round),
+			},
+		})
+		if err != nil {
+			return res, err
+		}
+		faulted := round%2 == 0
+		sums := make([]int64, chaosMPIRanks)
+		errs := make([]error, chaosMPIRanks)
+		attempt := func(partition bool) error {
+			return chaosWatchdog(fmt.Sprintf("mpi round %d", round), func() error {
+				var cut sync.WaitGroup
+				if partition {
+					cut.Add(1)
+					go func() {
+						defer cut.Done()
+						time.Sleep(100 * time.Microsecond) // land mid-collective
+						c.Network.SetLinkDown("node0", "node1")
+					}()
+				}
+				var wg sync.WaitGroup
+				for i := 0; i < chaosMPIRanks; i++ {
+					r, err := w.Rank(i)
+					if err != nil {
+						return err
+					}
+					wg.Add(1)
+					go func(i int, r *mpi.Rank) {
+						defer wg.Done()
+						sums[i], errs[i] = r.Allreduce(int64(r.ID()), mpi.OpSum)
+					}(i, r)
+				}
+				wg.Wait()
+				cut.Wait()
+				return nil
+			})
+		}
+		err = attempt(faulted)
+		if faulted {
+			res.injected++
+			if err == nil && errorCount(errs) == 0 {
+				// The partition landed after the collective finished; the
+				// world is still clean and the link is now down, so a
+				// second attempt deterministically runs into the fault.
+				for i := range sums {
+					if sums[i] == want {
+						res.ok++
+					}
+				}
+				err = attempt(false)
+			}
+			c.Network.SetLinkUp("node0", "node1")
+		}
+		if err == nil {
+			for i, e := range errs {
+				switch {
+				case e == nil && sums[i] != want:
+					err = fmt.Errorf("mpi round %d rank %d: silent wrong sum %d, want %d", round, i, sums[i], want)
+				case e != nil && !errors.Is(e, mpi.ErrCollectiveAborted):
+					err = fmt.Errorf("mpi round %d rank %d: untyped failure: %w", round, i, e)
+				case e != nil && !faulted:
+					err = fmt.Errorf("mpi round %d rank %d: abort on a healthy fabric: %w", round, i, e)
+				case e != nil:
+					res.loud++
+				default:
+					res.ok++
+				}
+				if err != nil {
+					break
+				}
+			}
+		}
+		for _, n := range c.Nodes {
+			res.nic = sumStats(res.nic, n.NIC.Stats())
+		}
+		w.Close()
+		if err != nil {
+			return res, err
+		}
+	}
+	if res.loud == 0 {
+		return res, fmt.Errorf("chaos mpi: no partition ever aborted a collective — the fault schedule is dead")
+	}
+	if err := leakcheck.Verify(base, 5*time.Second); err != nil {
+		return res, fmt.Errorf("class %q: %w", res.class, err)
+	}
+	return res, nil
+}
+
+func errorCount(errs []error) int {
+	n := 0
+	for _, e := range errs {
+		if e != nil {
+			n++
+		}
+	}
+	return n
+}
+
 // Chaos regenerates E17: the per-fault-class chaos/soak scoreboard.
 func Chaos(w io.Writer) error {
 	t := report.Table{
@@ -657,11 +792,22 @@ func Chaos(w io.Writer) error {
 		if err != nil {
 			return fmt.Errorf("chaos class %q: %w", cl.name, err)
 		}
-		t.AddRow(r.class, r.ok, r.loud, r.degraded, r.injected,
-			r.nic.Faults, r.nic.VIErrors, r.nic.DescriptorsFlushed, r.nic.NICResets,
-			r.nic.IOPageFaults, r.nic.TPTRepairs,
-			r.rel.Retries, r.rel.Recoveries, r.rel.AckRescues, r.rel.Duplicates, r.rel.Timeouts)
+		addChaosRow(&t, r)
 	}
+	// The collective-layer class runs its own harness: whole MPI worlds
+	// instead of an endpoint pair, with the per-rank outcome contract.
+	r, err := chaosMPI()
+	if err != nil {
+		return fmt.Errorf("chaos class %q: %w", r.class, err)
+	}
+	addChaosRow(&t, r)
 	t.Fprint(w)
 	return nil
+}
+
+func addChaosRow(t *report.Table, r chaosResult) {
+	t.AddRow(r.class, r.ok, r.loud, r.degraded, r.injected,
+		r.nic.Faults, r.nic.VIErrors, r.nic.DescriptorsFlushed, r.nic.NICResets,
+		r.nic.IOPageFaults, r.nic.TPTRepairs,
+		r.rel.Retries, r.rel.Recoveries, r.rel.AckRescues, r.rel.Duplicates, r.rel.Timeouts)
 }

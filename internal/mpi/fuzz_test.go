@@ -1,0 +1,106 @@
+package mpi
+
+import (
+	"testing"
+)
+
+// FuzzReduceOps pins the algebra the log-structured collectives rely
+// on: the built-in reduction operators must be associative and
+// commutative over arbitrary fold orders, and segBounds must cut any
+// vector into exactly-covering, near-equal ring segments.  The input
+// encodes rank count, vector length, operator and values:
+//
+//	data[0] → n ranks (1..64)
+//	data[1] → operator (sum / max / min)
+//	data[2:4] → total vector length (0..512)
+//	data[4:] → per-rank element values (little-endian-ish, recycled)
+func FuzzReduceOps(f *testing.F) {
+	f.Add([]byte{4, 0, 16, 0, 1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{1, 1, 0, 0})
+	f.Add([]byte{7, 2, 255, 1, 0xff, 0x80, 0x7f, 0x01, 0x00, 0xaa})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 4 {
+			return
+		}
+		n := int(data[0])%64 + 1
+		ops := []ReduceOp{OpSum, OpMax, OpMin}
+		op := ops[int(data[1])%len(ops)]
+		total := (int(data[2]) | int(data[3])<<8) % 513
+		vals := data[4:]
+
+		// Deterministic per-rank vectors from the fuzz payload.  Values
+		// are spread across the int64 range (including negatives) so sum
+		// overflow wrap-around is exercised too — two's-complement
+		// addition stays associative and commutative under wrapping.
+		elem := func(rank, i int) int64 {
+			if len(vals) == 0 {
+				return int64(rank*31 + i*7)
+			}
+			b := vals[(rank*total+i)%len(vals)]
+			return (int64(b) - 128) * (1 << (b % 56))
+		}
+
+		// segBounds must partition [0, total) exactly, in order, with
+		// segment sizes differing by at most one.
+		prev := 0
+		for s := 0; s < n; s++ {
+			lo, hi := segBounds(total, n, s)
+			if lo != prev || hi < lo {
+				t.Fatalf("segBounds(%d,%d,%d) = [%d,%d) after hi %d", total, n, s, lo, hi, prev)
+			}
+			if sz := hi - lo; sz < total/n || sz > total/n+1 {
+				t.Fatalf("segBounds(%d,%d,%d): segment size %d", total, n, s, sz)
+			}
+			prev = hi
+		}
+		if prev != total {
+			t.Fatalf("segBounds(%d,%d,·) covered [0,%d)", total, n, prev)
+		}
+
+		// Per segment, fold all rank contributions in three different
+		// orders — rank order, the ring's rotated arrival order, and
+		// reverse — through reduceInto.  An associative, commutative
+		// operator makes them agree, which is exactly what lets the ring
+		// reduce-scatter and recursive doubling pick different
+		// combination trees from the linear baseline.
+		for s := 0; s < n; s++ {
+			lo, hi := segBounds(total, n, s)
+			width := hi - lo
+			if width == 0 {
+				continue
+			}
+			fold := func(order []int) []int64 {
+				acc := make([]int64, width)
+				for i := range acc {
+					acc[i] = elem(order[0], lo+i)
+				}
+				src := make([]int64, width)
+				for _, rank := range order[1:] {
+					for i := range src {
+						src[i] = elem(rank, lo+i)
+					}
+					reduceInto(acc, src, op)
+				}
+				return acc
+			}
+			rankOrder := make([]int, n)
+			ringOrder := make([]int, n)
+			revOrder := make([]int, n)
+			for i := 0; i < n; i++ {
+				rankOrder[i] = i
+				ringOrder[i] = (s + 1 + i) % n
+				revOrder[i] = n - 1 - i
+			}
+			ref := fold(rankOrder)
+			for name, order := range map[string][]int{"ring": ringOrder, "reverse": revOrder} {
+				got := fold(order)
+				for i := range ref {
+					if got[i] != ref[i] {
+						t.Fatalf("n=%d total=%d seg %d elem %d: %s order = %d, rank order = %d",
+							n, total, s, i, name, got[i], ref[i])
+					}
+				}
+			}
+		}
+	})
+}

@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/phys"
 	"repro/internal/proc"
@@ -96,6 +97,36 @@ type Options struct {
 	// page faults.  The endpoint's own ring and bounce buffers stay
 	// pinned — they are NIC-owned infrastructure, not user payload.
 	NoPin bool
+	// RingSlots / SlotBytes size the bounce ring (0 = the package-level
+	// RingSlots / SlotSize).  Worlds with thousands of endpoints shrink
+	// both to keep the pre-registered footprint O(ranks·log ranks)
+	// affordable.
+	RingSlots int
+	SlotBytes int
+	// Mux shares one completion poller across every endpoint created
+	// with it: the endpoint's VI delivers completions to the mux's CQ
+	// and descriptor waits go through CQMux.WaitDesc instead of each
+	// descriptor's own channel — the epoll analogue, O(1) goroutines
+	// per world instead of per VI.
+	Mux *via.CQMux
+	// SharedCache, when non-nil, replaces the endpoint's private
+	// registration cache: all endpoints of one rank share it, so a
+	// buffer registered for one peer is a cache hit when sent to the
+	// next (the cross-iteration reuse MPICH2 builds on).
+	SharedCache *regcache.Cache
+	// RDMAEager switches the inline protocols to the MPICH2 RDMA-write
+	// fast path: the sender writes each chunk directly into the peer's
+	// pre-registered ring slot with an RDMA write and the receiver
+	// polls the slot instead of posting receive descriptors — no
+	// receive-descriptor matching, no repost doorbells, no
+	// receiver-side DMA startup on the critical path.
+	RDMAEager bool
+	// RecvTimeout bounds how long Recv blocks waiting for the next
+	// control announcement (0 = block forever, the default).  A timed
+	// out Recv returns ErrRecvTimeout without consuming anything; the
+	// endpoint stays usable.  Collective layers use this to detect a
+	// dead partner and run their own abort protocol instead of hanging.
+	RecvTimeout time.Duration
 }
 
 // payloadAttrs builds the registration attributes for user payload
@@ -117,6 +148,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.PipelineChunk == 0 {
 		o.PipelineChunk = DefaultPipelineChunk
+	}
+	if o.RingSlots <= 0 {
+		o.RingSlots = RingSlots
+	}
+	if o.SlotBytes <= 0 {
+		o.SlotBytes = SlotSize
 	}
 	return o
 }
@@ -155,6 +192,9 @@ var (
 	// ErrPeerAborted reports that the peer gave up on a reliable
 	// transfer after exhausting its retries.
 	ErrPeerAborted = errors.New("msg: peer aborted transfer")
+	// ErrRecvTimeout reports that Recv waited longer than the
+	// endpoint's RecvTimeout for the next message announcement.
+	ErrRecvTimeout = errors.New("msg: receive timed out")
 )
 
 type ctrlKind uint8
@@ -223,16 +263,32 @@ type Endpoint struct {
 	// production).
 	obs atomic.Pointer[epObs]
 
+	// urgent is the out-of-band token sink fed by the peer's Notify
+	// (nil unless SetUrgentSink was called).
+	urgent atomic.Pointer[func(uint64)]
+
 	// Reliability layer (nil unless EnableReliability was called).
 	rel           *relState
 	nextSeq       uint64 // last sequence number this side assigned
 	lastDelivered uint64 // highest sequence delivered to the application
 
-	// bounce ring (receive side) and one send bounce slot.
+	// bounce ring (receive side) and one send bounce slot.  ringSlots
+	// and slotSize are the per-endpoint geometry (Options, defaulted).
 	ringBuf   *proc.Buffer
 	ringReg   *vipl.MemRegion
-	ringDescs [RingSlots]*via.Descriptor
+	ringDescs []*via.Descriptor
+	ringSlots int
+	slotSize  int
 	rxIdx     uint64
+
+	// RDMA-eager state: the peer's ring handle (RDMA-write target),
+	// the sender-side slot cursor, and the flag-poll channel — the
+	// sender raises a token when a chunk's RDMA write has landed in
+	// the peer's ring (the receiver's poll on the slot's dirty flag; a
+	// negative token poisons the in-flight message after a fault).
+	peerRing  via.MemHandle
+	txIdx     uint64
+	rdmaReady chan int
 
 	sendBuf *proc.Buffer
 	sendReg *vipl.MemRegion
@@ -250,27 +306,44 @@ func NewEndpoint(name string, nic *vipl.Nic, meter *simtime.Meter, cacheRegions 
 	if len(opts) > 0 {
 		o = opts[0]
 	}
+	o = o.withDefaults()
 	e := &Endpoint{
-		name:    name,
-		nic:     nic,
-		cache:   regcache.New(nic, cacheRegions),
-		meter:   meter,
-		opts:    o.withDefaults(),
-		ctrl:    make(chan ctrlMsg, 4*RingSlots),
-		rctrl:   make(chan ctrlMsg, 4*RingSlots),
-		credits: make(chan struct{}, RingSlots),
+		name:      name,
+		nic:       nic,
+		meter:     meter,
+		opts:      o,
+		ctrl:      make(chan ctrlMsg, 4*o.RingSlots),
+		rctrl:     make(chan ctrlMsg, 4*o.RingSlots),
+		credits:   make(chan struct{}, o.RingSlots),
+		ringSlots: o.RingSlots,
+		slotSize:  o.SlotBytes,
+		ringDescs: make([]*via.Descriptor, o.RingSlots),
+	}
+	if o.SharedCache != nil {
+		e.cache = o.SharedCache
+	} else {
+		e.cache = regcache.New(nic, cacheRegions)
+	}
+	if o.RDMAEager {
+		e.rdmaReady = make(chan int, 4*o.RingSlots)
 	}
 	var err error
-	if e.vi, err = nic.CreateVi(); err != nil {
+	if o.Mux != nil {
+		e.vi, err = nic.CreateViCQ(o.Mux.CQ())
+	} else {
+		e.vi, err = nic.CreateVi()
+	}
+	if err != nil {
 		return nil, err
 	}
-	if e.ringBuf, err = nic.Process().Malloc(RingSlots * SlotSize); err != nil {
+	if e.ringBuf, err = nic.Process().Malloc(e.ringSlots * e.slotSize); err != nil {
 		return nil, err
 	}
-	if e.ringReg, err = nic.RegisterMem(e.ringBuf, via.MemAttrs{}); err != nil {
+	// In RDMA-eager mode the ring is the peer's RDMA-write target.
+	if e.ringReg, err = nic.RegisterMem(e.ringBuf, via.MemAttrs{EnableRDMAWrite: o.RDMAEager}); err != nil {
 		return nil, err
 	}
-	if e.sendBuf, err = nic.Process().Malloc(SlotSize); err != nil {
+	if e.sendBuf, err = nic.Process().Malloc(e.slotSize); err != nil {
 		return nil, err
 	}
 	if e.sendReg, err = nic.RegisterMem(e.sendBuf, via.MemAttrs{}); err != nil {
@@ -287,10 +360,15 @@ func Pair(nw *via.Network, a, b *Endpoint) error {
 	}
 	a.peer, b.peer = b, a
 	a.nw, b.nw = nw, nw
+	a.peerRing, b.peerRing = b.ringReg.Handle(), a.ringReg.Handle()
 	for _, e := range []*Endpoint{a, b} {
-		for i := 0; i < RingSlots; i++ {
-			if err := e.postSlot(i); err != nil {
-				return err
+		for i := 0; i < e.ringSlots; i++ {
+			if !e.opts.RDMAEager {
+				// RDMA-eager rings take writes directly; no receive
+				// descriptors to pre-post.
+				if err := e.postSlot(i); err != nil {
+					return err
+				}
 			}
 			e.peerGrantCredit()
 		}
@@ -305,9 +383,67 @@ func (e *Endpoint) peerGrantCredit() {
 
 // postSlot (re)posts the ring slot's receive descriptor.
 func (e *Endpoint) postSlot(slot int) error {
-	d := via.NewDescriptor(via.OpRecv, e.ringReg.Seg(slot*SlotSize, SlotSize))
+	if old := e.ringDescs[slot]; old != nil && e.opts.Mux != nil {
+		e.opts.Mux.Forget(old)
+	}
+	d := via.NewDescriptor(via.OpRecv, e.ringReg.Seg(slot*e.slotSize, e.slotSize))
 	e.ringDescs[slot] = d
 	return e.vi.PostRecv(d)
+}
+
+// waitDesc waits for a descriptor's completion: through the shared
+// poller when the endpoint is mux-attached, directly otherwise.
+func (e *Endpoint) waitDesc(d *via.Descriptor) via.Status {
+	if e.opts.Mux != nil {
+		return e.opts.Mux.WaitDesc(d)
+	}
+	return d.Wait()
+}
+
+// rdmaToken signals the peer that one RDMA-eager chunk landed in its
+// ring (n = byte count), or poisons the in-flight message (n < 0) so a
+// receiver blocked on the slot flag observes the fault and falls into
+// the recovery path.
+func (e *Endpoint) rdmaToken(n int) {
+	e.peer.rdmaReady <- n
+}
+
+// drainRdmaReady discards leftover slot tokens from a sender's failed
+// attempts (recovery resets both cursors to slot zero).
+func (e *Endpoint) drainRdmaReady() {
+	if e.rdmaReady == nil {
+		return
+	}
+	for {
+		select {
+		case <-e.rdmaReady:
+		default:
+			return
+		}
+	}
+}
+
+// SetUrgentSink registers a callback for urgent tokens delivered by
+// the peer's Notify.  The sink runs on the notifier's goroutine, so it
+// must be safe for concurrent use (an atomic flag, typically).
+func (e *Endpoint) SetUrgentSink(fn func(uint64)) {
+	e.urgent.Store(&fn)
+}
+
+// Notify rings the peer's urgent doorbell with a token, out of band
+// from the data path: no credits, no ring slots, no blocking — the
+// control channel analogue of VIA's connection notify.  Collective
+// layers use it to cascade aborts without deadlocking against a
+// clogged ring.  The token is dropped if the peer has no sink.
+func (e *Endpoint) Notify(tok uint64) error {
+	if e.peer == nil {
+		return ErrNotPaired
+	}
+	e.meter.Charge(e.meter.Costs.WireLatency)
+	if fn := e.peer.urgent.Load(); fn != nil {
+		(*fn)(tok)
+	}
+	return nil
 }
 
 // sendCtrl delivers a control struct to the peer, charging the PIO
@@ -386,6 +522,37 @@ func (e *Endpoint) Send(b *proc.Buffer, p Protocol) (int, error) {
 	}
 }
 
+// nextCtrl blocks for the next control announcement, servicing the
+// out-of-band reliability channel when enabled and honouring the
+// endpoint's RecvTimeout.  The timer only exists when a timeout is
+// configured; the nil channel arm never fires otherwise.
+func (e *Endpoint) nextCtrl() (ctrlMsg, error) {
+	var timeout <-chan time.Time
+	if e.opts.RecvTimeout > 0 {
+		t := time.NewTimer(e.opts.RecvTimeout)
+		defer t.Stop()
+		timeout = t.C
+	}
+	var m ctrlMsg
+	if e.rel != nil {
+		// Reliability traffic (handshake, aborts) arrives out of band
+		// so it can be serviced even while data announcements queue.
+		select {
+		case m = <-e.ctrl:
+		case m = <-e.rctrl:
+		case <-timeout:
+			return ctrlMsg{}, ErrRecvTimeout
+		}
+	} else {
+		select {
+		case m = <-e.ctrl:
+		case <-timeout:
+			return ctrlMsg{}, ErrRecvTimeout
+		}
+	}
+	return m, nil
+}
+
 // Recv receives one message into the buffer and returns its length.
 // With reliability enabled it also services the recovery handshake and
 // discards retransmitted duplicates of already-delivered messages.
@@ -394,16 +561,9 @@ func (e *Endpoint) Recv(b *proc.Buffer) (int, error) {
 		return 0, ErrNotPaired
 	}
 	for {
-		var m ctrlMsg
-		if e.rel != nil {
-			// Reliability traffic (handshake, aborts) arrives out of band
-			// so it can be serviced even while data announcements queue.
-			select {
-			case m = <-e.ctrl:
-			case m = <-e.rctrl:
-			}
-		} else {
-			m = <-e.ctrl
+		m, err := e.nextCtrl()
+		if err != nil {
+			return 0, err
 		}
 		switch m.kind {
 		case kInline:
@@ -471,7 +631,8 @@ func (e *Endpoint) Recv(b *proc.Buffer) (int, error) {
 // reliability sequence number (0 when reliability is off).
 func (e *Endpoint) sendInline(b *proc.Buffer, eager bool, seq uint64) (int, error) {
 	size := b.Bytes
-	nchunks := (size + SlotSize - 1) / SlotSize
+	nchunks := (size + e.slotSize - 1) / e.slotSize
+	rdma := e.opts.RDMAEager
 
 	// Acquire the registration before announcing the message: a
 	// registration failure must leave no receiver-visible state, so the
@@ -489,14 +650,14 @@ func (e *Endpoint) sendInline(b *proc.Buffer, eager bool, seq uint64) (int, erro
 	e.sendCtrl(ctrlMsg{kind: kInline, size: size, nchunks: nchunks, seq: seq})
 
 	sent := 0
-	tmp := make([]byte, SlotSize)
+	tmp := make([]byte, e.slotSize)
 	for c := 0; c < nchunks; c++ {
 		n := size - sent
-		if n > SlotSize {
-			n = SlotSize
+		if n > e.slotSize {
+			n = e.slotSize
 		}
 		<-e.credits
-		var d *via.Descriptor
+		var src via.Segment
 		if eager {
 			// Copy the chunk into the registered send bounce.
 			if err := b.Read(sent, tmp[:n]); err != nil {
@@ -506,15 +667,44 @@ func (e *Endpoint) sendInline(b *proc.Buffer, eager bool, seq uint64) (int, erro
 				return sent, err
 			}
 			e.meter.ChargeN(e.meter.Costs.PageCopy, (n+phys.PageSize-1)/phys.PageSize)
-			d = via.NewDescriptor(via.OpSend, e.sendReg.Seg(0, n))
+			src = e.sendReg.Seg(0, n)
 		} else {
-			d = via.NewDescriptor(via.OpSend, reg.Seg(sent, n))
+			src = reg.Seg(sent, n)
+		}
+		var d *via.Descriptor
+		if rdma {
+			// MPICH2 RDMA-write fast path: write the chunk straight
+			// into the peer's next ring slot; the receiver polls the
+			// slot flag instead of matching a receive descriptor.
+			slot := int(e.txIdx % uint64(e.ringSlots))
+			d = via.NewDescriptor(via.OpRDMAWrite, src)
+			d.Remote = via.RemoteSegment{Handle: e.peerRing, Offset: slot * e.slotSize}
+		} else {
+			d = via.NewDescriptor(via.OpSend, src)
 		}
 		if err := e.vi.PostSend(d); err != nil {
+			if rdma {
+				e.rdmaToken(-1)
+			}
 			return sent, err
 		}
 		if st := e.waitChunk(d); st != via.StatusSuccess {
+			if rdma {
+				// A lost completion still placed the data (the write
+				// precedes the completion write-back), so the slot flag
+				// is genuinely set; anything else poisons the message.
+				if st == via.StatusCompletionLost {
+					e.txIdx++
+					e.rdmaToken(n)
+				} else {
+					e.rdmaToken(-1)
+				}
+			}
 			return sent, &chunkError{chunk: c, nchunks: nchunks, status: st}
+		}
+		if rdma {
+			e.txIdx++
+			e.rdmaToken(n)
 		}
 		sent += n
 	}
@@ -534,15 +724,28 @@ func (e *Endpoint) recvInline(b *proc.Buffer, m ctrlMsg) (int, error) {
 		return 0, fmt.Errorf("%w: message %d, buffer %d", ErrTooSmall, m.size, b.Bytes)
 	}
 	got := 0
-	tmp := make([]byte, SlotSize)
+	tmp := make([]byte, e.slotSize)
 	for c := 0; c < m.nchunks; c++ {
-		slot := int(e.rxIdx % RingSlots)
-		d := e.ringDescs[slot]
-		if st := d.Wait(); st != via.StatusSuccess {
-			return got, fmt.Errorf("%w: ring slot %d failed: %v", ErrTransport, slot, st)
+		slot := int(e.rxIdx % uint64(e.ringSlots))
+		var n int
+		if e.opts.RDMAEager {
+			// Poll the slot's dirty flag: the token arrives once the
+			// sender's RDMA write has landed; a poison token means the
+			// write faulted and the sender is starting recovery.
+			tok := <-e.rdmaReady
+			if tok < 0 {
+				return got, fmt.Errorf("%w: rdma-eager slot %d poisoned", ErrTransport, slot)
+			}
+			e.meter.Charge(e.meter.Costs.SyncDetect)
+			n = tok
+		} else {
+			d := e.ringDescs[slot]
+			if st := e.waitDesc(d); st != via.StatusSuccess {
+				return got, fmt.Errorf("%w: ring slot %d failed: %v", ErrTransport, slot, st)
+			}
+			n = d.Transferred
 		}
-		n := d.Transferred
-		if err := e.ringBuf.Read(slot*SlotSize, tmp[:n]); err != nil {
+		if err := e.ringBuf.Read(slot*e.slotSize, tmp[:n]); err != nil {
 			return got, err
 		}
 		if err := b.Write(got, tmp[:n]); err != nil {
@@ -551,16 +754,18 @@ func (e *Endpoint) recvInline(b *proc.Buffer, m ctrlMsg) (int, error) {
 		e.meter.ChargeN(e.meter.Costs.PageCopy, (n+phys.PageSize-1)/phys.PageSize)
 		got += n
 		e.rxIdx++
-		if err := e.postSlot(slot); err != nil {
-			if e.rel != nil && isTransport(err) && got == m.size {
-				// Every chunk landed; only the repost hit the dying
-				// connection.  The message is complete — deliver it.  The
-				// ring and the credits are rebuilt by the recovery
-				// handshake, and the sender's retransmit (it saw the
-				// fault) is discarded by sequence dedup.
-				break
+		if !e.opts.RDMAEager {
+			if err := e.postSlot(slot); err != nil {
+				if e.rel != nil && isTransport(err) && got == m.size {
+					// Every chunk landed; only the repost hit the dying
+					// connection.  The message is complete — deliver it.  The
+					// ring and the credits are rebuilt by the recovery
+					// handshake, and the sender's retransmit (it saw the
+					// fault) is discarded by sequence dedup.
+					break
+				}
+				return got, err
 			}
-			return got, err
 		}
 		e.peerGrantCredit()
 	}
@@ -680,7 +885,7 @@ func (e *Endpoint) sendPipelined(b *proc.Buffer, chunk, nchunks int) (int, error
 			e.chunkSpanEnd(obs, sp, trace.KindChunkXfer, false, i)
 			return sent, err
 		}
-		if st := d.Wait(); st != via.StatusSuccess {
+		if st := e.waitDesc(d); st != via.StatusSuccess {
 			e.chunkSpanEnd(obs, sp, trace.KindChunkXfer, false, i)
 			return sent, fmt.Errorf("%w: pipelined chunk %d/%d RDMA write failed: %v", ErrTransport, i, nchunks, st)
 		}

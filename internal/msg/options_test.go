@@ -59,11 +59,14 @@ func TestOptionsWithDefaults(t *testing.T) {
 		OneCopyMax:    OneCopyMax,
 		PipelineDepth: DefaultPipelineDepth,
 		PipelineChunk: DefaultPipelineChunk,
+		RingSlots:     RingSlots,
+		SlotBytes:     SlotSize,
 	}
 	if d != want {
 		t.Errorf("Options{}.withDefaults() = %+v, want %+v", d, want)
 	}
-	set := Options{EagerMax: 1, OneCopyMax: 2, PipelineDepth: -1, PipelineChunk: 4096}
+	set := Options{EagerMax: 1, OneCopyMax: 2, PipelineDepth: -1, PipelineChunk: 4096,
+		RingSlots: 2, SlotBytes: 4096}
 	if got := set.withDefaults(); got != set {
 		t.Errorf("withDefaults clobbered set fields: %+v → %+v", set, got)
 	}

@@ -150,7 +150,7 @@ func (e *Endpoint) sendZeroCopyReg(b *proc.Buffer, reg *vipl.MemRegion) (int, er
 	if err := e.vi.PostSend(d); err != nil {
 		return 0, err
 	}
-	if st := d.Wait(); st != via.StatusSuccess {
+	if st := e.waitDesc(d); st != via.StatusSuccess {
 		return 0, fmt.Errorf("msg: RDMA write failed: %v", st)
 	}
 	e.sendCtrl(ctrlMsg{kind: kFin, size: size})

@@ -55,17 +55,29 @@ type ReliabilityConfig struct {
 	// disables the ack wait so such sends go straight to the recovery
 	// handshake and the retransmit is deduplicated by the receiver.
 	AckTimeout time.Duration
+	// HandshakeTimeout bounds each wait inside the recovery handshake
+	// (the sender's kResetAck wait and the receiver's kRingRepost
+	// wait).  A peer that died — or aborted a collective — mid-fault
+	// can otherwise strand this side forever.  0 selects
+	// DefaultHandshakeTimeout; < 0 waits without bound (the pre-PR-7
+	// behaviour).
+	HandshakeTimeout time.Duration
 	// Seed makes the backoff jitter deterministic for replay.
 	Seed int64
 }
 
 // Reliability defaults.
 const (
-	DefaultMaxRetries  = 4
-	DefaultBackoffBase = 100 * time.Microsecond
-	DefaultBackoffMax  = 10 * time.Millisecond
-	DefaultAckTimeout  = 250 * time.Millisecond
+	DefaultMaxRetries       = 4
+	DefaultBackoffBase      = 100 * time.Microsecond
+	DefaultBackoffMax       = 10 * time.Millisecond
+	DefaultAckTimeout       = 250 * time.Millisecond
+	DefaultHandshakeTimeout = 5 * time.Second
 )
+
+// ErrRecoveryTimeout reports a recovery handshake abandoned because the
+// peer stopped answering within HandshakeTimeout.
+var ErrRecoveryTimeout = errors.New("msg: recovery handshake timed out")
 
 // chunkError is a chunk that completed with a non-success status; it
 // carries enough structure for the retry loop to distinguish "payload
@@ -121,6 +133,9 @@ func (e *Endpoint) EnableReliability(cfg ReliabilityConfig) {
 	}
 	if cfg.AckTimeout == 0 {
 		cfg.AckTimeout = DefaultAckTimeout
+	}
+	if cfg.HandshakeTimeout == 0 {
+		cfg.HandshakeTimeout = DefaultHandshakeTimeout
 	}
 	e.rel = &relState{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
 }
@@ -217,7 +232,7 @@ func (e *Endpoint) sleepBackoff(attempt int) {
 // the wait resumes and a late success is treated as a success.
 func (e *Endpoint) waitChunk(d *via.Descriptor) via.Status {
 	if e.rel == nil || e.rel.cfg.Timeout <= 0 {
-		return d.Wait()
+		return e.waitDesc(d)
 	}
 	t := time.NewTimer(e.rel.cfg.Timeout)
 	defer t.Stop()
@@ -227,7 +242,29 @@ func (e *Endpoint) waitChunk(d *via.Descriptor) via.Status {
 		e.rel.stats.Timeouts++
 		<-d.Done()
 	}
+	if e.opts.Mux != nil {
+		// Consume the CQ entry so it doesn't linger in the mux's
+		// pending map.
+		return e.opts.Mux.WaitDesc(d)
+	}
 	return d.Status
+}
+
+// recvHandshake waits (bounded by HandshakeTimeout) for the next
+// reliability control message during a recovery handshake.
+func (e *Endpoint) recvHandshake() (ctrlMsg, error) {
+	hs := e.rel.cfg.HandshakeTimeout
+	if hs < 0 {
+		return <-e.rctrl, nil
+	}
+	t := time.NewTimer(hs)
+	defer t.Stop()
+	select {
+	case m := <-e.rctrl:
+		return m, nil
+	case <-t.C:
+		return ctrlMsg{}, ErrRecoveryTimeout
+	}
 }
 
 // awaitDone waits (bounded) for the receiver's delivery ack of seq.
@@ -298,13 +335,19 @@ func (e *Endpoint) drainCredits() {
 	}
 }
 
-// repostRing reposts every bounce-ring slot from index zero and grants
-// the peer a full set of credits.  The VI must be connected.
+// repostRing rebuilds the bounce ring from slot zero and grants the
+// peer a full set of credits.  The VI must be connected.  In RDMA-eager
+// mode there are no receive descriptors; both cursors rewind to slot
+// zero and stale slot tokens are discarded instead.
 func (e *Endpoint) repostRing() error {
 	e.rxIdx = 0
-	for i := 0; i < RingSlots; i++ {
-		if err := e.postSlot(i); err != nil {
-			return err
+	e.txIdx = 0
+	e.drainRdmaReady()
+	for i := 0; i < e.ringSlots; i++ {
+		if !e.opts.RDMAEager {
+			if err := e.postSlot(i); err != nil {
+				return err
+			}
 		}
 		e.peerGrantCredit()
 	}
@@ -350,7 +393,10 @@ func (e *Endpoint) resetOwnVI() error {
 func (e *Endpoint) recoverSender() error {
 	e.sendCtrl(ctrlMsg{kind: kReset, seq: e.nextSeq})
 	for {
-		m := <-e.rctrl
+		m, err := e.recvHandshake()
+		if err != nil {
+			return err
+		}
 		if m.kind == kResetAck {
 			break
 		}
@@ -391,7 +437,10 @@ func (e *Endpoint) handlePeerReset() error {
 	}
 	e.sendCtrl(ctrlMsg{kind: kResetAck})
 	for {
-		m := <-e.rctrl
+		m, err := e.recvHandshake()
+		if err != nil {
+			return err
+		}
 		switch m.kind {
 		case kRingRepost:
 			return e.repostRing()
@@ -413,9 +462,17 @@ func (e *Endpoint) drainDuplicate(m ctrlMsg) error {
 		obs.event(trace.KindDuplicate, m.seq, uint64(m.nchunks))
 	}
 	for c := 0; c < m.nchunks; c++ {
-		slot := int(e.rxIdx % RingSlots)
+		slot := int(e.rxIdx % uint64(e.ringSlots))
+		if e.opts.RDMAEager {
+			if tok := <-e.rdmaReady; tok < 0 {
+				return fmt.Errorf("%w: duplicate chunk %d poisoned", ErrTransport, c)
+			}
+			e.rxIdx++
+			e.peerGrantCredit()
+			continue
+		}
 		d := e.ringDescs[slot]
-		if st := d.Wait(); st != via.StatusSuccess {
+		if st := e.waitDesc(d); st != via.StatusSuccess {
 			return fmt.Errorf("%w: duplicate chunk %d: %v", ErrTransport, c, st)
 		}
 		e.rxIdx++

@@ -95,6 +95,10 @@ const (
 	// KindSpecRetransmit marks a speculative-DMA chunk retransmitted
 	// after host-side validation.  Arg1=handle, Arg2=bytes.
 	KindSpecRetransmit
+	// KindCQOverflow marks a completion queue dropping its oldest entry
+	// because the consumer fell behind.  Arg1=VI uid of the incoming
+	// completion, Arg2=total drops so far on the queue.
+	KindCQOverflow
 
 	// Message-layer reliability.
 
@@ -162,6 +166,7 @@ var kindNames = [numKinds]string{
 	KindNotifierInvalidate: "notifier-invalidate",
 	KindTPTRepair:          "tpt-repair",
 	KindSpecRetransmit:     "spec-retransmit",
+	KindCQOverflow:         "cq-overflow",
 	KindRetry:              "retry",
 	KindBackoff:            "backoff",
 	KindRecovery:           "recovery",
@@ -188,7 +193,7 @@ func (k Kind) Category() string {
 		return "kagent"
 	case k >= KindCacheHit && k <= KindCacheFlush:
 		return "regcache"
-	case k >= KindDescSend && k <= KindSpecRetransmit:
+	case k >= KindDescSend && k <= KindCQOverflow:
 		return "via"
 	case k >= KindRetry && k <= KindPipeFallback:
 		return "msg"

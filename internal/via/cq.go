@@ -1,8 +1,12 @@
 package via
 
 import (
+	"context"
 	"errors"
 	"sync"
+	"sync/atomic"
+
+	"repro/internal/trace"
 )
 
 // Completion is one completion-queue entry: which VI completed which
@@ -19,33 +23,98 @@ type Completion struct {
 // CQ is a completion queue.  VIs created with CreateVIWithCQ deposit a
 // completion notification for every descriptor they finish, so one
 // thread can wait on many VIs at once (VipCQWait in the VIPL).
+//
+// Internally the queue is sharded: producers hash by VI uid to a shard
+// and take only that shard's mutex, so completions from thousands of
+// VIs do not serialize on one lock the way the old single mutex+cond
+// design did.  Consumers rotate over the shards.  Ordering guarantee:
+// completions of one VI are FIFO (they land in one shard); ordering
+// across VIs is unspecified, as on hardware.  Small queues (depth below
+// one shard's worth) collapse to a single shard, preserving exact
+// global FIFO + overflow semantics for legacy callers.
 type CQ struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	entries []Completion
-	depth   int
-	dropped uint64
-	closed  bool
+	shards []cqShard
+	// depth bounds the total entries across all shards; shard buffers
+	// grow on demand, so a single busy VI may use the whole depth.
+	depth int
+
+	size    atomic.Int64  // entries currently queued (all shards)
+	dropped atomic.Uint64 // entries lost to overflow
+	closed  atomic.Bool
+
+	// notify is the consumer wakeup baton (capacity 1, coalescing);
+	// closedCh wakes every waiter at Close.
+	notify   chan struct{}
+	closedCh chan struct{}
+	// rr rotates Poll's shard scan start so one busy shard cannot
+	// starve the others.
+	rr atomic.Uint64
+
+	// nic is the owning NIC when created through CreateCQ (nil for a
+	// standalone NewCQ); overflow events are surfaced through its
+	// observer.
+	nic *NIC
+}
+
+type cqShard struct {
+	mu   sync.Mutex
+	buf  []Completion // growable ring buffer
+	head int
+	n    int
 }
 
 // Errors returned by completion queues.
 var (
 	ErrCQEmpty  = errors.New("via: completion queue empty")
 	ErrCQClosed = errors.New("via: completion queue closed")
+	// ErrCQOverflow reports that the queue dropped completions: the
+	// consumer fell behind by more than the queue depth.  On hardware
+	// this is a programming error the card flags; OverflowErr surfaces
+	// it, and each drop is also counted in trace/metrics when an
+	// observer is attached.
+	ErrCQOverflow = errors.New("via: completion queue overflow")
 )
 
 // DefaultCQDepth bounds a queue when no depth is given.
 const DefaultCQDepth = 256
 
-// CreateCQ creates a completion queue holding up to depth entries.
-// Overflow drops the oldest entry and counts it — matching hardware
-// behaviour where CQ overflow is a programming error the card reports.
-func (n *NIC) CreateCQ(depth int) *CQ {
+// cqMaxShards caps the shard count; cqShardEntries is the depth one
+// shard serves — queues smaller than twice this stay single-sharded so
+// exact-depth tests and tiny legacy queues keep strict FIFO.
+const (
+	cqMaxShards    = 16
+	cqShardEntries = 32
+)
+
+// NewCQ creates a standalone completion queue holding up to depth
+// entries.  Overflow drops the oldest entry of the full shard and
+// counts it — matching hardware behaviour where CQ overflow is a
+// programming error the card reports.
+func NewCQ(depth int) *CQ {
 	if depth <= 0 {
 		depth = DefaultCQDepth
 	}
-	q := &CQ{depth: depth}
-	q.cond = sync.NewCond(&q.mu)
+	nshards := depth / cqShardEntries
+	if nshards < 1 {
+		nshards = 1
+	}
+	if nshards > cqMaxShards {
+		nshards = cqMaxShards
+	}
+	q := &CQ{
+		shards:   make([]cqShard, nshards),
+		depth:    depth,
+		notify:   make(chan struct{}, 1),
+		closedCh: make(chan struct{}),
+	}
+	return q
+}
+
+// CreateCQ creates a completion queue bound to this NIC (overflow is
+// reported through the NIC's observer).
+func (n *NIC) CreateCQ(depth int) *CQ {
+	q := NewCQ(depth)
+	q.nic = n
 	return q
 }
 
@@ -62,75 +131,157 @@ func (n *NIC) CreateVIWithCQ(tag ProtectionTag, sendCQ, recvCQ *CQ) (*VI, error)
 	return v, nil
 }
 
+// shardFor hashes a completion to its shard (per-VI FIFO: one VI always
+// lands in one shard).
+func (q *CQ) shardFor(c Completion) *cqShard {
+	if len(q.shards) == 1 || c.VI == nil {
+		return &q.shards[0]
+	}
+	return &q.shards[c.VI.uid%uint64(len(q.shards))]
+}
+
 // push deposits a completion (called by the NIC with no locks held).
 func (q *CQ) push(c Completion) {
-	if q == nil {
+	if q == nil || q.closed.Load() {
 		return
 	}
-	q.mu.Lock()
-	if q.closed {
-		q.mu.Unlock()
+	s := q.shardFor(c)
+	s.mu.Lock()
+	if q.closed.Load() {
+		s.mu.Unlock()
 		return
 	}
-	if len(q.entries) >= q.depth {
-		q.entries = q.entries[1:]
-		q.dropped++
+	if int(q.size.Load()) >= q.depth && s.n > 0 {
+		// Overflow: the whole queue is at depth — drop this shard's
+		// oldest entry, loudly.  (When the full entries all sit in
+		// other shards the push transiently overshoots by at most
+		// nshards-1 entries rather than dropping someone else's head.)
+		s.buf[s.head] = Completion{}
+		s.head = (s.head + 1) % len(s.buf)
+		s.n--
+		q.size.Add(-1)
+		dropped := q.dropped.Add(1)
+		if q.nic != nil {
+			if obs := q.nic.obs.Load(); obs != nil {
+				obs.cqOverflows.Inc()
+				var uid uint64
+				if c.VI != nil {
+					uid = c.VI.uid
+				}
+				obs.trc.Instant(trace.KindCQOverflow, uid, dropped)
+			}
+		}
 	}
-	q.entries = append(q.entries, c)
-	q.mu.Unlock()
-	q.cond.Signal()
+	if s.n == len(s.buf) {
+		grown := make([]Completion, max(2*len(s.buf), 8))
+		for i := 0; i < s.n; i++ {
+			grown[i] = s.buf[(s.head+i)%len(s.buf)]
+		}
+		s.buf, s.head = grown, 0
+	}
+	s.buf[(s.head+s.n)%len(s.buf)] = c
+	s.n++
+	q.size.Add(1)
+	s.mu.Unlock()
+	select {
+	case q.notify <- struct{}{}:
+	default:
+	}
+}
+
+// pop removes the oldest completion of one shard.
+func (s *cqShard) pop(q *CQ) (Completion, bool) {
+	s.mu.Lock()
+	if s.n == 0 {
+		s.mu.Unlock()
+		return Completion{}, false
+	}
+	c := s.buf[s.head]
+	s.buf[s.head] = Completion{}
+	s.head = (s.head + 1) % len(s.buf)
+	s.n--
+	q.size.Add(-1)
+	s.mu.Unlock()
+	return c, true
 }
 
 // Poll removes the oldest completion without blocking.
 func (q *CQ) Poll() (Completion, error) {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	if len(q.entries) == 0 {
-		if q.closed {
-			return Completion{}, ErrCQClosed
+	if q.size.Load() > 0 {
+		start := int(q.rr.Add(1))
+		for i := 0; i < len(q.shards); i++ {
+			if c, ok := q.shards[(start+i)%len(q.shards)].pop(q); ok {
+				return c, nil
+			}
 		}
-		return Completion{}, ErrCQEmpty
 	}
-	c := q.entries[0]
-	q.entries = q.entries[1:]
-	return c, nil
+	if q.closed.Load() {
+		return Completion{}, ErrCQClosed
+	}
+	return Completion{}, ErrCQEmpty
 }
 
 // Wait blocks until a completion is available (VipCQWait) or the queue
 // is closed.
 func (q *CQ) Wait() (Completion, error) {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	for len(q.entries) == 0 {
-		if q.closed {
+	return q.WaitCtx(context.Background())
+}
+
+// WaitCtx is Wait with cancellation: it returns the context's error as
+// soon as ctx is done (deadline or cancel), ErrCQClosed once the queue
+// is closed and drained, or the next completion.
+func (q *CQ) WaitCtx(ctx context.Context) (Completion, error) {
+	for {
+		c, err := q.Poll()
+		if err == nil {
+			// Baton pass: if entries remain, re-arm the wakeup so a
+			// second waiter whose notify token we consumed still runs.
+			if q.size.Load() > 0 {
+				select {
+				case q.notify <- struct{}{}:
+				default:
+				}
+			}
+			return c, nil
+		}
+		if errors.Is(err, ErrCQClosed) {
 			return Completion{}, ErrCQClosed
 		}
-		q.cond.Wait()
+		select {
+		case <-q.notify:
+		case <-q.closedCh:
+		case <-ctx.Done():
+			return Completion{}, ctx.Err()
+		}
 	}
-	c := q.entries[0]
-	q.entries = q.entries[1:]
-	return c, nil
 }
 
 // Len reports the number of queued completions.
 func (q *CQ) Len() int {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	return len(q.entries)
+	n := q.size.Load()
+	if n < 0 {
+		return 0
+	}
+	return int(n)
 }
 
 // Dropped reports how many completions were lost to overflow.
-func (q *CQ) Dropped() uint64 {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	return q.dropped
+func (q *CQ) Dropped() uint64 { return q.dropped.Load() }
+
+// OverflowErr returns the typed ErrCQOverflow if the queue ever dropped
+// a completion, nil otherwise.  Callers that must not lose completions
+// (e.g. the CQ multiplexer) check it after draining.
+func (q *CQ) OverflowErr() error {
+	if q.dropped.Load() > 0 {
+		return ErrCQOverflow
+	}
+	return nil
 }
 
 // Close wakes all waiters with ErrCQClosed.  Pending entries can still
 // be drained with Poll.
 func (q *CQ) Close() {
-	q.mu.Lock()
-	q.closed = true
-	q.mu.Unlock()
-	q.cond.Broadcast()
+	if q.closed.CompareAndSwap(false, true) {
+		close(q.closedCh)
+	}
 }

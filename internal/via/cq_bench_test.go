@@ -1,0 +1,46 @@
+package via
+
+import (
+	"testing"
+
+	"repro/internal/phys"
+	"repro/internal/simtime"
+)
+
+// BenchmarkCQPoll is the regression guard for the sharded completion
+// queue under the CQMux workload shape: completions from many VIs (far
+// more VIs than shards) pushed and drained in small batches, the way
+// one mux poller services a thousand-VI world.  One op is one push +
+// one poll.
+func BenchmarkCQPoll(b *testing.B) {
+	const (
+		nVIs  = 1024
+		batch = 16
+	)
+	meter := simtime.NewMeter()
+	nic := NewNIC("cqbench", phys.New(8), meter, 8)
+	vis := make([]*VI, nVIs)
+	for i := range vis {
+		v, err := nic.CreateVI(ProtectionTag(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		vis[i] = v
+	}
+	q := NewCQ(DefaultCQDepth)
+	b.ResetTimer()
+	for i := 0; i < b.N; i += batch {
+		n := batch
+		if rem := b.N - i; rem < n {
+			n = rem
+		}
+		for j := 0; j < n; j++ {
+			q.push(Completion{VI: vis[(i+j)%nVIs]})
+		}
+		for j := 0; j < n; j++ {
+			if _, err := q.Poll(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

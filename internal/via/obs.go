@@ -39,6 +39,9 @@ type nicObs struct {
 	specRetransmits *metrics.Counter
 	tptInvalidates  *metrics.Counter
 	tptRepairs      *metrics.Counter
+
+	// Completion-queue overflow drops (ErrCQOverflow events).
+	cqOverflows *metrics.Counter
 }
 
 // AttachObs attaches (or, with two nils, detaches) an observer to the
@@ -70,6 +73,8 @@ func (n *NIC) AttachObs(trc *trace.Tracer, reg *metrics.Registry) {
 		specRetransmits: reg.Counter("via.nopin.retransmits"),
 		tptInvalidates:  reg.Counter("via.nopin.invalidates"),
 		tptRepairs:      reg.Counter("via.nopin.repairs"),
+
+		cqOverflows: reg.Counter("via.cq.overflows"),
 	}
 	n.obs.Store(o)
 	n.tpt.obs.Store(o)

@@ -48,6 +48,13 @@ func (n *Nic) CreateVi() (*via.VI, error) {
 	return n.agent.NIC().CreateVI(n.tag)
 }
 
+// CreateViCQ creates a VI whose send and receive completions are
+// delivered to cq (VipCreateVi with a completion queue).  The queue may
+// be shared by any number of VIs, including VIs of other NICs.
+func (n *Nic) CreateViCQ(cq *via.CQ) (*via.VI, error) {
+	return n.agent.NIC().CreateVIWithCQ(n.tag, cq, cq)
+}
+
 // MemRegion is a registered memory region owned by this handle.
 type MemRegion struct {
 	nic *Nic
