@@ -51,8 +51,9 @@ func main() {
 		"chaos":      bench.Chaos,
 		"rendezvous": bench.Rendezvous,
 		"nopin":      bench.NoPin,
+		"multirail":  bench.Multirail,
 	}
-	order := []string{"regcost", "deregcost", "survival", "protocols", "regcache", "regconc", "multireg", "divergence", "piodma", "latency", "ablation", "bigphys", "msgrate", "chaos", "rendezvous", "nopin", "obs"}
+	order := []string{"regcost", "deregcost", "survival", "protocols", "regcache", "regconc", "multireg", "divergence", "piodma", "latency", "ablation", "bigphys", "msgrate", "chaos", "rendezvous", "nopin", "multirail", "obs"}
 
 	run := func(name string) {
 		if err := runners[name](os.Stdout); err != nil {

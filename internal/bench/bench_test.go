@@ -359,3 +359,17 @@ func TestRendezvousOutput(t *testing.T) {
 		}
 	}
 }
+
+// TestChaosStripeClass runs the E17 multi-rail class end to end: the
+// class's own contract (verified failover deliveries, typed
+// all-rails-down failures, full recovery, zero corruption/leaks) is the
+// assert — an error from the runner is a failed invariant.
+func TestChaosStripeClass(t *testing.T) {
+	res, err := chaosStripe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ok == 0 || res.loud == 0 || res.injected == 0 {
+		t.Fatalf("scoreboard %+v: a dead schedule slipped past the runner", res)
+	}
+}

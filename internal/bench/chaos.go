@@ -801,6 +801,14 @@ func Chaos(w io.Writer) error {
 		return fmt.Errorf("chaos class %q: %w", r.class, err)
 	}
 	addChaosRow(&t, r)
+	// The multi-rail class too: striped channels over two-rail clusters,
+	// with rails severed mid-send (transparent failover / typed
+	// all-rails-down) and explicit-Reset recovery.
+	r, err = chaosStripe()
+	if err != nil {
+		return fmt.Errorf("chaos class %q: %w", r.class, err)
+	}
+	addChaosRow(&t, r)
 	t.Fprint(w)
 	return nil
 }

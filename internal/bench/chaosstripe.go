@@ -1,0 +1,232 @@
+package bench
+
+// The E17 "stripe" class: multi-rail failover chaos.  Each round builds
+// a fresh two-node, two-rail cluster with a striped channel and severs
+// rails mid-send from a concurrent cutter (seeded jitter, so the cut
+// lands at a different point in the chunk schedule every round):
+//
+//   - even rounds cut ONE rail: every striped send must still deliver a
+//     verified payload — the failover is transparent, the only visible
+//     effect is the shrunken rotation;
+//   - odd rounds cut BOTH rails: the send in flight (or the next one)
+//     must fail with the typed msg.ErrAllRailsDown — never a hang,
+//     never a corruption;
+//   - every round ends with the full recovery protocol — heal the
+//     links, ResetRailPair every rail, AbandonAborted the corpses —
+//     and a drain that proves both rails carry traffic again.
+//
+// The scoreboard: ok = verified deliveries, loud = typed all-rails-down
+// failures, injected = severed rails.  Zero corrupt frames, zero leaked
+// reassemblies and zero goroutine leaks are hard requirements, and a
+// soak in which no send ever failed over (or no odd round ever failed
+// loudly) is a dead schedule.
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/leakcheck"
+	"repro/internal/mm"
+	"repro/internal/msg"
+	"repro/internal/proc"
+)
+
+const (
+	chaosStripeRounds = 6
+	chaosStripeRails  = 2
+	chaosStripeMsgs   = 6        // sends per round; the cutter arms inside message 2
+	chaosStripeChunk  = 8 * 1024 // 12 chunks + an odd tail per message
+	chaosStripeSize   = 12*chaosStripeChunk + 37
+	chaosStripeDrain  = 3 // post-recovery sends, proving both rails rejoined
+)
+
+// chaosStripeSend pushes one payload through the stripe and claims it.
+// loudErr is the typed every-rail-dead failure (acceptable under
+// chaos); fatalErr is a harness invariant violation — a corruption, a
+// short delivery, or a receive failure after a successful send.
+func chaosStripeSend(tx *msg.StripeSender, rx *msg.StripeReceiver, src, dst *proc.Buffer, seed byte) (loudErr, fatalErr error) {
+	if err := src.FillPattern(seed); err != nil {
+		return nil, err
+	}
+	n, err := tx.Send(src)
+	if err != nil {
+		if errors.Is(err, msg.ErrAllRailsDown) {
+			return err, nil
+		}
+		return nil, fmt.Errorf("untyped send failure: %w", err)
+	}
+	if n != src.Bytes {
+		return nil, fmt.Errorf("short send: %d of %d", n, src.Bytes)
+	}
+	m, err := rx.Recv(dst)
+	if err != nil {
+		return nil, fmt.Errorf("recv after successful send: %w (rx stats %+v)", err, rx.Stats())
+	}
+	if m != n {
+		return nil, fmt.Errorf("delivered %d of %d bytes", m, n)
+	}
+	bad, err := dst.VerifyPattern(seed)
+	if err != nil {
+		return nil, err
+	}
+	if len(bad) != 0 {
+		return nil, fmt.Errorf("silent corruption — %d bad pages %v", len(bad), bad)
+	}
+	return nil, nil
+}
+
+// chaosStripeRound soaks one fresh striped pair: cut, contract check,
+// recovery, drain.  Scoreboard counts accumulate into res.
+func chaosStripeRound(c *cluster.Cluster, tx *msg.StripeSender, rx *msg.StripeReceiver,
+	round int, rng *rand.Rand, res *chaosResult) error {
+	pa := c.Nodes[0].NewProcess("stripe-chaos-a", false)
+	pb := c.Nodes[1].NewProcess("stripe-chaos-b", false)
+	src, err := pa.Malloc(chaosStripeSize)
+	if err != nil {
+		return err
+	}
+	dst, err := pb.Malloc(chaosStripeSize)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		_ = pa.Free(src)
+		_ = pb.Free(dst)
+	}()
+
+	both := round%2 == 1
+	killRail := (round / 2) % chaosStripeRails
+	for m := 0; m < chaosStripeMsgs; m++ {
+		var cut sync.WaitGroup
+		if m == 2 {
+			// Land the cut mid-send: the sender is synchronous, so a
+			// jittered concurrent sever falls between two chunk posts
+			// (or just after the send — then the NEXT send trips over
+			// the dead rail at chunk 0; both paths are the contract).
+			delay := time.Duration(10+rng.Intn(120)) * time.Microsecond
+			cut.Add(1)
+			go func() {
+				defer cut.Done()
+				time.Sleep(delay)
+				c.SeverRail(0, 1, killRail)
+				if both {
+					c.SeverRail(0, 1, 1-killRail)
+				}
+			}()
+		}
+		loudErr, fatalErr := chaosStripeSend(tx, rx, src, dst, byte(16*round+m+1))
+		if m == 2 {
+			cut.Wait()
+			res.injected++
+			if both {
+				res.injected++
+			}
+		}
+		if fatalErr != nil {
+			return fmt.Errorf("message %d: %w", m, fatalErr)
+		}
+		if loudErr != nil {
+			if !both {
+				return fmt.Errorf("message %d: single-rail cut escalated to %w", m, loudErr)
+			}
+			res.loud++
+			break // the fabric is fully dead; go recover
+		}
+		res.ok++
+	}
+
+	// Recovery: heal every link, Reset every rail pair (dead rails
+	// rejoin the rotation, healthy ones get a clean rebuild), hand the
+	// aborted-transfer record to the receiver.
+	for r := 0; r < chaosStripeRails; r++ {
+		c.HealRail(0, 1, r)
+	}
+	for r := 0; r < chaosStripeRails; r++ {
+		if err := msg.ResetRailPair(tx, rx, r); err != nil {
+			return fmt.Errorf("reset rail %d: %w", r, err)
+		}
+	}
+	msg.AbandonAborted(tx, rx)
+	if live := tx.LiveRails(); live != chaosStripeRails {
+		return fmt.Errorf("live rails = %d after recovery, want %d", live, chaosStripeRails)
+	}
+
+	// Drain: clean sends must flow and BOTH rails must carry bytes —
+	// a rail that silently failed to rejoin would leave its counter flat.
+	before := tx.Stats().RailBytes
+	for d := 0; d < chaosStripeDrain; d++ {
+		loudErr, fatalErr := chaosStripeSend(tx, rx, src, dst, byte(199+16*round+d))
+		if loudErr != nil || fatalErr != nil {
+			return fmt.Errorf("post-recovery drain %d: %w", d, errors.Join(loudErr, fatalErr))
+		}
+		res.ok++
+	}
+	after := tx.Stats().RailBytes
+	for r := range after {
+		if after[r] == before[r] {
+			return fmt.Errorf("rail %d carried no traffic after recovery", r)
+		}
+	}
+	return nil
+}
+
+// chaosStripe is the multi-rail fault class: rail deaths under striped
+// sends, transparent failover on even rounds, typed whole-fabric
+// failure on odd rounds, explicit-Reset recovery after both.
+func chaosStripe() (chaosResult, error) {
+	res := chaosResult{class: "stripe"}
+	base := leakcheck.Snapshot()
+	rng := rand.New(rand.NewSource(chaosSeed))
+	var failovers uint64
+	for round := 0; round < chaosStripeRounds; round++ {
+		c := cluster.MustNew(cluster.Config{
+			Nodes:    2,
+			Rails:    chaosStripeRails,
+			Strategy: core.StrategyKiobuf,
+			Kernel:   mm.Config{RAMPages: 4096, SwapPages: 8192, ClockBatch: 128, SwapBatch: 32},
+			TPTSlots: 2048,
+		})
+		tx, rx, err := c.StripedPair(0, 1, chaosStripeRails, 0, msg.StripeOptions{
+			Chunk:       chaosStripeChunk,
+			RecvTimeout: 10 * time.Second,
+		})
+		if err != nil {
+			return res, err
+		}
+		err = chaosWatchdog(fmt.Sprintf("stripe round %d", round), func() error {
+			return chaosStripeRound(c, tx, rx, round, rng, &res)
+		})
+		st := tx.Stats()
+		failovers += st.Failovers
+		rst := rx.Stats()
+		if err == nil && rst.Corrupt != 0 {
+			err = fmt.Errorf("round %d: %d corrupt frames reached reassembly", round, rst.Corrupt)
+		}
+		if err == nil && rst.Pending != 0 {
+			err = fmt.Errorf("round %d: %d incomplete reassemblies leaked", round, rst.Pending)
+		}
+		for _, n := range c.Nodes {
+			for _, rl := range n.Rails {
+				res.nic = sumStats(res.nic, rl.NIC.Stats())
+			}
+		}
+		rx.Close()
+		tx.Close()
+		if err != nil {
+			return res, fmt.Errorf("stripe round %d: %w", round, err)
+		}
+	}
+	if failovers == 0 || res.loud == 0 {
+		return res, fmt.Errorf("chaos stripe: the fault schedule is dead (failovers=%d, typed failures=%d)",
+			failovers, res.loud)
+	}
+	if err := leakcheck.Verify(base, 5*time.Second); err != nil {
+		return res, fmt.Errorf("class %q: %w", res.class, err)
+	}
+	return res, nil
+}

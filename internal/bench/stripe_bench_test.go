@@ -1,0 +1,52 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/msg"
+)
+
+// BenchmarkStripedSend is the benchcmp guard on the stripe data path: a
+// 128 KiB logical send chunk-interleaved over two rails, claimed and
+// reassembled by the receiver.  The sim-µs/op metric pins the virtual
+// cost model (two rails overlapped), ns/op the real-world overhead of
+// framing, reassembly and the per-send rail bookkeeping.
+func BenchmarkStripedSend(b *testing.B) {
+	const size = 8 * multirailChunk
+	c := multirailCluster(2)
+	tx, rx, err := c.StripedPair(0, 1, 2, 0, msg.StripeOptions{
+		Chunk:       multirailChunk,
+		RecvTimeout: 10 * time.Second,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rx.Close()
+	pa := c.Nodes[0].NewProcess("bench-a", false)
+	pb := c.Nodes[1].NewProcess("bench-b", false)
+	src, err := pa.Malloc(size)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dst, err := pb.Malloc(size)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := src.FillPattern(7); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(size)
+	b.ResetTimer()
+	simStart := c.Meter.Now()
+	for i := 0; i < b.N; i++ {
+		if _, err := tx.Send(src); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := rx.Recv(dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric((c.Meter.Now()-simStart).Micros()/float64(b.N), "sim-µs/op")
+}

@@ -16,16 +16,39 @@ import (
 	"repro/internal/vipl"
 )
 
+// Rail is one NIC of a multi-NIC node, with its own kernel agent.  All
+// rails of a node share the node's kernel (and therefore its physical
+// memory), so a buffer registered through any rail's agent is reachable
+// by that rail's DMA engine.
+type Rail struct {
+	// NIC is the rail's VIA interface.
+	NIC *via.NIC
+	// Agent is the rail's VI kernel agent.
+	Agent *kagent.Agent
+}
+
 // Node is one simulated machine.
 type Node struct {
-	// Name is the node's fabric name.
+	// Name is the node's fabric name (also rail 0's NIC name).
 	Name string
 	// Kernel is the node's MM subsystem.
 	Kernel *mm.Kernel
-	// NIC is the node's VIA interface.
+	// NIC is the node's VIA interface (rail 0 — kept so single-rail
+	// callers need not know about rails).
 	NIC *via.NIC
-	// Agent is the node's VI kernel agent.
+	// Agent is the node's VI kernel agent (rail 0).
 	Agent *kagent.Agent
+	// Rails are the node's NICs in rail order; Rails[0].NIC == NIC.
+	Rails []Rail
+}
+
+// RailName returns the fabric name of the node's rail r: rail 0 keeps
+// the node name, further rails append ".r<idx>".
+func (n *Node) RailName(r int) string {
+	if r == 0 {
+		return n.Name
+	}
+	return fmt.Sprintf("%s.r%d", n.Name, r)
 }
 
 // NewProcess starts a process on the node.
@@ -33,9 +56,14 @@ func (n *Node) NewProcess(name string, root bool) *proc.Process {
 	return proc.New(n.Kernel, name, root)
 }
 
-// OpenNic opens the node's NIC for a process.
+// OpenNic opens the node's NIC (rail 0) for a process.
 func (n *Node) OpenNic(p *proc.Process) *vipl.Nic {
 	return vipl.OpenNic(n.Agent, p)
+}
+
+// OpenRailNic opens the node's rail-r NIC for a process.
+func (n *Node) OpenRailNic(p *proc.Process, r int) *vipl.Nic {
+	return vipl.OpenNic(n.Rails[r].Agent, p)
 }
 
 // Cluster is a fabric of nodes sharing one virtual clock.
@@ -59,6 +87,12 @@ type Config struct {
 	Kernel mm.Config
 	// TPTSlots sizes each NIC's table (0 = via default).
 	TPTSlots int
+	// Rails is the NIC count per node (default 1).  Every rail gets its
+	// own NIC and kernel agent; all rails of a node share the node's
+	// kernel.  Rail r of node i is attached to the fabric under
+	// RailName(r), and rail links are severed/healed per rail pair —
+	// the multi-rail fault model.
+	Rails int
 }
 
 // New builds a cluster.
@@ -73,22 +107,41 @@ func New(cfg Config) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Rails <= 0 {
+		cfg.Rails = 1
+	}
 	c := &Cluster{Meter: simtime.NewMeter(), Network: via.NewNetwork()}
 	for i := 0; i < cfg.Nodes; i++ {
 		name := fmt.Sprintf("node%d", i)
 		k := mm.NewKernel(cfg.Kernel, c.Meter)
-		nic := via.NewNIC(name, k.Phys(), c.Meter, cfg.TPTSlots)
-		if err := c.Network.Attach(nic); err != nil {
-			return nil, err
+		node := &Node{Name: name, Kernel: k}
+		for r := 0; r < cfg.Rails; r++ {
+			nic := via.NewNIC(node.RailName(r), k.Phys(), c.Meter, cfg.TPTSlots)
+			if err := c.Network.Attach(nic); err != nil {
+				return nil, err
+			}
+			node.Rails = append(node.Rails, Rail{
+				NIC:   nic,
+				Agent: kagent.New(k, nic, locker),
+			})
 		}
-		c.Nodes = append(c.Nodes, &Node{
-			Name:   name,
-			Kernel: k,
-			NIC:    nic,
-			Agent:  kagent.New(k, nic, locker),
-		})
+		node.NIC = node.Rails[0].NIC
+		node.Agent = node.Rails[0].Agent
+		c.Nodes = append(c.Nodes, node)
 	}
 	return c, nil
+}
+
+// SeverRail partitions rail r between nodes i and j (the striped pair's
+// rail death).  Other rails of the same node pair keep flowing.
+func (c *Cluster) SeverRail(i, j, r int) {
+	c.Network.SetLinkDown(c.Nodes[i].RailName(r), c.Nodes[j].RailName(r))
+}
+
+// HealRail repairs rail r between nodes i and j.  Errored VIs on the
+// rail stay errored until explicitly Reset (msg.ResetRailPair).
+func (c *Cluster) HealRail(i, j, r int) {
+	c.Network.SetLinkUp(c.Nodes[i].RailName(r), c.Nodes[j].RailName(r))
 }
 
 // MustNew is New for static configurations; it panics on error.
@@ -122,4 +175,44 @@ func (c *Cluster) EndpointPair(i, j, cacheRegions int, opts ...msg.Options) (*ms
 		return nil, nil, err
 	}
 	return ea, eb, nil
+}
+
+// StripedPair builds a unidirectional striped channel from node i to
+// node j over the first `rails` rails of each: one endpoint pair per
+// rail (rail r of the sender paired with rail r of the receiver over
+// the rail's own NICs), wrapped in a stripe sender/receiver.  The
+// receiver must be Closed to stop its rail pollers.
+func (c *Cluster) StripedPair(i, j, rails, cacheRegions int, sopts msg.StripeOptions, opts ...msg.Options) (*msg.StripeSender, *msg.StripeReceiver, error) {
+	if i < 0 || j < 0 || i >= len(c.Nodes) || j >= len(c.Nodes) {
+		return nil, nil, fmt.Errorf("cluster: node index out of range")
+	}
+	if rails <= 0 || rails > len(c.Nodes[i].Rails) || rails > len(c.Nodes[j].Rails) {
+		return nil, nil, fmt.Errorf("cluster: rail count %d out of range", rails)
+	}
+	pa := c.Nodes[i].NewProcess("stripe-tx", false)
+	pb := c.Nodes[j].NewProcess("stripe-rx", false)
+	var txEps, rxEps []*msg.Endpoint
+	for r := 0; r < rails; r++ {
+		ea, err := msg.NewEndpoint(fmt.Sprintf("stx%d", r), c.Nodes[i].OpenRailNic(pa, r), c.Meter, cacheRegions, opts...)
+		if err != nil {
+			return nil, nil, err
+		}
+		eb, err := msg.NewEndpoint(fmt.Sprintf("srx%d", r), c.Nodes[j].OpenRailNic(pb, r), c.Meter, cacheRegions, opts...)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := msg.Pair(c.Network, ea, eb); err != nil {
+			return nil, nil, err
+		}
+		txEps, rxEps = append(txEps, ea), append(rxEps, eb)
+	}
+	tx, err := msg.NewStripeSender("stripe-tx", txEps, sopts)
+	if err != nil {
+		return nil, nil, err
+	}
+	rx, err := msg.NewStripeReceiver("stripe-rx", rxEps, sopts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return tx, rx, nil
 }

@@ -756,12 +756,15 @@ func (e *Endpoint) recvInline(b *proc.Buffer, m ctrlMsg) (int, error) {
 		e.rxIdx++
 		if !e.opts.RDMAEager {
 			if err := e.postSlot(slot); err != nil {
-				if e.rel != nil && isTransport(err) && got == m.size {
+				if isTransport(err) && got == m.size {
 					// Every chunk landed; only the repost hit the dying
-					// connection.  The message is complete — deliver it.  The
-					// ring and the credits are rebuilt by the recovery
-					// handshake, and the sender's retransmit (it saw the
-					// fault) is discarded by sequence dedup.
+					// connection.  The message is complete — deliver it
+					// rather than drop received data.  With reliability on,
+					// ring and credits are rebuilt by the recovery handshake
+					// and the sender's retransmit (it saw the fault) is
+					// discarded by sequence dedup; with it off (a stripe
+					// rail), the connection is dead until an explicit reset
+					// rebuilds the ring anyway.
 					break
 				}
 				return got, err

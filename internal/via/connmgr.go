@@ -11,6 +11,14 @@ import (
 // discriminator on its NIC and waits (VipConnectWait); a client directed
 // at (NIC address, discriminator) requests a connection
 // (VipConnectRequest); the server accepts, pairing the two VIs.
+//
+// At production scale (10k+ concurrent VIs per node) the connection
+// manager is the first-order constraint, so the listener is built for
+// churn: a bounded backlog refused loudly with ErrBacklogFull, eager
+// pruning of requests whose dialers already gave up, and Accept that is
+// safe for concurrent use — accept sharding is simply N goroutines
+// blocked in Accept on the same listener, each pairing a distinct
+// request.
 
 // Errors returned by the connection manager.
 var (
@@ -18,7 +26,16 @@ var (
 	ErrNoListener     = errors.New("via: no listener for discriminator")
 	ErrListenerClosed = errors.New("via: listener closed")
 	ErrConnTimeout    = errors.New("via: connection request timed out")
+	// ErrBacklogFull reports a Dial refused because the listener's
+	// pending-request queue is at capacity even after pruning abandoned
+	// entries.  The dialer should back off and retry — the typed error
+	// makes that decidable without string matching.
+	ErrBacklogFull = errors.New("via: listener backlog full")
 )
+
+// DefaultListenBacklog bounds a listener's pending-request queue when
+// Listen is not given an explicit backlog.
+const DefaultListenBacklog = 128
 
 // connReq is one pending connection request.  The mutex and abandoned
 // flag make the request cancellable: a Dial that times out marks it
@@ -34,14 +51,51 @@ type connReq struct {
 	abandoned bool
 }
 
+// isAbandoned reports whether the dialer has given up on the request.
+func (r *connReq) isAbandoned() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.abandoned
+}
+
 // Listener accepts connection requests for one (NIC, discriminator).
+// Accept is safe for concurrent use: sharded accept loops are N
+// goroutines calling Accept on the same listener.
 type Listener struct {
 	nw            *Network
 	nicName       string
 	discriminator string
-	reqs          chan *connReq
-	closeOnce     sync.Once
-	closed        chan struct{}
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []*connReq
+	backlog int
+	closed  bool
+
+	// Churn accounting (LisStats).
+	accepted uint64 // requests paired
+	pruned   uint64 // abandoned requests dropped before pairing
+	refused  uint64 // dials refused with ErrBacklogFull
+}
+
+// ListenerStats counts listener activity.
+type ListenerStats struct {
+	Pending  int    // requests currently queued
+	Accepted uint64 // requests paired by Accept
+	Pruned   uint64 // abandoned requests dropped before pairing
+	Refused  uint64 // dials refused with ErrBacklogFull
+}
+
+// Stats snapshots the listener's churn counters.
+func (l *Listener) Stats() ListenerStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return ListenerStats{
+		Pending:  len(l.queue),
+		Accepted: l.accepted,
+		Pruned:   l.pruned,
+		Refused:  l.refused,
+	}
 }
 
 // listenerKey addresses a listener on the fabric.
@@ -51,8 +105,19 @@ type listenerKey struct {
 }
 
 // Listen publishes a discriminator on the NIC (VipConnectWait's setup
-// half).  Incoming requests queue until Accept consumes them.
+// half) with the default backlog.  Incoming requests queue until Accept
+// consumes them; beyond the backlog, dials are refused with
+// ErrBacklogFull.
 func (nw *Network) Listen(n *NIC, discriminator string) (*Listener, error) {
+	return nw.ListenBacklog(n, discriminator, DefaultListenBacklog)
+}
+
+// ListenBacklog is Listen with an explicit pending-request bound
+// (backlog <= 0 selects DefaultListenBacklog).
+func (nw *Network) ListenBacklog(n *NIC, discriminator string, backlog int) (*Listener, error) {
+	if backlog <= 0 {
+		backlog = DefaultListenBacklog
+	}
 	nw.mu.Lock()
 	defer nw.mu.Unlock()
 	if nw.listeners == nil {
@@ -66,59 +131,133 @@ func (nw *Network) Listen(n *NIC, discriminator string) (*Listener, error) {
 		nw:            nw,
 		nicName:       n.name,
 		discriminator: discriminator,
-		reqs:          make(chan *connReq, 16),
-		closed:        make(chan struct{}),
+		backlog:       backlog,
 	}
+	l.cond = sync.NewCond(&l.mu)
 	nw.listeners[k] = l
 	return l, nil
 }
 
-// Accept waits for one connection request and pairs it with the given
-// idle local VI (the completing half of VipConnectWait).  Requests
-// whose Dial has already timed out are skipped, and the pairing runs
-// under the request lock so a concurrent timeout cannot interleave.
-func (l *Listener) Accept(serverVI *VI) error {
-	for {
-		select {
-		case req := <-l.reqs:
-			req.mu.Lock()
-			if req.abandoned {
-				// The dialer gave up; keep waiting for a live request.
-				req.mu.Unlock()
-				continue
-			}
-			err := l.nw.Connect(serverVI, req.clientVI)
-			req.reply <- err
-			req.mu.Unlock()
-			return err
-		case <-l.closed:
-			return ErrListenerClosed
+// enqueue admits a request to the backlog, pruning abandoned entries
+// first when the queue is at capacity.
+func (l *Listener) enqueue(req *connReq) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrListenerClosed
+	}
+	if len(l.queue) >= l.backlog {
+		l.pruneLocked()
+	}
+	if len(l.queue) >= l.backlog {
+		l.refused++
+		return ErrBacklogFull
+	}
+	l.queue = append(l.queue, req)
+	l.cond.Signal()
+	return nil
+}
+
+// pruneLocked compacts the queue in place, dropping every request whose
+// dialer already timed out.  Called with l.mu held.
+func (l *Listener) pruneLocked() {
+	kept := l.queue[:0]
+	for _, r := range l.queue {
+		if r.isAbandoned() {
+			l.pruned++
+			continue
 		}
+		kept = append(kept, r)
+	}
+	// Clear the dropped tail so pruned requests are collectable.
+	for i := len(kept); i < len(l.queue); i++ {
+		l.queue[i] = nil
+	}
+	l.queue = kept
+}
+
+// pop blocks for the next queued request (nil when the listener closes).
+func (l *Listener) pop() *connReq {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for {
+		if l.closed {
+			return nil
+		}
+		if len(l.queue) > 0 {
+			req := l.queue[0]
+			l.queue[0] = nil
+			l.queue = l.queue[1:]
+			if len(l.queue) == 0 {
+				l.queue = nil // let the grown backing array go
+			}
+			return req
+		}
+		l.cond.Wait()
 	}
 }
 
-// Close stops the listener; queued requests are refused.
-func (l *Listener) Close() {
-	l.closeOnce.Do(func() {
-		close(l.closed)
-		l.nw.mu.Lock()
-		delete(l.nw.listeners, listenerKey{nic: l.nicName, discriminator: l.discriminator})
-		l.nw.mu.Unlock()
-		// Refuse whatever is queued.
-		for {
-			select {
-			case req := <-l.reqs:
-				req.reply <- ErrListenerClosed
-			default:
-				return
-			}
+// Accept waits for one connection request and pairs it with the given
+// idle local VI (the completing half of VipConnectWait).  Requests
+// whose Dial has already timed out are skipped and pruned, and the
+// pairing runs under the request lock so a concurrent timeout cannot
+// interleave.  Accept is safe for concurrent use from multiple
+// goroutines (accept sharding); each call pairs a distinct request.
+func (l *Listener) Accept(serverVI *VI) error {
+	for {
+		req := l.pop()
+		if req == nil {
+			return ErrListenerClosed
 		}
-	})
+		req.mu.Lock()
+		if req.abandoned {
+			// The dialer gave up; keep waiting for a live request.
+			req.mu.Unlock()
+			l.mu.Lock()
+			l.pruned++
+			l.mu.Unlock()
+			continue
+		}
+		err := l.nw.Connect(serverVI, req.clientVI)
+		req.reply <- err
+		req.mu.Unlock()
+		if err == nil {
+			l.mu.Lock()
+			l.accepted++
+			l.mu.Unlock()
+		}
+		return err
+	}
+}
+
+// Close stops the listener; queued requests are refused and blocked
+// Accepts return ErrListenerClosed.
+func (l *Listener) Close() {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return
+	}
+	l.closed = true
+	pending := l.queue
+	l.queue = nil
+	l.cond.Broadcast()
+	l.mu.Unlock()
+
+	l.nw.mu.Lock()
+	delete(l.nw.listeners, listenerKey{nic: l.nicName, discriminator: l.discriminator})
+	l.nw.mu.Unlock()
+	// Refuse whatever was queued.
+	for _, req := range pending {
+		req.reply <- ErrListenerClosed
+	}
 }
 
 // Dial requests a connection from the client VI to the listener at
 // (nicName, discriminator) and blocks until accepted, refused, or the
-// timeout elapses (VipConnectRequest).
+// timeout elapses (VipConnectRequest).  A full backlog refuses
+// immediately with ErrBacklogFull rather than queueing a request the
+// server cannot reach in time.
 func (nw *Network) Dial(clientVI *VI, nicName, discriminator string, timeout time.Duration) error {
 	nw.mu.Lock()
 	l, ok := nw.listeners[listenerKey{nic: nicName, discriminator: discriminator}]
@@ -127,18 +266,14 @@ func (nw *Network) Dial(clientVI *VI, nicName, discriminator string, timeout tim
 		return fmt.Errorf("%w: %s/%s", ErrNoListener, nicName, discriminator)
 	}
 	req := &connReq{clientVI: clientVI, reply: make(chan error, 1)}
+	if err := l.enqueue(req); err != nil {
+		return err
+	}
 	if timeout <= 0 {
 		timeout = 5 * time.Second
 	}
 	timer := time.NewTimer(timeout)
 	defer timer.Stop()
-	select {
-	case l.reqs <- req:
-	case <-l.closed:
-		return ErrListenerClosed
-	case <-timer.C:
-		return ErrConnTimeout
-	}
 	select {
 	case err := <-req.reply:
 		return err

@@ -1,0 +1,319 @@
+package via
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/leakcheck"
+)
+
+// waitPending polls until the listener's queue holds want requests.
+func waitPending(t *testing.T, l *Listener, want int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for l.Stats().Pending != want {
+		if time.Now().After(deadline) {
+			t.Fatalf("pending = %d, want %d", l.Stats().Pending, want)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+func TestBacklogFullRefusesDial(t *testing.T) {
+	r := newRig(t)
+	l, err := r.net.ListenBacklog(r.nicB, "svc", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		vi, _ := r.nicA.CreateVI(tagA)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// These stay queued until the listener closes them out.
+			_ = r.net.Dial(vi, "nodeB", "svc", 2*time.Second)
+		}()
+	}
+	waitPending(t, l, 4)
+	vi, _ := r.nicA.CreateVI(tagA)
+	if err := r.net.Dial(vi, "nodeB", "svc", time.Second); !errors.Is(err, ErrBacklogFull) {
+		t.Fatalf("dial on full backlog: err = %v, want ErrBacklogFull", err)
+	}
+	if st := l.Stats(); st.Refused != 1 {
+		t.Fatalf("refused = %d, want 1", st.Refused)
+	}
+	// Drain the queued dials so the goroutines exit promptly.
+	for i := 0; i < 4; i++ {
+		sv, _ := r.nicB.CreateVI(tagB)
+		if err := l.Accept(sv); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+}
+
+// TestBacklogPrunesAbandoned is the churn test: a backlog clogged with
+// dials whose owners already timed out must not refuse fresh dials —
+// enqueue prunes the corpses eagerly instead of waiting for an Accept
+// to trip over them.
+func TestBacklogPrunesAbandoned(t *testing.T) {
+	r := newRig(t)
+	l, err := r.net.ListenBacklog(r.nicB, "svc", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 0; i < 4; i++ {
+		vi, _ := r.nicA.CreateVI(tagA)
+		if err := r.net.Dial(vi, "nodeB", "svc", time.Millisecond); !errors.Is(err, ErrConnTimeout) {
+			t.Fatalf("dial %d: err = %v, want ErrConnTimeout", i, err)
+		}
+	}
+	// The queue is physically full of abandoned requests.
+	if st := l.Stats(); st.Pending != 4 {
+		t.Fatalf("pending = %d, want 4 (abandoned entries linger)", st.Pending)
+	}
+	// A fresh dial must squeeze in via pruning, not bounce.
+	done := make(chan error, 1)
+	vi, _ := r.nicA.CreateVI(tagA)
+	go func() { done <- r.net.Dial(vi, "nodeB", "svc", 2*time.Second) }()
+	waitPending(t, l, 1)
+	sv, _ := r.nicB.CreateVI(tagB)
+	if err := l.Accept(sv); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("fresh dial after prune: %v", err)
+	}
+	st := l.Stats()
+	if st.Pruned != 4 {
+		t.Fatalf("pruned = %d, want 4", st.Pruned)
+	}
+	if st.Refused != 0 {
+		t.Fatalf("refused = %d, want 0", st.Refused)
+	}
+	if vi.State() != VIConnected {
+		t.Fatal("fresh dial's VI not connected")
+	}
+}
+
+// TestConnMgrStress10k drives 10k concurrent VI setups through one
+// listener with sharded accepts, while a side churn of doomed
+// short-timeout dials exercises pruning, all under the leak bracket.
+// The race detector (CI runs this file with -race) is the real assert.
+func TestConnMgrStress10k(t *testing.T) {
+	leakcheck.Check(t)
+	total := 10000
+	if testing.Short() {
+		total = 1000
+	}
+	const shards = 8
+	const dialers = 32
+
+	r := newRig(t)
+	l, err := r.net.ListenBacklog(r.nicB, "pool", 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var accepted atomic.Int64
+	var acceptWG sync.WaitGroup
+	acceptWG.Add(shards)
+	for s := 0; s < shards; s++ {
+		go func() {
+			defer acceptWG.Done()
+			for {
+				sv, err := r.nicB.CreateVI(tagB)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				switch err := l.Accept(sv); {
+				case err == nil:
+					accepted.Add(1)
+				case errors.Is(err, ErrListenerClosed):
+					return
+				default:
+					t.Errorf("accept: %v", err)
+					return
+				}
+			}
+		}()
+	}
+
+	var connected, refusedRetries atomic.Int64
+	var dialWG sync.WaitGroup
+	dialWG.Add(dialers)
+	per := total / dialers
+	for d := 0; d < dialers; d++ {
+		go func(d int) {
+			defer dialWG.Done()
+			for i := 0; i < per; i++ {
+				vi, err := r.nicA.CreateVI(tagA)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for {
+					err := r.net.Dial(vi, "nodeB", "pool", 5*time.Second)
+					if errors.Is(err, ErrBacklogFull) {
+						// Typed refusal: back off and retry, as a real
+						// client would.
+						refusedRetries.Add(1)
+						time.Sleep(50 * time.Microsecond)
+						continue
+					}
+					if err != nil {
+						t.Errorf("dial: %v", err)
+						return
+					}
+					connected.Add(1)
+					break
+				}
+				// Churn: every 64th dial is doomed — its owner gives up
+				// almost immediately, leaving an abandoned queue entry
+				// for pruning/skipping to clean out.
+				if i%64 == 0 {
+					doomed, _ := r.nicA.CreateVI(tagA)
+					_ = r.net.Dial(doomed, "nodeB", "pool", time.Microsecond)
+				}
+			}
+		}(d)
+	}
+
+	dialWG.Wait()
+	l.Close()
+	acceptWG.Wait()
+
+	want := int64(dialers * per)
+	if got := connected.Load(); got != want {
+		t.Fatalf("connected = %d, want %d", got, want)
+	}
+	st := l.Stats()
+	t.Logf("accepted=%d pruned=%d refused=%d (retried %d) pending=%d",
+		st.Accepted, st.Pruned, st.Refused, refusedRetries.Load(), st.Pending)
+	if int64(st.Accepted) < want {
+		t.Fatalf("listener accepted = %d, want >= %d", st.Accepted, want)
+	}
+}
+
+func TestVIPoolReuseAndHealth(t *testing.T) {
+	r := newRig(t)
+	dials := 0
+	p := NewVIPool(8, func() (*VI, error) {
+		dials++
+		cv, err := r.nicA.CreateVI(tagA)
+		if err != nil {
+			return nil, err
+		}
+		sv, err := r.nicB.CreateVI(tagB)
+		if err != nil {
+			return nil, err
+		}
+		if err := r.net.Connect(cv, sv); err != nil {
+			return nil, err
+		}
+		return cv, nil
+	})
+	v1, err := p.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Put(v1) {
+		t.Fatal("healthy VI not retained")
+	}
+	v2, err := p.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2 != v1 {
+		t.Fatal("pool did not reuse the idle VI")
+	}
+	if st := p.Stats(); st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss", st)
+	}
+	// An errored VI is dropped on Put, never resurrected.
+	v2.enterError(ErrLinkDown)
+	if p.Put(v2) {
+		t.Fatal("errored VI retained")
+	}
+	// One that errors while pooled is dropped on Get.
+	v3, _ := p.Get()
+	p.Put(v3)
+	v3.enterError(ErrLinkDown)
+	v4, err := p.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v4 == v3 {
+		t.Fatal("pool handed out an errored VI")
+	}
+	if st := p.Stats(); st.Discards != 2 {
+		t.Fatalf("discards = %d, want 2", st.Discards)
+	}
+	p.Close(func(v *VI) { _ = r.net.Disconnect(v) })
+	if _, err := p.Get(); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("get on closed pool: %v", err)
+	}
+}
+
+// TestLinkSnapshotCOW exercises the copy-on-write partition set: reads
+// (linkUp) race freely against flapping writers with no lock, and the
+// counts stay exact.
+func TestLinkSnapshotCOW(t *testing.T) {
+	r := newRig(t)
+	if r.net.DownLinks() != 0 {
+		t.Fatal("fresh fabric has down links")
+	}
+	r.net.SetLinkDown("nodeA", "nodeB")
+	r.net.SetLinkDown("nodeB", "nodeA") // idempotent, unordered key
+	if r.net.DownLinks() != 1 {
+		t.Fatalf("down = %d, want 1", r.net.DownLinks())
+	}
+	if r.net.linkUp(r.nicA, r.nicB) {
+		t.Fatal("severed link reported up")
+	}
+	if !r.net.linkUp(r.nicA, r.nicA) {
+		t.Fatal("loopback reported down")
+	}
+	r.net.SetLinkUp("nodeA", "nodeB")
+	if r.net.DownLinks() != 0 {
+		t.Fatalf("down = %d after heal, want 0", r.net.DownLinks())
+	}
+	if !r.net.linkUp(r.nicA, r.nicB) {
+		t.Fatal("healed link reported down")
+	}
+
+	// Hammer: concurrent flappers and readers; the race detector and
+	// the final count are the asserts.
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					_ = r.net.linkUp(r.nicA, r.nicB)
+				}
+			}
+		}()
+	}
+	for i := 0; i < 500; i++ {
+		r.net.SetLinkDown("nodeA", "nodeB")
+		r.net.SetLinkUp("nodeA", "nodeB")
+	}
+	close(stop)
+	wg.Wait()
+	if r.net.DownLinks() != 0 {
+		t.Fatalf("down = %d after flapping, want 0", r.net.DownLinks())
+	}
+}

@@ -14,12 +14,20 @@ type Network struct {
 	nics      map[string]*NIC
 	listeners map[listenerKey]*Listener
 
-	// Link partitions.  downLinks counts severed NIC pairs so the data
-	// path can skip the map lookup entirely (one atomic load) while the
-	// fabric is healthy — the common case.
-	downLinks atomic.Int64
-	down      map[linkKey]bool
+	// Link partitions, published as an immutable copy-on-write snapshot
+	// (the TPT-epoch pattern from DESIGN.md §9): SetLinkDown/SetLinkUp
+	// copy the set under nw.mu and swap the pointer, so the data path's
+	// linkUp is always one atomic load plus — only while some link
+	// somewhere is down — one read of an immutable map.  A severed rail
+	// on the far side of the fabric no longer serializes healthy
+	// cross-NIC traffic on the network mutex.  nil means a fully
+	// healthy fabric.
+	down atomic.Pointer[linkSet]
 }
+
+// linkSet is an immutable set of severed NIC pairs.  Never mutate a
+// published set; copy it, edit the copy, publish the copy.
+type linkSet map[linkKey]struct{}
 
 // linkKey names an unordered NIC pair.
 type linkKey struct{ a, b string }
@@ -39,7 +47,7 @@ var (
 
 // NewNetwork creates an empty fabric.
 func NewNetwork() *Network {
-	return &Network{nics: make(map[string]*NIC), down: make(map[linkKey]bool)}
+	return &Network{nics: make(map[string]*NIC)}
 }
 
 // Attach adds a NIC to the fabric.
@@ -73,10 +81,18 @@ func (nw *Network) SetLinkDown(a, b string) {
 	k := mkLinkKey(a, b)
 	nw.mu.Lock()
 	defer nw.mu.Unlock()
-	if !nw.down[k] {
-		nw.down[k] = true
-		nw.downLinks.Add(1)
+	cur := nw.down.Load()
+	if cur != nil {
+		if _, ok := (*cur)[k]; ok {
+			return
+		}
 	}
+	next := make(linkSet, 1+len(deref(cur)))
+	for kk := range deref(cur) {
+		next[kk] = struct{}{}
+	}
+	next[k] = struct{}{}
+	nw.down.Store(&next)
 }
 
 // SetLinkUp heals a severed link.  Already-errored VIs stay in the
@@ -85,21 +101,49 @@ func (nw *Network) SetLinkUp(a, b string) {
 	k := mkLinkKey(a, b)
 	nw.mu.Lock()
 	defer nw.mu.Unlock()
-	if nw.down[k] {
-		delete(nw.down, k)
-		nw.downLinks.Add(-1)
+	cur := nw.down.Load()
+	if cur == nil {
+		return
 	}
+	if _, ok := (*cur)[k]; !ok {
+		return
+	}
+	if len(*cur) == 1 {
+		// Last partition healed: publish the nil fast path.
+		nw.down.Store(nil)
+		return
+	}
+	next := make(linkSet, len(*cur)-1)
+	for kk := range *cur {
+		if kk != k {
+			next[kk] = struct{}{}
+		}
+	}
+	nw.down.Store(&next)
 }
 
+// deref unwraps a possibly-nil snapshot pointer for range loops.
+func deref(s *linkSet) linkSet {
+	if s == nil {
+		return nil
+	}
+	return *s
+}
+
+// DownLinks reports how many NIC pairs are currently partitioned.
+func (nw *Network) DownLinks() int { return len(deref(nw.down.Load())) }
+
 // linkUp reports whether traffic may flow between two NICs.  With no
-// partitions anywhere the check is a single atomic load.
+// partitions anywhere the check is a single atomic nil-load; with
+// partitions elsewhere, healthy traffic pays one read of an immutable
+// snapshot — never a lock.
 func (nw *Network) linkUp(a, b *NIC) bool {
-	if nw.downLinks.Load() == 0 || a == b {
+	s := nw.down.Load()
+	if s == nil || a == b {
 		return true
 	}
-	nw.mu.Lock()
-	defer nw.mu.Unlock()
-	return !nw.down[mkLinkKey(a.name, b.name)]
+	_, bad := (*s)[mkLinkKey(a.name, b.name)]
+	return !bad
 }
 
 // Connect pairs two idle VIs into a reliable point-to-point connection.

@@ -1,0 +1,133 @@
+package via
+
+import (
+	"errors"
+	"sync"
+)
+
+// VIPool recycles connected VIs to one peer.  Connection setup is the
+// expensive operation at scale (a Dial/Accept round trip through the
+// connection manager), so callers that talk to the same peer repeatedly
+// keep a pool per peer: Get hands out an idle connected VI or dials a
+// fresh one through the supplied factory, Put returns a VI that is
+// still healthy and drops one that is not.  The pool never resurrects
+// an errored VI — per the spec's recovery discipline an errored VI must
+// go through an explicit Reset, which is the owner's decision, not the
+// pool's.
+//
+// The pool is safe for concurrent use.
+type VIPool struct {
+	mu     sync.Mutex
+	idle   []*VI
+	closed bool
+
+	dial func() (*VI, error)
+	max  int // bound on idle VIs retained (not on outstanding VIs)
+
+	hits     uint64
+	misses   uint64
+	discards uint64
+}
+
+// VIPoolStats counts pool activity.
+type VIPoolStats struct {
+	Idle     int    // connected VIs currently pooled
+	Hits     uint64 // Gets served from the pool
+	Misses   uint64 // Gets that dialed a fresh VI
+	Discards uint64 // VIs dropped (unhealthy on Get/Put, or pool full)
+}
+
+// ErrPoolClosed reports a Get on a closed pool.
+var ErrPoolClosed = errors.New("via: VI pool closed")
+
+// NewVIPool builds a pool bounded at max idle VIs (max <= 0 selects 16).
+// dial must return a VI connected to the pool's peer; it is called
+// outside the pool lock.
+func NewVIPool(max int, dial func() (*VI, error)) *VIPool {
+	if max <= 0 {
+		max = 16
+	}
+	return &VIPool{dial: dial, max: max}
+}
+
+// Get returns a connected VI to the peer: pooled when one is idle and
+// still healthy, freshly dialed otherwise.
+func (p *VIPool) Get() (*VI, error) {
+	for {
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			return nil, ErrPoolClosed
+		}
+		n := len(p.idle)
+		if n == 0 {
+			p.misses++
+			p.mu.Unlock()
+			return p.dial()
+		}
+		v := p.idle[n-1]
+		p.idle[n-1] = nil
+		p.idle = p.idle[:n-1]
+		// Health is re-checked at Get time: a fault may have errored the
+		// VI while it sat idle.  Unhealthy VIs are discarded, not reset.
+		if v.State() == VIConnected {
+			p.hits++
+			p.mu.Unlock()
+			return v, nil
+		}
+		p.discards++
+		p.mu.Unlock()
+	}
+}
+
+// Put returns a VI to the pool.  VIs that are no longer connected, and
+// VIs beyond the idle bound, are dropped (the caller keeps ownership of
+// an errored VI's Reset).  Reports whether the VI was retained.
+func (p *VIPool) Put(v *VI) bool {
+	if v == nil {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed || v.State() != VIConnected || len(p.idle) >= p.max {
+		p.discards++
+		return false
+	}
+	p.idle = append(p.idle, v)
+	return true
+}
+
+// Drain empties the pool, handing every idle VI to fn (e.g. a
+// disconnect); the pool stays usable.
+func (p *VIPool) Drain(fn func(*VI)) {
+	p.mu.Lock()
+	idle := p.idle
+	p.idle = nil
+	p.mu.Unlock()
+	for _, v := range idle {
+		if fn != nil {
+			fn(v)
+		}
+	}
+}
+
+// Close marks the pool closed and drains it through fn.  Subsequent
+// Gets fail with ErrPoolClosed; Puts discard.
+func (p *VIPool) Close(fn func(*VI)) {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	p.Drain(fn)
+}
+
+// Stats snapshots the pool counters.
+func (p *VIPool) Stats() VIPoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return VIPoolStats{
+		Idle:     len(p.idle),
+		Hits:     p.hits,
+		Misses:   p.misses,
+		Discards: p.discards,
+	}
+}
