@@ -50,10 +50,11 @@ func main() {
 		"msgrate":    bench.MsgRate,
 		"chaos":      bench.Chaos,
 		"rendezvous": bench.Rendezvous,
+		"remap":      bench.Remap,
 		"nopin":      bench.NoPin,
 		"multirail":  bench.Multirail,
 	}
-	order := []string{"regcost", "deregcost", "survival", "protocols", "regcache", "regconc", "multireg", "divergence", "piodma", "latency", "ablation", "bigphys", "msgrate", "chaos", "rendezvous", "nopin", "multirail", "obs"}
+	order := []string{"regcost", "deregcost", "survival", "protocols", "regcache", "regconc", "multireg", "divergence", "piodma", "latency", "ablation", "bigphys", "msgrate", "chaos", "rendezvous", "remap", "nopin", "multirail", "obs"}
 
 	run := func(name string) {
 		if err := runners[name](os.Stdout); err != nil {

@@ -809,6 +809,14 @@ func Chaos(w io.Writer) error {
 		return fmt.Errorf("chaos class %q: %w", r.class, err)
 	}
 	addChaosRow(&t, r)
+	// The ownership-transfer class: Remap sends under a concurrent
+	// writer and a DMA fault schedule — snapshot delivery or typed
+	// failure, typed writer errors, no stranded staging frames.
+	r, err = chaosScribble()
+	if err != nil {
+		return fmt.Errorf("chaos class %q: %w", r.class, err)
+	}
+	addChaosRow(&t, r)
 	t.Fprint(w)
 	return nil
 }

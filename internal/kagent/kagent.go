@@ -191,6 +191,46 @@ func (a *Agent) RegisterMem(as *mm.AddressSpace, addr pgtable.VAddr, length int,
 	return reg, nil
 }
 
+// RegisterFrames enters kernel-owned frames into the TPT under the given
+// tag — the staging area of a remap receive.  No user range backs the
+// registration and no lock is taken: the caller (the message layer)
+// already owns the frames through mm frame donation, so the Lock record
+// carries only the page list and unlocks as a no-op.  The registration
+// is deregistered through the ordinary DeregisterMem path.
+func (a *Agent) RegisterFrames(pages []phys.Addr, length int, tag via.ProtectionTag, attrs via.MemAttrs) (*Registration, error) {
+	st := a.regStart(trace.KindRegister, 0, length)
+	// The staging grant ioctl: one kernel call, like RegisterMem.
+	if m := a.kernel.Meter(); m != nil {
+		m.Charge(m.Costs.KernelCall)
+	}
+	if inj := a.inj.Load(); inj != nil {
+		if err := inj.Check(faultinject.Op{Site: SiteRegister, Key: uint64(len(pages)), N: length}); err != nil {
+			st.finishErr(trace.KindRegister)
+			return nil, fmt.Errorf("%w: %w", ErrRegistrationFault, err)
+		}
+	}
+	lock := &core.Lock{Strategy: a.locker.Name(), Pages: pages, Length: length}
+	handle, err := a.nic.RegisterMemory(lock.Pages, 0, length, tag, attrs)
+	if err != nil {
+		st.finishErr(trace.KindRegister)
+		return nil, fmt.Errorf("kagent: TPT registration: %w", err)
+	}
+	st.mark(trace.KindTPTInsert, uint64(len(pages)))
+	reg := &Registration{
+		ID:     int(a.nextID.Add(1)),
+		Handle: handle,
+		Length: length,
+		Tag:    tag,
+		lock:   lock,
+	}
+	s := a.shard(reg.ID)
+	s.mu.Lock()
+	s.regs[reg.ID] = reg
+	s.mu.Unlock()
+	st.finishOK(trace.KindRegister, uint64(handle))
+	return reg, nil
+}
+
 // DeregisterMem removes the registration: TPT slots are invalidated and
 // the lock is released.
 func (a *Agent) DeregisterMem(reg *Registration) error {

@@ -92,6 +92,18 @@ func (k *Kernel) translateLocked(as *AddressSpace, v pgtable.VPN, write bool) (p
 			// Re-read: SetFlags cannot change the PFN, so e is still valid.
 			return e.PFN(), nil
 		}
+		if write && e.Present() && k.kernelPin &&
+			k.pageGuardedLocked(as, v) && k.mappingRefsLocked(e.PFN()) <= 1 {
+			// Kernel-pin transparency: a registration pin of a guarded
+			// page uses the frozen frame as-is instead of tripping the
+			// scribble policy — the pin takes a snapshot, it does not
+			// store through the mapping.  Genuinely COW-shared frames
+			// fall through to the fault path (the copy must happen).
+			if err := as.pt.SetFlags(v, pgtable.FlagAccessed); err != nil {
+				return phys.NoPFN, err
+			}
+			return e.PFN(), nil
+		}
 		if err := k.handleFaultLocked(as, v.Addr(), write); err != nil {
 			return phys.NoPFN, err
 		}

@@ -1,0 +1,84 @@
+package mm
+
+import (
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+// TestCOWFaultSurvivesSelfEviction pins down a use-after-free in the COW
+// path: when the fault's frame allocation runs direct reclaim, reclaim
+// may evict the very page being faulted (redirecting its PTE to swap and
+// dropping the reference the fault was working with).  The fault must
+// notice the PTE changed underneath it and retry, not overwrite the swap
+// entry and double-put the frame.
+//
+// The setup forces the race deterministically: every frame except the
+// fork-shared victim page is mlocked, so when the parent's COW fault
+// needs a frame, the only evictable mappings are the victim's own PTEs.
+func TestCOWFaultSurvivesSelfEviction(t *testing.T) {
+	k := NewKernel(Config{RAMPages: 8, SwapPages: 64, ClockBatch: 8, SwapBatch: 8}, simtime.NewMeter())
+	parent := k.CreateProcess("parent", true)
+
+	victim := mmapRW(t, k, parent, 1)
+	if err := k.CopyToUser(parent, victim, []byte("before")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fill the rest of RAM with locked pages so reclaim has exactly one
+	// choice: the victim's mappings.
+	filler := mmapRW(t, k, parent, int(k.FreePages()))
+	fillerPages := int(k.FreePages())
+	if err := k.Touch(parent, filler, fillerPages); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.DoMlock(parent, filler, fillerPages); err != nil {
+		t.Fatal(err)
+	}
+
+	child, err := k.Fork(parent, "child")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free := k.FreePages(); free != 0 {
+		t.Fatalf("setup left %d free pages, want 0", free)
+	}
+
+	// Parent store → COW fault on a shared frame → allocation → reclaim
+	// evicts the victim page out from under the fault.
+	if err := k.CopyToUser(parent, victim, []byte("after!")); err != nil {
+		t.Fatalf("COW store: %v", err)
+	}
+	if err := k.CheckInvariants(); err != nil {
+		t.Fatalf("after COW store: %v", err)
+	}
+
+	// Both copies must have survived with their own data.
+	got := make([]byte, 6)
+	if err := k.CopyFromUser(parent, victim, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "after!" {
+		t.Fatalf("parent sees %q, want %q", got, "after!")
+	}
+	if err := k.CopyFromUser(child, victim, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "before" {
+		t.Fatalf("child sees %q, want %q", got, "before")
+	}
+	if err := k.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Full teardown must reconcile: no frame was double-freed or leaked.
+	if err := k.DestroyProcess(child); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.DestroyProcess(parent); err != nil {
+		t.Fatal(err)
+	}
+	if got := k.FreePages(); got != 8 {
+		t.Fatalf("free pages after teardown = %d, want 8", got)
+	}
+}

@@ -78,6 +78,9 @@ func (k *Kernel) handleFaultLocked(as *AddressSpace, addr pgtable.VAddr, write b
 	case e.Swapped():
 		return k.swapInLocked(as, v, e, area, write)
 	case e.Present() && write && !e.Writable():
+		if gs := k.guardsCoveringLocked(as, v); len(gs) != 0 {
+			return k.guardWriteFaultLocked(as, v, e, gs)
+		}
 		return k.cowLocked(as, v, e)
 	case e.Present():
 		// Spurious fault (e.g. racing touch): refresh A/D bits.
@@ -91,14 +94,34 @@ func (k *Kernel) handleFaultLocked(as *AddressSpace, addr pgtable.VAddr, write b
 	}
 }
 
-// demandZeroLocked materializes a never-touched anonymous page.
+// demandZeroLocked materializes a never-touched anonymous page.  Guarded
+// pages come up read-only on a read fault (a fresh zero page is still
+// part of the revoked range); a write fault consults the guard policy —
+// fail-fast rejects the store, copy-on-touch lets it through since the
+// brand-new frame is the writer's own copy by construction.
 func (k *Kernel) demandZeroLocked(as *AddressSpace, v pgtable.VPN, area vma.VMA, write bool) error {
+	grant := true
+	if gs := k.guardsCoveringLocked(as, v); len(gs) != 0 {
+		switch {
+		case write && k.kernelPin:
+			// Kernel-pin transparency: a registration pin faulting the
+			// page in is not a user store.  Map it read-only; the pin
+			// resolves through translateLocked's guarded-pin branch.
+			grant = false
+		case write:
+			if err := k.guardScribbleLocked(as, v, gs); err != nil {
+				return err
+			}
+		default:
+			grant = false
+		}
+	}
 	pfn, err := k.getFreePageLocked()
 	if err != nil {
 		return err
 	}
 	k.charge(k.costs().PageZero)
-	flags := protFlags(area, true) | pgtable.FlagAccessed
+	flags := protFlags(area, grant) | pgtable.FlagAccessed
 	if write {
 		flags |= pgtable.FlagDirty
 	}
@@ -114,6 +137,27 @@ func (k *Kernel) demandZeroLocked(as *AddressSpace, v pgtable.VPN, area vma.VMA,
 // the frame's swap-cache image (PG_SwapCache): a later clean re-eviction
 // can then skip the device write entirely.
 func (k *Kernel) swapInLocked(as *AddressSpace, v pgtable.VPN, e pgtable.PTE, area vma.VMA, write bool) error {
+	// Guarded pages obey the same rules as demand-zero: read faults map
+	// the page without write permission, write faults go through the
+	// scribble policy (the frame coming off the device was not part of
+	// any pinned in-flight snapshot, so copy-on-touch may use it as the
+	// writer's copy directly).
+	grant := true
+	if gs := k.guardsCoveringLocked(as, v); len(gs) != 0 {
+		switch {
+		case write && k.kernelPin:
+			// Kernel-pin transparency, as in demandZeroLocked: the swap
+			// image of a guarded page IS the revoked snapshot (no store
+			// can have changed it), so the pin may use it — read-only.
+			grant = false
+		case write:
+			if err := k.guardScribbleLocked(as, v, gs); err != nil {
+				return err
+			}
+		default:
+			grant = false
+		}
+	}
 	slot := e.SwapSlot()
 	pfn, err := k.getFreePageLocked()
 	if err != nil {
@@ -139,7 +183,7 @@ func (k *Kernel) swapInLocked(as *AddressSpace, v pgtable.VPN, e pgtable.PTE, ar
 	k.charge(k.costs().PageIn)
 	k.stats.MajorFaults++
 	k.stats.SwapIns++
-	flags := protFlags(area, true) | pgtable.FlagAccessed
+	flags := protFlags(area, grant) | pgtable.FlagAccessed
 	if write {
 		flags |= pgtable.FlagDirty
 	}
@@ -160,6 +204,21 @@ func (k *Kernel) cowLocked(as *AddressSpace, v pgtable.VPN, e pgtable.PTE) error
 	if err != nil {
 		return err
 	}
+	// The allocation may have run direct reclaim, and reclaim may have
+	// evicted the very page being faulted — the PTE then points at a swap
+	// slot and the reference e held is already gone.  Re-validate and let
+	// the caller re-fault rather than overwrite the swap entry and drop a
+	// reference this fault no longer owns.
+	cur, err := as.pt.Lookup(v)
+	if err != nil {
+		_ = k.putMappedFrameLocked(pfn)
+		return err
+	}
+	if !cur.Present() || cur.PFN() != old {
+		_ = k.putMappedFrameLocked(pfn)
+		return nil
+	}
+	e = cur
 	dst, err := k.phys.FrameBytes(pfn)
 	if err != nil {
 		return err

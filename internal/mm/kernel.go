@@ -49,6 +49,12 @@ type Stats struct {
 	KswapdRuns    uint64 // background reclaim passes
 	IOClobbers    uint64 // PG_locked cleared under an in-flight kernel I/O
 	NotifierFires uint64 // range-notifier callbacks fired (nopin invalidation)
+
+	// Ownership-transfer (write-guard and frame-exchange) activity.
+	ScribbleFaults uint64 // stores caught against write-guarded pages
+	GuardCopies    uint64 // copy-on-touch copies taken for guarded stores
+	FrameDonations uint64 // frames donated as remap staging
+	FrameAdopts    uint64 // donated frames exchanged into a page table
 }
 
 // Config tunes the kernel.
@@ -127,6 +133,17 @@ type Kernel struct {
 	notifiers    map[int]*rangeNotifier
 	nextNotifier int
 
+	// active write guards (the ownership-transfer revocation windows);
+	// see sendguard.go for the contract.
+	guards    map[int]*WriteGuard
+	nextGuard int
+
+	// kernelPin marks a pin batch in progress: registrations of guarded
+	// pages then resolve to the frozen frame instead of tripping the
+	// scribble policy (the pin is a kernel snapshot, not an application
+	// store).
+	kernelPin bool
+
 	stats Stats
 
 	// kswapd control.
@@ -161,6 +178,7 @@ func NewKernel(cfg Config, meter *simtime.Meter) *Kernel {
 		swapCache: make(map[phys.PFN]swapdev.Slot),
 		pageIO:    make(map[phys.PFN]int),
 		notifiers: make(map[int]*rangeNotifier),
+		guards:    make(map[int]*WriteGuard),
 	}
 }
 

@@ -1,0 +1,137 @@
+package mm
+
+import (
+	"fmt"
+
+	"repro/internal/pgtable"
+	"repro/internal/phys"
+	"repro/internal/vma"
+)
+
+// Frame donation and adoption implement the receive half of the
+// memory-protection zero-copy scheme: instead of scattering DMA bytes
+// into the receiver's existing frames (a memcpy per page), the kernel
+// donates fresh frames as a staging area, the NIC DMAs into them
+// directly, and delivery exchanges them into the receiver's page table —
+// the old frames are released and the staged frames become the buffer.
+//
+// While staged, donated frames are pinned and PG_reserved: reclaim skips
+// them, they belong to no page table, and OrphanFrames does not count
+// them.  Ownership is strictly linear: a frame leaves the donated state
+// either through AdoptFrame (its reference transfers to the new mapping)
+// or through ReleaseDonated (freed).
+
+// DonateFrames allocates n frames as remap staging.  The frames are
+// pinned, PG_reserved, zero-filled, and owned by the caller until
+// adopted or released.
+func (k *Kernel) DonateFrames(n int) ([]phys.PFN, error) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if n <= 0 {
+		return nil, fmt.Errorf("mm: donation of %d frames", n)
+	}
+	k.charge(k.costs().KernelCall)
+	pfns := make([]phys.PFN, 0, n)
+	for i := 0; i < n; i++ {
+		pfn, err := k.getFreePageLocked()
+		if err != nil {
+			for _, p := range pfns {
+				_ = k.phys.Unpin(p)
+				_ = k.phys.ClearFlags(p, phys.PGReserved)
+				_ = k.putMappedFrameLocked(p)
+			}
+			return nil, err
+		}
+		_ = k.phys.SetFlags(pfn, phys.PGReserved)
+		if err := k.phys.Pin(pfn); err != nil {
+			_ = k.phys.ClearFlags(pfn, phys.PGReserved)
+			_ = k.putMappedFrameLocked(pfn)
+			for _, p := range pfns {
+				_ = k.phys.Unpin(p)
+				_ = k.phys.ClearFlags(p, phys.PGReserved)
+				_ = k.putMappedFrameLocked(p)
+			}
+			return nil, err
+		}
+		pfns = append(pfns, pfn)
+	}
+	k.stats.FrameDonations += uint64(n)
+	return pfns, nil
+}
+
+// AdoptFrame exchanges a donated frame into the address space at the
+// page-aligned addr: whatever backed the page before (a resident frame,
+// a swap slot, nothing) is released, and the donated frame becomes the
+// page's backing store.  The donated frame's single reference transfers
+// to the mapping, so refcounts stay exactly balanced.  This is the
+// remap delivery: a PTE update instead of a page copy.
+func (k *Kernel) AdoptFrame(as *AddressSpace, addr pgtable.VAddr, pfn phys.PFN) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if as.dead {
+		return ErrNoProcess
+	}
+	if pgtable.Offset(addr) != 0 {
+		return fmt.Errorf("mm: adopt at unaligned address %#x", uint64(addr))
+	}
+	v := pgtable.PageOf(addr)
+	area, ok := as.vmas.Find(v)
+	if !ok {
+		return fmt.Errorf("%w: %v no vma for %#x", ErrSegv, as, uint64(addr))
+	}
+	if area.Flags&vma.Write == 0 {
+		return fmt.Errorf("%w: %v adopt into read-only area %v", ErrSegv, as, area)
+	}
+	if k.phys.Pins(pfn) <= 0 || !k.phys.TestFlags(pfn, phys.PGReserved) {
+		return fmt.Errorf("mm: pfn %d is not a donated frame", pfn)
+	}
+	k.charge(k.costs().PTEWalk)
+	e, err := as.pt.Lookup(v)
+	if err != nil {
+		return err
+	}
+	switch {
+	case e.Present():
+		// The old frame leaves this address space: NIC translations of
+		// it are stale, exactly as on a COW replacement.
+		k.notifyPageLocked(as, v, NotifyUnmap)
+		if _, err := as.pt.Clear(v); err != nil {
+			return err
+		}
+		if err := k.putMappedFrameLocked(e.PFN()); err != nil {
+			return err
+		}
+	case e.Swapped():
+		if _, err := k.swap.Free(e.SwapSlot()); err != nil {
+			return err
+		}
+		if _, err := as.pt.Clear(v); err != nil {
+			return err
+		}
+	}
+	if err := k.phys.Unpin(pfn); err != nil {
+		return err
+	}
+	_ = k.phys.ClearFlags(pfn, phys.PGReserved)
+	k.stats.FrameAdopts++
+	return as.pt.Set(v, pgtable.MakePresent(pfn,
+		protFlags(area, true)|pgtable.FlagAccessed|pgtable.FlagDirty))
+}
+
+// ReleaseDonated returns donated frames that were not adopted (error
+// paths, partial tail frames) to the free list.
+func (k *Kernel) ReleaseDonated(pfns []phys.PFN) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	var firstErr error
+	for _, pfn := range pfns {
+		if err := k.phys.Unpin(pfn); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		_ = k.phys.ClearFlags(pfn, phys.PGReserved)
+		if err := k.putMappedFrameLocked(pfn); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

@@ -1,0 +1,150 @@
+package mm
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/pgtable"
+	"repro/internal/phys"
+	"repro/internal/simtime"
+	"repro/internal/vma"
+)
+
+// FuzzMprotectRevokeRestore interleaves write-guard revoke/restore
+// windows with the operations that mutate the same VMAs and PTEs
+// underneath them — mprotect (splits/merges/downgrades), stores, reads
+// and swap pressure — and checks the contract that matters for the
+// ownership-transfer protocol: once every guard is released, each page's
+// effective write permission is exactly what the mprotect history says it
+// should be (no lingering ErrWriteDuringFlight, no stuck-read-only page),
+// and no frame or swap slot leaked.
+func FuzzMprotectRevokeRestore(f *testing.F) {
+	f.Add([]byte{0x00})
+	f.Add([]byte{0x00, 0x01, 0x02, 0x10, 0x20, 0x30})
+	// revoke / store / restore.
+	f.Add([]byte{0x06, 0x00, 0x04, 0x04, 0x02, 0x00, 0x07, 0x00, 0x00})
+	// revoke / mprotect-ro / mprotect-rw / restore.
+	f.Add([]byte{0x06, 0x02, 0x06, 0x02, 0x03, 0x04, 0x03, 0x03, 0x04, 0x07, 0x00, 0x00})
+	// two overlapping guards, swap pressure, interleaved restores.
+	f.Add([]byte{0x06, 0x00, 0x08, 0x06, 0x04, 0x07, 0x05, 0x00, 0x00, 0x07, 0x01, 0x00, 0x07, 0x00, 0x00})
+
+	const npages = 16
+	f.Fuzz(func(t *testing.T, data []byte) {
+		k := NewKernel(Config{RAMPages: 24, SwapPages: 256, ClockBatch: 8, SwapBatch: 4}, simtime.NewMeter())
+		as := k.CreateProcess("fuzz", false)
+		addr, err := k.MMap(as, npages, vma.Read|vma.Write)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := k.Touch(as, addr, npages); err != nil {
+			t.Fatal(err)
+		}
+
+		// Oracle: the write permission each page should have once all
+		// guards are gone, tracking only the mprotect history.
+		writable := make([]bool, npages)
+		for i := range writable {
+			writable[i] = true
+		}
+		var guards []*WriteGuard
+
+		page := func(b byte) int { return int(b) % npages }
+		span := func(b byte) int { return 1 + int(b)%8 }
+		clip := func(p, n int) int {
+			if p+n > npages {
+				return npages - p
+			}
+			return n
+		}
+
+		for i := 0; i+2 < len(data); i += 3 {
+			op, a1, a2 := data[i]%8, data[i+1], data[i+2]
+			p := page(a1)
+			n := clip(p, span(a2))
+			va := addr + pgtable.VAddr(p)*phys.PageSize
+			switch op {
+			case 0, 6: // revoke a window
+				policy := GuardFailFast
+				if a2%2 == 1 {
+					policy = GuardCopyOnTouch
+				}
+				g, err := k.RevokeWrite(as, va, n, policy, nil)
+				if err != nil {
+					t.Fatalf("revoke [%d,%d): %v", p, p+n, err)
+				}
+				guards = append(guards, g)
+			case 7: // restore one active guard
+				if len(guards) > 0 {
+					j := int(a1) % len(guards)
+					if err := k.RestoreWrite(guards[j]); err != nil {
+						t.Fatalf("restore: %v", err)
+					}
+					guards = append(guards[:j], guards[j+1:]...)
+				}
+			case 2: // mprotect read-only
+				if err := k.DoMprotect(as, va, n, vma.Read); err != nil {
+					t.Fatalf("mprotect ro: %v", err)
+				}
+				for j := p; j < p+n; j++ {
+					writable[j] = false
+				}
+			case 3: // mprotect read-write
+				if err := k.DoMprotect(as, va, n, vma.Read|vma.Write); err != nil {
+					t.Fatalf("mprotect rw: %v", err)
+				}
+				for j := p; j < p+n; j++ {
+					writable[j] = true
+				}
+			case 4: // store: may scribble, may segv — both typed
+				err := k.CopyToUser(as, va, []byte{a2})
+				if err != nil && !errors.Is(err, ErrWriteDuringFlight) && !errors.Is(err, ErrSegv) {
+					t.Fatalf("store: %v", err)
+				}
+			case 5: // read
+				buf := make([]byte, 1)
+				if err := k.CopyFromUser(as, va, buf); err != nil && !errors.Is(err, ErrSegv) {
+					t.Fatalf("read: %v", err)
+				}
+			case 1: // swap pressure
+				k.SwapOut(int(a2)%6 + 1)
+			}
+			if err := k.CheckInvariants(); err != nil {
+				t.Fatalf("op %d at %d: %v", op, i, err)
+			}
+		}
+
+		// Release every remaining guard; permissions must return to the
+		// mprotect-dictated state.
+		for _, g := range guards {
+			if err := k.RestoreWrite(g); err != nil {
+				t.Fatalf("final restore: %v", err)
+			}
+		}
+		for p := 0; p < npages; p++ {
+			va := addr + pgtable.VAddr(p)*phys.PageSize
+			err := k.CopyToUser(as, va, []byte{0xEE})
+			switch {
+			case writable[p] && err != nil:
+				t.Fatalf("page %d should be writable after restore: %v", p, err)
+			case !writable[p] && !errors.Is(err, ErrSegv):
+				t.Fatalf("page %d should segv (read-only vma), got %v", p, err)
+			}
+			if errors.Is(err, ErrWriteDuringFlight) {
+				t.Fatalf("page %d still guarded after all restores", p)
+			}
+		}
+
+		if n := k.OrphanFrames(); n != 0 {
+			t.Fatalf("OrphanFrames = %d after all guards released", n)
+		}
+		if err := k.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		if err := k.DestroyProcess(as); err != nil {
+			t.Fatal(err)
+		}
+		if got, want := k.FreePages(), k.Config().RAMPages; got != want {
+			t.Fatalf("teardown: %d free pages, want %d (frame leak)", got, want)
+		}
+	})
+}

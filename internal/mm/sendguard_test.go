@@ -1,0 +1,430 @@
+package mm
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/pgtable"
+	"repro/internal/phys"
+)
+
+func TestRevokeWriteFailFast(t *testing.T) {
+	k := smallKernel()
+	as := k.CreateProcess("p", false)
+	addr := mmapRW(t, k, as, 2)
+	if err := k.CopyToUser(as, addr, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+
+	var scribbled []int
+	g, err := k.RevokeWrite(as, addr, 2, GuardFailFast, func(page int) { scribbled = append(scribbled, page) })
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reads pass through.
+	got := make([]byte, 5)
+	if err := k.CopyFromUser(as, addr, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello" {
+		t.Fatalf("read %q under guard", got)
+	}
+
+	// Writes fail typed, on the faulting access.
+	err = k.CopyToUser(as, addr, []byte("x"))
+	if !errors.Is(err, ErrWriteDuringFlight) {
+		t.Fatalf("guarded write: %v, want ErrWriteDuringFlight", err)
+	}
+	if g.Scribbles() != 1 {
+		t.Fatalf("Scribbles = %d, want 1", g.Scribbles())
+	}
+	if len(scribbled) != 1 || scribbled[0] != 0 {
+		t.Fatalf("callback pages = %v, want [0]", scribbled)
+	}
+	if k.Stats().ScribbleFaults != 1 {
+		t.Fatalf("stats.ScribbleFaults = %d", k.Stats().ScribbleFaults)
+	}
+
+	// Data is untouched by the failed store.
+	if err := k.CopyFromUser(as, addr, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello" {
+		t.Fatalf("data after failed store: %q", got)
+	}
+
+	if err := k.RestoreWrite(g); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.CopyToUser(as, addr, []byte("world")); err != nil {
+		t.Fatalf("write after restore: %v", err)
+	}
+	// Idempotent release.
+	if err := k.RestoreWrite(g); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.RestoreWrite(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRevokeWriteCopyOnTouch(t *testing.T) {
+	k := smallKernel()
+	as := k.CreateProcess("p", false)
+	addr := mmapRW(t, k, as, 1)
+	if err := k.CopyToUser(as, addr, []byte("frozen")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Pin first (registration order), then revoke: the pin is the
+	// transfer's snapshot reference.
+	pfns, err := k.PinUserPages(as, addr, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := k.RevokeWrite(as, addr, 1, GuardCopyOnTouch, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The store succeeds against a private copy.
+	if err := k.CopyToUser(as, addr, []byte("dirty!")); err != nil {
+		t.Fatalf("copy-on-touch store: %v", err)
+	}
+	if g.Scribbles() != 1 {
+		t.Fatalf("Scribbles = %d, want 1", g.Scribbles())
+	}
+	if k.Stats().GuardCopies != 1 {
+		t.Fatalf("GuardCopies = %d, want 1", k.Stats().GuardCopies)
+	}
+
+	// The pinned snapshot frame still holds the original bytes.
+	fb, err := k.Phys().FrameBytes(pfns[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(fb[:6]) != "frozen" {
+		t.Fatalf("snapshot frame holds %q, want %q", fb[:6], "frozen")
+	}
+	// And the mapping moved off it.
+	cur, err := k.ResidentPFN(as, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cur == pfns[0] {
+		t.Fatal("mapping still references the snapshot frame")
+	}
+
+	if err := k.UnpinUserPages(pfns); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.RestoreWrite(g); err != nil {
+		t.Fatal(err)
+	}
+	if n := k.OrphanFrames(); n != 0 {
+		t.Fatalf("OrphanFrames = %d", n)
+	}
+	if err := k.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGuardOverlapAndRestore(t *testing.T) {
+	k := smallKernel()
+	as := k.CreateProcess("p", false)
+	addr := mmapRW(t, k, as, 4)
+	if err := k.Touch(as, addr, 4); err != nil {
+		t.Fatal(err)
+	}
+
+	g1, err := k.RevokeWrite(as, addr, 4, GuardFailFast, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := k.RevokeWrite(as, addr+2*phys.PageSize, 2, GuardFailFast, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Releasing the outer guard leaves the overlap protected.
+	if err := k.RestoreWrite(g1); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.CopyToUser(as, addr, []byte("a")); err != nil {
+		t.Fatalf("write to released range: %v", err)
+	}
+	err = k.CopyToUser(as, addr+3*phys.PageSize, []byte("b"))
+	if !errors.Is(err, ErrWriteDuringFlight) {
+		t.Fatalf("overlapped page: %v, want ErrWriteDuringFlight", err)
+	}
+
+	if err := k.RestoreWrite(g2); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.CopyToUser(as, addr+3*phys.PageSize, []byte("b")); err != nil {
+		t.Fatalf("write after both released: %v", err)
+	}
+	if err := k.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGuardNonPresentAndSwappedPages(t *testing.T) {
+	k := smallKernel()
+	as := k.CreateProcess("p", false)
+
+	// Never-touched range: demand-zero under a guard maps read-only.
+	addr := mmapRW(t, k, as, 2)
+	g, err := k.RevokeWrite(as, addr, 2, GuardFailFast, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 1)
+	if err := k.CopyFromUser(as, addr, got); err != nil {
+		t.Fatalf("demand-zero read under guard: %v", err)
+	}
+	err = k.CopyToUser(as, addr, []byte("x"))
+	if !errors.Is(err, ErrWriteDuringFlight) {
+		t.Fatalf("demand-zero write under guard: %v", err)
+	}
+	if err := k.RestoreWrite(g); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.CopyToUser(as, addr, []byte("x")); err != nil {
+		t.Fatalf("write after restore: %v", err)
+	}
+
+	// Swapped page: swap-in under a guard obeys the same rules.
+	if err := k.CopyToUser(as, addr, []byte("deep")); err != nil {
+		t.Fatal(err)
+	}
+	k.SwapOut(64)
+	k.SwapOut(64)
+	e, err := k.LookupPTE(as, pgtable.PageOf(addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.Swapped() {
+		t.Skip("page did not swap out; nothing to test")
+	}
+	g, err = k.RevokeWrite(as, addr, 1, GuardFailFast, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if err := k.CopyFromUser(as, addr, buf); err != nil {
+		t.Fatalf("swap-in read under guard: %v", err)
+	}
+	if string(buf) != "deep" {
+		t.Fatalf("swap-in read %q", buf)
+	}
+	err = k.CopyToUser(as, addr, []byte("y"))
+	if !errors.Is(err, ErrWriteDuringFlight) {
+		t.Fatalf("swapped-page write under guard: %v", err)
+	}
+	if err := k.RestoreWrite(g); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.CopyToUser(as, addr, []byte("y")); err != nil {
+		t.Fatalf("write after restore: %v", err)
+	}
+	if err := k.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGuardForkDuringFlight(t *testing.T) {
+	k := smallKernel()
+	as := k.CreateProcess("p", false)
+	addr := mmapRW(t, k, as, 1)
+	if err := k.CopyToUser(as, addr, []byte("origin")); err != nil {
+		t.Fatal(err)
+	}
+	g, err := k.RevokeWrite(as, addr, 1, GuardFailFast, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	child, err := k.Fork(as, "child")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The frame is now genuinely COW-shared: restore must NOT re-enable
+	// write, or the parent would scribble on the child's view.
+	if err := k.RestoreWrite(g); err != nil {
+		t.Fatal(err)
+	}
+	e, err := k.LookupPTE(as, pgtable.PageOf(addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Writable() {
+		t.Fatal("restore re-enabled write on a COW-shared frame")
+	}
+	// The next parent store must COW, preserving the child's copy.
+	if err := k.CopyToUser(as, addr, []byte("parent")); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 6)
+	if err := k.CopyFromUser(child, addr, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "origin" {
+		t.Fatalf("child sees %q after parent store", got)
+	}
+	if err := k.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGuardKernelPinTransparency(t *testing.T) {
+	k := smallKernel()
+	as := k.CreateProcess("p", false)
+	addr := mmapRW(t, k, as, 2)
+	if err := k.Touch(as, addr, 2); err != nil {
+		t.Fatal(err)
+	}
+	want0, err := k.ResidentPFN(as, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	g, err := k.RevokeWrite(as, addr, 2, GuardFailFast, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A registration pin of the guarded range must succeed without
+	// tripping the guard, resolving to the frozen frames.
+	pfns, err := k.PinUserPages(as, addr, 2, true)
+	if err != nil {
+		t.Fatalf("pin under guard: %v", err)
+	}
+	if pfns[0] != want0 {
+		t.Fatalf("pin resolved pfn %d, want frozen frame %d", pfns[0], want0)
+	}
+	if g.Scribbles() != 0 {
+		t.Fatalf("pin counted as scribble: %d", g.Scribbles())
+	}
+	// Application stores still fail.
+	if err := k.CopyToUser(as, addr, []byte("x")); !errors.Is(err, ErrWriteDuringFlight) {
+		t.Fatalf("store under guard after pin: %v", err)
+	}
+	if err := k.UnpinUserPages(pfns); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.RestoreWrite(g); err != nil {
+		t.Fatal(err)
+	}
+	// The pin held the refcount above 1 during the window; eager restore
+	// must still have re-enabled write (pins are not sharers).
+	e, err := k.LookupPTE(as, pgtable.PageOf(addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.Writable() {
+		t.Fatal("restore left a sole-owned page read-only")
+	}
+	if err := k.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDonateAdoptBalance(t *testing.T) {
+	k := smallKernel()
+	as := k.CreateProcess("p", false)
+	addr := mmapRW(t, k, as, 3)
+	if err := k.CopyToUser(as, addr, []byte("old data")); err != nil {
+		t.Fatal(err)
+	}
+	free := k.FreePages()
+
+	pfns, err := k.DonateFrames(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.FreePages() != free-3 {
+		t.Fatalf("donation took %d frames, want 3", free-k.FreePages())
+	}
+	// Donated frames are pinned and reserved: reclaim must skip them.
+	for _, p := range pfns {
+		if k.Phys().Pins(p) == 0 || !k.Phys().TestFlags(p, phys.PGReserved) {
+			t.Fatalf("donated frame %d not pinned+reserved", p)
+		}
+	}
+	k.TryToFreePages()
+
+	// Fill a donated frame as the NIC would, then adopt it over the
+	// buffer's first page.
+	fb, err := k.Phys().FrameBytes(pfns[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(fb, []byte("new data"))
+	if err := k.AdoptFrame(as, addr, pfns[0]); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 8)
+	if err := k.CopyFromUser(as, addr, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "new data" {
+		t.Fatalf("after adopt: %q", got)
+	}
+	cur, err := k.ResidentPFN(as, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cur != pfns[0] {
+		t.Fatalf("mapping references %d, want adopted %d", cur, pfns[0])
+	}
+	if k.Phys().Pins(pfns[0]) != 0 || k.Phys().TestFlags(pfns[0], phys.PGReserved) {
+		t.Fatal("adopted frame still pinned or reserved")
+	}
+
+	// Adopt over a swapped page: the slot must be released.
+	// (Second page of the region; force it out first.)
+	k.SwapOut(64)
+	k.SwapOut(64)
+	if e, _ := k.LookupPTE(as, pgtable.PageOf(addr)+1); e.Swapped() {
+		if err := k.AdoptFrame(as, addr+phys.PageSize, pfns[1]); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		if err := k.AdoptFrame(as, addr+phys.PageSize, pfns[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Error taxonomy.
+	if err := k.AdoptFrame(as, addr+1, pfns[2]); err == nil {
+		t.Fatal("adopt at unaligned address succeeded")
+	}
+	if err := k.AdoptFrame(as, addr, pfns[0]); err == nil {
+		t.Fatal("adopt of a non-donated frame succeeded")
+	}
+	if err := k.ReleaseDonated(pfns[2:]); err != nil {
+		t.Fatal(err)
+	}
+
+	if n := k.OrphanFrames(); n != 0 {
+		t.Fatalf("OrphanFrames = %d", n)
+	}
+	if err := k.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.DestroyProcess(as); err != nil {
+		t.Fatal(err)
+	}
+	if k.FreePages() != k.Config().RAMPages {
+		t.Fatalf("teardown left %d free, want %d", k.FreePages(), k.Config().RAMPages)
+	}
+	if got := k.Stats().FrameDonations; got != 3 {
+		t.Fatalf("FrameDonations = %d", got)
+	}
+	if got := k.Stats().FrameAdopts; got != 2 {
+		t.Fatalf("FrameAdopts = %d", got)
+	}
+}

@@ -44,6 +44,10 @@ func (k *Kernel) pinUserPages(as *AddressSpace, addr pgtable.VAddr, npages int, 
 		return nil, fmt.Errorf("mm: pin of %d pages", npages)
 	}
 	start := pgtable.PageOf(addr)
+	// Mark the pin batch so translateLocked resolves write-guarded pages
+	// to their frozen frames instead of raising the scribble policy.
+	k.kernelPin = true
+	defer func() { k.kernelPin = false }()
 	pfns := make([]phys.PFN, 0, npages)
 	undo := func() {
 		for _, pfn := range pfns {

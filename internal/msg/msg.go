@@ -17,6 +17,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/mm"
 	"repro/internal/phys"
 	"repro/internal/proc"
 	"repro/internal/regcache"
@@ -39,8 +40,33 @@ const (
 	OneCopy Protocol = "onecopy"
 	// ZeroCopy registers both user buffers and RDMA-writes the payload.
 	ZeroCopy Protocol = "zerocopy"
+	// Remap is the ownership-transfer protocol (Power's
+	// memory-protection zero-copy): the sender revokes write permission
+	// on the payload for the transfer's duration — concurrent stores
+	// surface as typed ErrWriteDuringFlight or degrade copy-on-touch per
+	// Options.ScribblePolicy — and the receiver delivers page-aligned
+	// payloads by exchanging kernel-donated staging frames into its page
+	// table instead of scatter-copying.  Sub-page payloads and declined
+	// grants fall back to the one-copy path, still under the guard.
+	Remap Protocol = "remap"
+	// ProtectSend is the paper-facing name for Remap.
+	ProtectSend = Remap
 	// Auto picks a protocol from the message size.
 	Auto Protocol = "auto"
+)
+
+// ScribblePolicy selects what happens when the application stores to a
+// Remap/ProtectSend payload while it is in flight.
+type ScribblePolicy uint8
+
+const (
+	// ScribbleFail (the default) fails the writer with a typed
+	// ErrWriteDuringFlight on the faulting goroutine.
+	ScribbleFail ScribblePolicy = iota
+	// ScribbleCopy degrades copy-on-touch: the writer gets a private
+	// copy of the page and proceeds; the transfer sends the original
+	// pinned snapshot.
+	ScribbleCopy
 )
 
 // Ring geometry: R bounce slots of SlotSize bytes per endpoint.
@@ -127,6 +153,10 @@ type Options struct {
 	// endpoint stays usable.  Collective layers use this to detect a
 	// dead partner and run their own abort protocol instead of hanging.
 	RecvTimeout time.Duration
+	// ScribblePolicy selects the Remap/ProtectSend write-guard policy:
+	// ScribbleFail (default) fails a concurrent writer with
+	// ErrWriteDuringFlight; ScribbleCopy degrades copy-on-touch.
+	ScribblePolicy ScribblePolicy
 }
 
 // payloadAttrs builds the registration attributes for user payload
@@ -174,6 +204,19 @@ type Stats struct {
 	// PipelineFallbacks counts pipelined rendezvous that degraded to the
 	// one-copy path after a chunk registration fault.
 	PipelineFallbacks uint64
+	// Remap protocol activity: RemapSends/RemapRecvs count completed
+	// ownership-transfer messages, RemapPages the frames exchanged into
+	// the receiver's page table, RemapTailBytes the unaligned tail bytes
+	// that fell back to a copy, and RemapFallbacks the sends the
+	// receiver declined (degraded to one-copy under the guard).
+	RemapSends     uint64
+	RemapRecvs     uint64
+	RemapPages     uint64
+	RemapTailBytes uint64
+	RemapFallbacks uint64
+	// ScribbleFaults counts application stores caught against in-flight
+	// ProtectSend payloads (either policy).
+	ScribbleFaults uint64
 }
 
 // Errors returned by endpoints.
@@ -195,6 +238,10 @@ var (
 	// ErrRecvTimeout reports that Recv waited longer than the
 	// endpoint's RecvTimeout for the next message announcement.
 	ErrRecvTimeout = errors.New("msg: receive timed out")
+	// ErrWriteDuringFlight is mm.ErrWriteDuringFlight re-exported: the
+	// typed error a goroutine storing to an in-flight ProtectSend
+	// payload observes under the fail-fast scribble policy.
+	ErrWriteDuringFlight = mm.ErrWriteDuringFlight
 )
 
 type ctrlKind uint8
@@ -212,6 +259,11 @@ const (
 	kChunkGrant                 // pipelined rendezvous: one chunk's remote handle
 	kChunkFin                   // pipelined rendezvous: one chunk's RDMA completed
 	kRndvAbort                  // pipelined rendezvous: unwind, sender degrades
+	kRemapRTS                   // remap: request to send (carries size)
+	kRemapGrant                 // remap: staged-frame region handle
+	kRemapNak                   // remap: receiver declines, sender degrades
+	kRemapFin                   // remap: payload landed in the staged frames
+	kRemapAbort                 // remap: sender's RDMA failed, release staging
 )
 
 type ctrlMsg struct {
@@ -295,6 +347,12 @@ type Endpoint struct {
 
 	opts  Options
 	stats Stats
+
+	// scribbles counts guarded write faults against this endpoint's
+	// in-flight ProtectSend payloads.  It is atomic because the guard
+	// callback runs on the faulting (application) goroutine, not the
+	// sender's.
+	scribbles atomic.Uint64
 }
 
 // NewEndpoint builds an endpoint for a process on its NIC handle.
@@ -468,7 +526,11 @@ func (e *Endpoint) sendCtrl(m ctrlMsg) {
 }
 
 // Stats returns a snapshot of endpoint statistics.
-func (e *Endpoint) Stats() Stats { return e.stats }
+func (e *Endpoint) Stats() Stats {
+	s := e.stats
+	s.ScribbleFaults = e.scribbles.Load()
+	return s
+}
 
 // Cache exposes the registration cache (for stats and flushing).
 func (e *Endpoint) Cache() *regcache.Cache { return e.cache }
@@ -517,6 +579,8 @@ func (e *Endpoint) Send(b *proc.Buffer, p Protocol) (int, error) {
 		return e.sendReliable(b, false)
 	case ZeroCopy:
 		return e.sendZeroCopy(b)
+	case Remap:
+		return e.sendRemap(b)
 	default:
 		return 0, fmt.Errorf("msg: unknown protocol %q", p)
 	}
@@ -600,6 +664,14 @@ func (e *Endpoint) Recv(b *proc.Buffer) (int, error) {
 				// The pipelined rendezvous unwound after a chunk
 				// registration fault; the sender degrades to the one-copy
 				// path, whose announcement arrives next.  Keep receiving.
+				continue
+			}
+			return n, err
+		case kRemapRTS:
+			n, err := e.recvRemap(b, m)
+			if errors.Is(err, errRemapDegraded) {
+				// This side declined to stage frames; the sender degrades
+				// to the one-copy path, whose announcement arrives next.
 				continue
 			}
 			return n, err

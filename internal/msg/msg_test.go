@@ -22,6 +22,7 @@ type cluster struct {
 	epA, epB         *Endpoint
 	nw               *via.Network
 	nicA, nicB       *via.NIC
+	agentA, agentB   *kagent.Agent
 }
 
 func newCluster(t *testing.T, strategy core.Strategy, cacheRegions int, opts ...Options) *cluster {
@@ -45,6 +46,7 @@ func newCluster(t *testing.T, strategy core.Strategy, cacheRegions int, opts ...
 	}
 	agentA := kagent.New(c.kernelA, nicA, core.MustNew(strategy))
 	agentB := kagent.New(c.kernelB, nicB, core.MustNew(strategy))
+	c.agentA, c.agentB = agentA, agentB
 	c.procA = proc.New(c.kernelA, "sender", false)
 	c.procB = proc.New(c.kernelB, "receiver", false)
 	var err error

@@ -26,6 +26,11 @@ type epObs struct {
 	pipeChunks    *metrics.Counter
 	pipeFallbacks *metrics.Counter
 
+	scribbles      *metrics.Counter
+	remapSends     *metrics.Counter
+	remapRecvs     *metrics.Counter
+	remapFallbacks *metrics.Counter
+
 	// backoffNS is the wall-clock backoff slept per retry, in
 	// nanoseconds (backoff is real sleeping, not virtual time).
 	backoffNS *metrics.Histogram
@@ -40,16 +45,20 @@ func (e *Endpoint) AttachObs(trc *trace.Tracer, reg *metrics.Registry) {
 		return
 	}
 	e.obs.Store(&epObs{
-		trc:           trc,
-		retries:       reg.Counter("msg.retries"),
-		recoveries:    reg.Counter("msg.recoveries"),
-		ackRescues:    reg.Counter("msg.ack.rescues"),
-		duplicates:    reg.Counter("msg.duplicates"),
-		aborts:        reg.Counter("msg.aborts"),
-		pipeSends:     reg.Counter("msg.pipeline.sends"),
-		pipeChunks:    reg.Counter("msg.pipeline.chunks"),
-		pipeFallbacks: reg.Counter("msg.pipeline.fallbacks"),
-		backoffNS:     reg.Histogram("msg.backoff.wallns"),
+		trc:            trc,
+		retries:        reg.Counter("msg.retries"),
+		recoveries:     reg.Counter("msg.recoveries"),
+		ackRescues:     reg.Counter("msg.ack.rescues"),
+		duplicates:     reg.Counter("msg.duplicates"),
+		aborts:         reg.Counter("msg.aborts"),
+		pipeSends:      reg.Counter("msg.pipeline.sends"),
+		pipeChunks:     reg.Counter("msg.pipeline.chunks"),
+		pipeFallbacks:  reg.Counter("msg.pipeline.fallbacks"),
+		scribbles:      reg.Counter("msg.scribbles"),
+		remapSends:     reg.Counter("msg.remap.sends"),
+		remapRecvs:     reg.Counter("msg.remap.recvs"),
+		remapFallbacks: reg.Counter("msg.remap.fallbacks"),
+		backoffNS:      reg.Histogram("msg.backoff.wallns"),
 	})
 }
 
@@ -69,6 +78,14 @@ func (o *epObs) event(k trace.Kind, a1, a2 uint64) {
 		o.aborts.Inc()
 	case trace.KindPipeFallback:
 		o.pipeFallbacks.Inc()
+	case trace.KindScribbleDetected:
+		o.scribbles.Inc()
+	case trace.KindRemapSend:
+		o.remapSends.Inc()
+	case trace.KindRemapRecv:
+		o.remapRecvs.Inc()
+	case trace.KindRemapFallback:
+		o.remapFallbacks.Inc()
 	}
 	o.trc.Instant(k, a1, a2)
 }

@@ -134,6 +134,23 @@ const (
 	// size.
 	KindPipeFallback
 
+	// Ownership-transfer protocol (still message layer).
+
+	// KindScribbleDetected marks an application store caught against an
+	// in-flight ProtectSend payload.  Arg1=page index within the guarded
+	// range, Arg2=message size.
+	KindScribbleDetected
+	// KindRemapSend marks a completed ownership-transfer send.
+	// Arg1=bytes, Arg2=pages.
+	KindRemapSend
+	// KindRemapRecv marks a remap delivery: staged frames exchanged into
+	// the receiver's page table.  Arg1=bytes, Arg2=frames adopted.
+	KindRemapRecv
+	// KindRemapFallback marks a remap send degrading to the one-copy
+	// path after the receiver declined to stage frames.  Arg1=message
+	// size.
+	KindRemapFallback
+
 	numKinds // sentinel for exhaustiveness tests
 )
 
@@ -176,6 +193,10 @@ var kindNames = [numKinds]string{
 	KindChunkReg:           "chunk-reg",
 	KindChunkXfer:          "chunk-xfer",
 	KindPipeFallback:       "pipe-fallback",
+	KindScribbleDetected:   "scribble-detected",
+	KindRemapSend:          "remap-send",
+	KindRemapRecv:          "remap-recv",
+	KindRemapFallback:      "remap-fallback",
 }
 
 func (k Kind) String() string {
@@ -195,7 +216,7 @@ func (k Kind) Category() string {
 		return "regcache"
 	case k >= KindDescSend && k <= KindCQOverflow:
 		return "via"
-	case k >= KindRetry && k <= KindPipeFallback:
+	case k >= KindRetry && k <= KindRemapFallback:
 		return "msg"
 	default:
 		return "other"

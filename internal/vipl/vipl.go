@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/kagent"
 	"repro/internal/pgtable"
+	"repro/internal/phys"
 	"repro/internal/proc"
 	"repro/internal/via"
 )
@@ -89,6 +90,21 @@ func (n *Nic) RegisterMemRange(b *proc.Buffer, off, length int, attrs via.MemAtt
 		return nil, fmt.Errorf("vipl: register [%d,+%d) outside buffer of %d bytes", off, length, b.Bytes)
 	}
 	reg, err := n.agent.RegisterMem(n.proc.AS(), b.Addr+pgtable.VAddr(off), length, n.tag, attrs)
+	if err != nil {
+		return nil, err
+	}
+	return &MemRegion{nic: n, reg: reg}, nil
+}
+
+// RegisterFrames registers kernel-donated staging frames under this
+// process's tag — the receive half of the remap protocol.  The frames
+// belong to no user range yet; once the transfer lands they are adopted
+// into the address space and the region deregistered.
+func (n *Nic) RegisterFrames(pages []phys.Addr, length int, attrs via.MemAttrs) (*MemRegion, error) {
+	if len(pages) == 0 || length <= 0 {
+		return nil, fmt.Errorf("vipl: register %d frames of %d bytes", len(pages), length)
+	}
+	reg, err := n.agent.RegisterFrames(pages, length, n.tag, attrs)
 	if err != nil {
 		return nil, err
 	}
