@@ -48,13 +48,14 @@ func main() {
 		"ablation":   bench.Ablations,
 		"bigphys":    bench.Bigphys,
 		"msgrate":    bench.MsgRate,
+		"smallmsg":   bench.SmallMsg,
 		"chaos":      bench.Chaos,
 		"rendezvous": bench.Rendezvous,
 		"remap":      bench.Remap,
 		"nopin":      bench.NoPin,
 		"multirail":  bench.Multirail,
 	}
-	order := []string{"regcost", "deregcost", "survival", "protocols", "regcache", "regconc", "multireg", "divergence", "piodma", "latency", "ablation", "bigphys", "msgrate", "chaos", "rendezvous", "remap", "nopin", "multirail", "obs"}
+	order := []string{"regcost", "deregcost", "survival", "protocols", "regcache", "regconc", "multireg", "divergence", "piodma", "latency", "ablation", "bigphys", "msgrate", "smallmsg", "chaos", "rendezvous", "remap", "nopin", "multirail", "obs"}
 
 	run := func(name string) {
 		if err := runners[name](os.Stdout); err != nil {

@@ -373,3 +373,67 @@ func TestChaosStripeClass(t *testing.T) {
 		t.Fatalf("scoreboard %+v: a dead schedule slipped past the runner", res)
 	}
 }
+
+// TestChaosBatchClass runs the E17 small-message batching class end to
+// end: exactly-once completion for every descriptor of every batch
+// under mid-batch lane and link faults, verified inline payloads, and
+// no stranded waiters.
+func TestChaosBatchClass(t *testing.T) {
+	res, err := chaosBatch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ok == 0 || res.loud == 0 || res.injected == 0 {
+		t.Fatalf("scoreboard %+v: a dead schedule slipped past the runner", res)
+	}
+}
+
+// TestSmallMsgPointShapes pins E24's headline claims at point level: the
+// inline path beats the staged path by at least 2× at 64 B on the
+// virtual clock, and batched posting divides doorbells/op by the batch
+// size.  (Wakeups/op is scheduling-sensitive at point scale, so only
+// its sanity range is asserted here; the table shows the curve.)
+func TestSmallMsgPointShapes(t *testing.T) {
+	in, err := smallMsgPathPoint(64, true, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := smallMsgPathPoint(64, false, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st < 2*in {
+		t.Fatalf("inline %v sim-µs/msg vs staged %v: speedup %.2f×, want >= 2×", in, st, st/in)
+	}
+	db1, wk1, _, err := smallMsgBatchPoint(1, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db8, wk8, _, err := smallMsgBatchPoint(8, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db1 < 0.99 || db1 > 1.01 {
+		t.Fatalf("unbatched doorbells/op = %v, want 1", db1)
+	}
+	if db8 < 0.115 || db8 > 0.135 {
+		t.Fatalf("batch-8 doorbells/op = %v, want 1/8", db8)
+	}
+	for _, wk := range []float64{wk1, wk8} {
+		if wk <= 0 || wk > 1.2 {
+			t.Fatalf("wakeups/op out of sanity range: %v and %v", wk1, wk8)
+		}
+	}
+}
+
+func TestSmallMsgOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep")
+	}
+	out := sweepOutput(t, func(w *strings.Builder) error { return SmallMsg(w) })
+	for _, want := range []string{"E24a", "E24b", "speedup", "doorbells/op", "CQ wakeups/op"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}

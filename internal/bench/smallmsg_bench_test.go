@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/via"
+)
+
+// BenchmarkInlineSend is the regression guard for the inline fast path:
+// synchronous 64 B round trips whose payload rides the descriptor
+// image.  Steady state must not allocate — the descriptor pair is
+// reused and the payload never touches the TPT, the gather DMA or the
+// staging pool.
+func BenchmarkInlineSend(b *testing.B) {
+	r, err := smallMsgFabric("inlinebench", nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 64)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	sd := via.NewDescriptor(via.OpSend)
+	rd := via.NewDescriptor(via.OpRecv)
+	simStart := r.meter.Now()
+	b.ReportAllocs()
+	b.SetBytes(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i > 0 {
+			sd.Reset()
+			rd.Reset()
+		}
+		if err := sd.SetInline(payload); err != nil {
+			b.Fatal(err)
+		}
+		if err := r.viB.PostRecv(rd); err != nil {
+			b.Fatal(err)
+		}
+		if err := r.viA.PostSend(sd); err != nil {
+			b.Fatal(err)
+		}
+		if sd.Status != via.StatusSuccess || rd.Status != via.StatusSuccess {
+			b.Fatalf("statuses %v/%v", sd.Status, rd.Status)
+		}
+	}
+	b.StopTimer()
+	if b.N > 0 {
+		b.ReportMetric((r.meter.Now()-simStart).Micros()/float64(b.N), "sim-µs/op")
+	}
+}
+
+// BenchmarkPostBatch guards the batched posting path: rounds of 16
+// inline sends through PostSendBatch (one doorbell, one lane item per
+// round) against a PostRecvBatch window over the 2-lane engine.  One op
+// is one descriptor.
+func BenchmarkPostBatch(b *testing.B) {
+	const group = 16
+	r, err := smallMsgFabric("postbatchbench", nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r.nicA.StartEngineLanes(2)
+	defer r.nicA.StopEngine()
+	payload := make([]byte, 64)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	sends := make([]*via.Descriptor, group)
+	recvs := make([]*via.Descriptor, group)
+	for i := 0; i < group; i++ {
+		sends[i] = via.NewDescriptor(via.OpSend)
+		recvs[i] = via.NewDescriptor(via.OpRecv)
+	}
+	simStart := r.meter.Now()
+	b.ReportAllocs()
+	b.SetBytes(64)
+	b.ResetTimer()
+	for done := 0; done < b.N; done += group {
+		if done > 0 {
+			for i := 0; i < group; i++ {
+				recvs[i].Reset()
+				sends[i].Reset()
+			}
+		}
+		for _, sd := range sends {
+			if err := sd.SetInline(payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := r.viB.PostRecvBatch(recvs); err != nil {
+			b.Fatal(err)
+		}
+		if err := r.viA.PostSendBatch(sends); err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < group; i++ {
+			if st := sends[i].Wait(); st != via.StatusSuccess {
+				b.Fatalf("send %d: status %v", done+i, st)
+			}
+			if st := recvs[i].Wait(); st != via.StatusSuccess {
+				b.Fatalf("recv %d: status %v", done+i, st)
+			}
+		}
+	}
+	b.StopTimer()
+	if b.N > 0 {
+		b.ReportMetric((r.meter.Now()-simStart).Micros()/float64(b.N), "sim-µs/op")
+	}
+}

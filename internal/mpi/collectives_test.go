@@ -250,6 +250,55 @@ func TestSharedCQWorld(t *testing.T) {
 	}
 }
 
+// TestCoalescedWorld drives collectives over engine-backed NICs with
+// doorbell coalescing armed and checks the bursts actually rode the
+// small-message fast paths: headers and scalar cells go inline, and the
+// coalescing window saves doorbells — while every answer stays exact.
+func TestCoalescedWorld(t *testing.T) {
+	const ranks = 6
+	c, w := worldOpts(t, 2, ranks, WorldOptions{
+		EngineLanes:      2,
+		DoorbellCoalesce: 8,
+	})
+	want := int64(ranks * (ranks - 1) / 2)
+	runRanks(t, w, func(r *Rank) error {
+		for iter := 0; iter < 4; iter++ {
+			if err := r.Barrier(); err != nil {
+				return err
+			}
+			got, err := r.Allreduce(int64(r.ID()), OpSum)
+			if err != nil {
+				return err
+			}
+			if got != want {
+				t.Errorf("rank %d iter %d: sum = %d, want %d", r.ID(), iter, got, want)
+			}
+		}
+		vec, err := r.AllreduceVec(make([]int64, 48), OpSum)
+		if err != nil {
+			return err
+		}
+		if len(vec) != 48 {
+			t.Errorf("vec len %d", len(vec))
+		}
+		return nil
+	})
+	var inline, saved, rung uint64
+	for _, node := range c.Nodes {
+		st := node.NIC.Stats()
+		inline += st.InlineSends
+		saved += st.DoorbellsSaved
+		rung += st.Doorbells
+	}
+	if inline == 0 || saved == 0 {
+		t.Fatalf("coalesced world never engaged the fast paths (inline %d, saved doorbells %d)",
+			inline, saved)
+	}
+	if rung == 0 {
+		t.Fatal("no doorbell ever rung — coalescing must still ring per window")
+	}
+}
+
 // TestWorldRDMAEager runs collectives over endpoints in RDMA-eager mode
 // with a shrunken ring, lazily paired and mux-polled — the full E21
 // configuration at test scale.

@@ -84,6 +84,12 @@ type WorldOptions struct {
 	// many lanes for asynchronous descriptor processing.  World.Close
 	// stops them.
 	EngineLanes int
+	// DoorbellCoalesce, when > 1, arms doorbell coalescing with that
+	// window on every node NIC (requires EngineLanes): the collectives'
+	// bursts of small sends — headers, scalar cells, ring segments —
+	// share one doorbell and one lane wakeup per window instead of one
+	// each.  World.Close disarms it.
+	DoorbellCoalesce int
 }
 
 // World is one MPI job: n ranks spread round-robin over the cluster's
@@ -184,6 +190,9 @@ func NewWorldOpts(c *cluster.Cluster, n int, o WorldOptions) (*World, error) {
 		for _, node := range c.Nodes {
 			if !node.NIC.EngineRunning() {
 				node.NIC.StartEngineLanes(o.EngineLanes)
+			}
+			if o.DoorbellCoalesce > 1 {
+				node.NIC.SetDoorbellCoalesce(o.DoorbellCoalesce)
 			}
 		}
 		w.startedEngines = true
@@ -352,6 +361,7 @@ func (w *World) Close() {
 	}
 	if w.startedEngines {
 		for _, node := range w.cluster.Nodes {
+			node.NIC.SetDoorbellCoalesce(0)
 			if node.NIC.EngineRunning() {
 				node.NIC.StopEngine()
 			}

@@ -102,6 +102,14 @@ type Options struct {
 	// EagerMax is the largest message Auto sends eagerly (0 = the
 	// package-level EagerMax).
 	EagerMax int
+	// InlineMax is the largest message the eager path sends as one
+	// inline descriptor: the payload rides inside the descriptor image —
+	// no TPT translation, no gather DMA, no bounce-buffer copy on either
+	// side (the NIC delivers straight into the posted receive
+	// descriptor).  0 selects via.MaxInlineData; negative disables the
+	// inline fast path.  The NIC's own InlineMax attribute is honoured
+	// on top of this bound.
+	InlineMax int
 	// OneCopyMax is the largest message Auto sends by chunked one-copy
 	// (0 = the package-level OneCopyMax).
 	OneCopyMax int
@@ -170,6 +178,11 @@ func (o Options) withDefaults() Options {
 	if o.EagerMax == 0 {
 		o.EagerMax = EagerMax
 	}
+	if o.InlineMax == 0 {
+		o.InlineMax = via.MaxInlineData
+	} else if o.InlineMax < 0 {
+		o.InlineMax = 0
+	}
 	if o.OneCopyMax == 0 {
 		o.OneCopyMax = OneCopyMax
 	}
@@ -195,8 +208,11 @@ type Stats struct {
 	RecvMsgs   uint64
 	RecvBytes  uint64
 	EagerSends uint64
-	OneCopies  uint64
-	ZeroCopies uint64
+	// InlineSends counts eager sends that took the inline-descriptor
+	// fast path (a subset of EagerSends).
+	InlineSends uint64
+	OneCopies   uint64
+	ZeroCopies  uint64
 	// PipelinedSends counts zero-copy sends that ran the pipelined
 	// rendezvous; PipelineChunks the chunks they moved.
 	PipelinedSends uint64
@@ -345,6 +361,18 @@ type Endpoint struct {
 	sendBuf *proc.Buffer
 	sendReg *vipl.MemRegion
 
+	// Inline fast-path state: one reusable send descriptor plus its
+	// staging bytes (the payload is copied once, into the descriptor
+	// image), so steady-state inline sends allocate nothing.
+	inlineDesc *via.Descriptor
+	inlineTmp  []byte
+
+	// Batched-repost scratch: slot indices accumulated by recvInline and
+	// the descriptor slice handed to PostRecvBatch.  Reused so the
+	// receive path does not allocate per flush.
+	repostSlots []int
+	repostDescs []*via.Descriptor
+
 	opts  Options
 	stats Stats
 
@@ -420,15 +448,10 @@ func Pair(nw *via.Network, a, b *Endpoint) error {
 	a.nw, b.nw = nw, nw
 	a.peerRing, b.peerRing = b.ringReg.Handle(), a.ringReg.Handle()
 	for _, e := range []*Endpoint{a, b} {
-		for i := 0; i < e.ringSlots; i++ {
-			if !e.opts.RDMAEager {
-				// RDMA-eager rings take writes directly; no receive
-				// descriptors to pre-post.
-				if err := e.postSlot(i); err != nil {
-					return err
-				}
-			}
-			e.peerGrantCredit()
+		// One batched post covers the whole ring (RDMA-eager rings take
+		// writes directly — repostRing just grants the credits there).
+		if err := e.repostRing(); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -703,6 +726,10 @@ func (e *Endpoint) Recv(b *proc.Buffer) (int, error) {
 // reliability sequence number (0 when reliability is off).
 func (e *Endpoint) sendInline(b *proc.Buffer, eager bool, seq uint64) (int, error) {
 	size := b.Bytes
+	if eager && !e.opts.RDMAEager && size <= e.opts.InlineMax &&
+		size <= e.vi.NIC().InlineMax() {
+		return e.sendInlineDesc(b, seq)
+	}
 	nchunks := (size + e.slotSize - 1) / e.slotSize
 	rdma := e.opts.RDMAEager
 
@@ -790,16 +817,73 @@ func (e *Endpoint) sendInline(b *proc.Buffer, eager bool, seq uint64) (int, erro
 	return sent, nil
 }
 
-// recvInline drains nchunks ring slots into the user buffer.
+// sendInlineDesc is the small-message fast path: the whole payload is
+// copied once, into the image of a reusable send descriptor, and the
+// NIC delivers it straight into the peer's posted ring descriptor — no
+// TPT translation, no gather/scatter DMA, no bounce-slot traffic on
+// either side.  Credits and sequence numbering are identical to the
+// chunked eager path, so reliability retransmits and dedup work
+// unchanged.
+func (e *Endpoint) sendInlineDesc(b *proc.Buffer, seq uint64) (int, error) {
+	size := b.Bytes
+	e.sendCtrl(ctrlMsg{kind: kInline, size: size, nchunks: 1, seq: seq})
+	<-e.credits
+	d := e.inlineSendDesc()
+	if err := b.Read(0, e.inlineTmp[:size]); err != nil {
+		e.inlineDesc = nil // never posted: cannot Reset for reuse
+		return 0, err
+	}
+	if err := d.SetInline(e.inlineTmp[:size]); err != nil {
+		e.inlineDesc = nil
+		return 0, err
+	}
+	if err := e.vi.PostSend(d); err != nil {
+		e.inlineDesc = nil
+		return 0, err
+	}
+	if st := e.waitChunk(d); st != via.StatusSuccess {
+		return 0, &chunkError{chunk: 0, nchunks: 1, status: st}
+	}
+	e.stats.SentMsgs++
+	e.stats.SentBytes += uint64(size)
+	e.stats.EagerSends++
+	e.stats.InlineSends++
+	return size, nil
+}
+
+// inlineSendDesc returns the endpoint's reusable inline send
+// descriptor, re-armed for the next post.
+func (e *Endpoint) inlineSendDesc() *via.Descriptor {
+	if e.inlineDesc == nil {
+		e.inlineDesc = via.NewDescriptor(via.OpSend)
+		e.inlineTmp = make([]byte, via.MaxInlineData)
+	} else {
+		e.inlineDesc.Reset()
+	}
+	return e.inlineDesc
+}
+
+// recvInline drains nchunks ring slots into the user buffer.  Consumed
+// slots are reposted in batches (one doorbell per flush instead of one
+// per slot); credits are granted only after their slots are back on the
+// queue, so the sender can never hit an unposted ring.  The flush
+// threshold is at most half the ring, so the withheld credits can never
+// stall a sender longer than the receiver's next flush.
 func (e *Endpoint) recvInline(b *proc.Buffer, m ctrlMsg) (int, error) {
 	if m.size > b.Bytes {
 		return 0, fmt.Errorf("%w: message %d, buffer %d", ErrTooSmall, m.size, b.Bytes)
 	}
 	got := 0
 	tmp := make([]byte, e.slotSize)
+	threshold := e.ringSlots / 2
+	if threshold < 1 {
+		threshold = 1
+	}
+	e.repostSlots = e.repostSlots[:0]
 	for c := 0; c < m.nchunks; c++ {
 		slot := int(e.rxIdx % uint64(e.ringSlots))
 		var n int
+		var inline []byte
 		if e.opts.RDMAEager {
 			// Poll the slot's dirty flag: the token arrives once the
 			// sender's RDMA write has landed; a poison token means the
@@ -816,18 +900,35 @@ func (e *Endpoint) recvInline(b *proc.Buffer, m ctrlMsg) (int, error) {
 				return got, fmt.Errorf("%w: ring slot %d failed: %v", ErrTransport, slot, st)
 			}
 			n = d.Transferred
+			inline = d.Inline()
 		}
-		if err := e.ringBuf.Read(slot*e.slotSize, tmp[:n]); err != nil {
-			return got, err
+		if inline != nil {
+			// Inline delivery: the payload landed in the descriptor
+			// image, not the ring slot.  Copy it out directly — a
+			// programmed-I/O read of at most MaxInlineData bytes, no
+			// page-sized scatter pass.
+			if err := b.Write(got, inline); err != nil {
+				return got, err
+			}
+			e.meter.ChargeN(e.meter.Costs.PIOPerByte, n)
+		} else {
+			if err := e.ringBuf.Read(slot*e.slotSize, tmp[:n]); err != nil {
+				return got, err
+			}
+			if err := b.Write(got, tmp[:n]); err != nil {
+				return got, err
+			}
+			e.meter.ChargeN(e.meter.Costs.PageCopy, (n+phys.PageSize-1)/phys.PageSize)
 		}
-		if err := b.Write(got, tmp[:n]); err != nil {
-			return got, err
-		}
-		e.meter.ChargeN(e.meter.Costs.PageCopy, (n+phys.PageSize-1)/phys.PageSize)
 		got += n
 		e.rxIdx++
-		if !e.opts.RDMAEager {
-			if err := e.postSlot(slot); err != nil {
+		if e.opts.RDMAEager {
+			e.peerGrantCredit()
+			continue
+		}
+		e.repostSlots = append(e.repostSlots, slot)
+		if len(e.repostSlots) >= threshold {
+			if err := e.flushReposts(); err != nil {
 				if isTransport(err) && got == m.size {
 					// Every chunk landed; only the repost hit the dying
 					// connection.  The message is complete — deliver it
@@ -842,11 +943,43 @@ func (e *Endpoint) recvInline(b *proc.Buffer, m ctrlMsg) (int, error) {
 				return got, err
 			}
 		}
-		e.peerGrantCredit()
+	}
+	if !e.opts.RDMAEager && len(e.repostSlots) > 0 {
+		if err := e.flushReposts(); err != nil && !(isTransport(err) && got == m.size) {
+			return got, err
+		}
 	}
 	e.stats.RecvMsgs++
 	e.stats.RecvBytes += uint64(got)
 	return got, nil
+}
+
+// flushReposts reposts the accumulated ring slots with one batched
+// doorbell and grants the matching credits.  The pending list is
+// cleared whether or not the post succeeds (a failed batch is rebuilt
+// from scratch by the recovery handshake's repostRing).
+func (e *Endpoint) flushReposts() error {
+	if len(e.repostSlots) == 0 {
+		return nil
+	}
+	e.repostDescs = e.repostDescs[:0]
+	for _, slot := range e.repostSlots {
+		if old := e.ringDescs[slot]; old != nil && e.opts.Mux != nil {
+			e.opts.Mux.Forget(old)
+		}
+		d := via.NewDescriptor(via.OpRecv, e.ringReg.Seg(slot*e.slotSize, e.slotSize))
+		e.ringDescs[slot] = d
+		e.repostDescs = append(e.repostDescs, d)
+	}
+	n := len(e.repostSlots)
+	e.repostSlots = e.repostSlots[:0]
+	if err := e.vi.PostRecvBatch(e.repostDescs); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		e.peerGrantCredit()
+	}
+	return nil
 }
 
 // errRndvAborted is the internal signal that a pipelined rendezvous was

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/via"
 )
 
 // TestChooseBoundaries pins the Auto protocol switch points at their
@@ -56,6 +57,7 @@ func TestOptionsWithDefaults(t *testing.T) {
 	d := Options{}.withDefaults()
 	want := Options{
 		EagerMax:      EagerMax,
+		InlineMax:     via.MaxInlineData,
 		OneCopyMax:    OneCopyMax,
 		PipelineDepth: DefaultPipelineDepth,
 		PipelineChunk: DefaultPipelineChunk,
@@ -65,10 +67,15 @@ func TestOptionsWithDefaults(t *testing.T) {
 	if d != want {
 		t.Errorf("Options{}.withDefaults() = %+v, want %+v", d, want)
 	}
-	set := Options{EagerMax: 1, OneCopyMax: 2, PipelineDepth: -1, PipelineChunk: 4096,
-		RingSlots: 2, SlotBytes: 4096}
+	set := Options{EagerMax: 1, InlineMax: 64, OneCopyMax: 2, PipelineDepth: -1,
+		PipelineChunk: 4096, RingSlots: 2, SlotBytes: 4096}
 	if got := set.withDefaults(); got != set {
 		t.Errorf("withDefaults clobbered set fields: %+v → %+v", set, got)
+	}
+	// A negative InlineMax means "no inline fast path", normalized to 0
+	// so the size comparison in sendInline is a plain <=.
+	if got := (Options{InlineMax: -1}).withDefaults().InlineMax; got != 0 {
+		t.Errorf("InlineMax -1 normalized to %d, want 0", got)
 	}
 }
 

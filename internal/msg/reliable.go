@@ -336,22 +336,26 @@ func (e *Endpoint) drainCredits() {
 }
 
 // repostRing rebuilds the bounce ring from slot zero and grants the
-// peer a full set of credits.  The VI must be connected.  In RDMA-eager
-// mode there are no receive descriptors; both cursors rewind to slot
-// zero and stale slot tokens are discarded instead.
+// peer a full set of credits.  The VI must be connected.  The whole
+// ring goes back with one PostRecvBatch — one doorbell instead of one
+// per slot.  In RDMA-eager mode there are no receive descriptors; both
+// cursors rewind to slot zero and stale slot tokens are discarded
+// instead.
 func (e *Endpoint) repostRing() error {
 	e.rxIdx = 0
 	e.txIdx = 0
 	e.drainRdmaReady()
-	for i := 0; i < e.ringSlots; i++ {
-		if !e.opts.RDMAEager {
-			if err := e.postSlot(i); err != nil {
-				return err
-			}
+	if e.opts.RDMAEager {
+		for i := 0; i < e.ringSlots; i++ {
+			e.peerGrantCredit()
 		}
-		e.peerGrantCredit()
+		return nil
 	}
-	return nil
+	e.repostSlots = e.repostSlots[:0]
+	for i := 0; i < e.ringSlots; i++ {
+		e.repostSlots = append(e.repostSlots, i)
+	}
+	return e.flushReposts()
 }
 
 // resetOwnVI brings this endpoint's VI to the idle state whatever state

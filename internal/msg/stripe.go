@@ -67,6 +67,9 @@ const (
 	// DefaultStripePoll bounds each receiver rail poll, so workers
 	// notice Close and severed rails instead of blocking forever.
 	DefaultStripePoll = 2 * time.Millisecond
+	// DefaultStripeWindow bounds how many transfers ahead of the next
+	// in-order delivery the receiver will hold reassembly state for.
+	DefaultStripeWindow = 1024
 )
 
 // Errors returned by the stripe layer.
@@ -91,6 +94,15 @@ type StripeOptions struct {
 	PollInterval time.Duration
 	// RecvTimeout bounds StripeReceiver.Recv (0 = block forever).
 	RecvTimeout time.Duration
+	// Window bounds the receiver's dedup/reassembly state: frames for a
+	// transfer at or beyond nextDeliver+Window are dropped (counted in
+	// WindowDrops), so a multi-hour soak cannot grow the transfer maps
+	// without limit.  The window is a flow-control contract — size it
+	// above the application's maximum sent-but-not-received transfer
+	// depth, like a ring depth; a transfer whose frames were window-
+	// dropped never completes and surfaces as ErrRecvTimeout.  0 selects
+	// DefaultStripeWindow; negative disables the bound (legacy).
+	Window int
 }
 
 // withStripeDefaults fills zero fields.
@@ -103,6 +115,11 @@ func (o StripeOptions) withStripeDefaults(oneCopyMax int) StripeOptions {
 	}
 	if o.PollInterval <= 0 {
 		o.PollInterval = DefaultStripePoll
+	}
+	if o.Window == 0 {
+		o.Window = DefaultStripeWindow
+	} else if o.Window < 0 {
+		o.Window = 0 // unbounded
 	}
 	return o
 }
@@ -347,12 +364,13 @@ type stripeAsm struct {
 
 // StripeRecvStats counts receiver-side stripe activity.
 type StripeRecvStats struct {
-	Delivered  uint64 // logical messages handed to Recv
-	Chunks     uint64 // valid frames reassembled
-	DupFrames  uint64 // duplicate frames discarded by (transfer, offset) dedup
-	RailErrors uint64 // transport-class errors observed by rail pollers
-	Corrupt    uint64 // frames dropped by validation
-	Pending    int    // reassemblies still incomplete
+	Delivered   uint64 // logical messages handed to Recv
+	Chunks      uint64 // valid frames reassembled
+	DupFrames   uint64 // duplicate frames discarded by (transfer, offset) dedup
+	RailErrors  uint64 // transport-class errors observed by rail pollers
+	Corrupt     uint64 // frames dropped by validation
+	WindowDrops uint64 // frames dropped for transfers beyond the sliding window
+	Pending     int    // reassemblies still incomplete
 }
 
 // StripeReceiver reassembles striped transfers.
@@ -365,6 +383,12 @@ type StripeReceiver struct {
 	pause   []sync.Mutex
 	chunk   int
 	timeout time.Duration
+
+	// window bounds how far ahead of nextDeliver the transfer-keyed
+	// maps may reach (0 = unbounded): every key in asm/done/skipped is
+	// < nextDeliver+window at insertion and pruned as delivery passes
+	// it, so the dedup state is O(window), not O(transfers ever sent).
+	window uint64
 
 	mu          sync.Mutex
 	cond        *sync.Cond
@@ -392,6 +416,7 @@ func NewStripeReceiver(name string, rails []*Endpoint, opts StripeOptions) (*Str
 		pause:   make([]sync.Mutex, len(rails)),
 		chunk:   opts.Chunk,
 		timeout: opts.RecvTimeout,
+		window:  uint64(opts.Window),
 		asm:     make(map[uint64]*stripeAsm),
 		done:    make(map[uint64][]byte),
 		skipped: make(map[uint64]struct{}),
@@ -487,6 +512,14 @@ func (r *StripeReceiver) ingest(f []byte) {
 		// Reroute of a chunk from a transfer already delivered (the
 		// sender saw a failure after the payload landed).
 		r.stats.DupFrames++
+		return
+	}
+	if r.window > 0 && xfer >= r.nextDeliver+r.window {
+		// Beyond the sliding window: accepting the frame would let the
+		// transfer maps grow without bound when the application stops
+		// draining.  The sender violated the window contract (more
+		// outstanding transfers than Window); drop and count.
+		r.stats.WindowDrops++
 		return
 	}
 	if _, ok := r.done[xfer]; ok {
@@ -601,7 +634,10 @@ func (r *StripeReceiver) Close() {
 // error): their partial reassemblies are discarded and in-order
 // delivery steps over them instead of stalling forever behind a
 // transfer that can never complete.  Transfers already delivered are
-// ignored.
+// ignored.  Skipped marks are honoured even beyond the sliding window
+// (delivery must step over a window-dropped transfer too); they are
+// fault-path events bounded by the failed-send count, not per-send
+// state, and are pruned as delivery passes them.
 func (r *StripeReceiver) Abandon(xfers ...uint64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()

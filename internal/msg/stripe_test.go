@@ -393,3 +393,131 @@ func FuzzStripeReassembly(f *testing.F) {
 		}
 	})
 }
+
+// TestStripeWindowBoundsState is the soak guard for the receiver's
+// sequence-dedup state: across 10k transfers at a fixed pipeline depth
+// the transfer-keyed maps (asm/done/skipped) must stay O(depth) — they
+// track outstanding transfers, never the total ever sent.
+func TestStripeWindowBoundsState(t *testing.T) {
+	leakcheck.Check(t)
+	const (
+		total  = 10000
+		depth  = 8
+		window = 64
+	)
+	r := newStripeRig(t, 2, StripeOptions{Chunk: 1024, Window: window,
+		RecvTimeout: 30 * time.Second})
+	defer r.rx.Close()
+
+	stateSize := func() int {
+		r.rx.mu.Lock()
+		defer r.rx.mu.Unlock()
+		return len(r.rx.asm) + len(r.rx.done) + len(r.rx.skipped)
+	}
+
+	src, err := r.procA.Malloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := r.procB.Malloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recvd := 0
+	for i := 0; i < total; i++ {
+		if _, err := r.tx.Send(src); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+		if i >= depth {
+			if _, err := r.rx.Recv(dst); err != nil {
+				t.Fatalf("recv %d: %v", recvd, err)
+			}
+			recvd++
+		}
+		if i%512 == 0 {
+			if n := stateSize(); n > depth {
+				t.Fatalf("after %d sends: dedup state holds %d transfers, want O(depth) <= %d",
+					i+1, n, depth)
+			}
+		}
+	}
+	for ; recvd < total; recvd++ {
+		if _, err := r.rx.Recv(dst); err != nil {
+			t.Fatalf("drain recv %d: %v", recvd, err)
+		}
+	}
+	st := r.rx.Stats()
+	if st.Delivered != total {
+		t.Fatalf("delivered = %d, want %d", st.Delivered, total)
+	}
+	if st.WindowDrops != 0 {
+		t.Fatalf("window drops = %d, want 0 (depth %d fits window %d)",
+			st.WindowDrops, depth, window)
+	}
+	if n := stateSize(); n != 0 {
+		t.Fatalf("dedup state holds %d transfers after full drain, want 0", n)
+	}
+}
+
+// TestStripeWindowDropsOverrun overruns the window on purpose — more
+// sent-not-received transfers than Window — and checks the excess
+// frames are dropped and counted instead of retained, the state stays
+// bounded, and delivery of the dropped transfers surfaces as a recv
+// timeout rather than unbounded memory.
+func TestStripeWindowDropsOverrun(t *testing.T) {
+	leakcheck.Check(t)
+	const (
+		window  = 8
+		overrun = 12
+	)
+	r := newStripeRig(t, 1, StripeOptions{Chunk: 1024, Window: window,
+		RecvTimeout: 300 * time.Millisecond})
+	defer r.rx.Close()
+
+	src, err := r.procA.Malloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < window+overrun; i++ {
+		if _, err := r.tx.Send(src); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	// Sends complete before the receive-side pollers ingest; wait until
+	// every frame has been accounted, kept or dropped.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := r.rx.Stats()
+		if st.Chunks+st.WindowDrops >= window+overrun {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pollers stalled: stats %+v", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	st := r.rx.Stats()
+	if st.WindowDrops != overrun {
+		t.Fatalf("window drops = %d, want %d", st.WindowDrops, overrun)
+	}
+	r.rx.mu.Lock()
+	held := len(r.rx.asm) + len(r.rx.done)
+	r.rx.mu.Unlock()
+	if held > window {
+		t.Fatalf("dedup state holds %d transfers, want <= window %d", held, window)
+	}
+	dst, err := r.procB.Malloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < window; i++ {
+		if _, err := r.rx.Recv(dst); err != nil {
+			t.Fatalf("recv %d (in-window transfer): %v", i, err)
+		}
+	}
+	// The overrun transfers' frames are gone for good: delivery stalls
+	// on the first of them and the recv timeout surfaces it.
+	if _, err := r.rx.Recv(dst); !errors.Is(err, ErrRecvTimeout) {
+		t.Fatalf("recv of window-dropped transfer = %v, want ErrRecvTimeout", err)
+	}
+}

@@ -40,6 +40,7 @@ type CQ struct {
 
 	size    atomic.Int64  // entries currently queued (all shards)
 	dropped atomic.Uint64 // entries lost to overflow
+	wakeups atomic.Uint64 // waiter parks that ended in a notify wake
 	closed  atomic.Bool
 
 	// notify is the consumer wakeup baton (capacity 1, coalescing);
@@ -151,6 +152,50 @@ func (q *CQ) push(c Completion) {
 		s.mu.Unlock()
 		return
 	}
+	q.insertLocked(s, c)
+	s.mu.Unlock()
+	select {
+	case q.notify <- struct{}{}:
+	default:
+	}
+}
+
+// pushBatch deposits a run of completions with one notify and one lock
+// acquisition per same-shard run, instead of one of each per entry.
+// The NIC's flush paths (batch overflow, VI error/reset) and the
+// engine's coalesced drains use it so completing a burst does not turn
+// back into per-entry wakeup traffic.
+func (q *CQ) pushBatch(cs []Completion) {
+	if q == nil || len(cs) == 0 || q.closed.Load() {
+		return
+	}
+	for i := 0; i < len(cs); {
+		s := q.shardFor(cs[i])
+		j := i + 1
+		for j < len(cs) && q.shardFor(cs[j]) == s {
+			j++
+		}
+		s.mu.Lock()
+		if q.closed.Load() {
+			s.mu.Unlock()
+			return
+		}
+		for _, c := range cs[i:j] {
+			q.insertLocked(s, c)
+		}
+		s.mu.Unlock()
+		i = j
+	}
+	select {
+	case q.notify <- struct{}{}:
+	default:
+	}
+}
+
+// insertLocked adds one completion to shard s (s.mu held): overflow
+// check, ring growth, append, size bump.  Notification is the caller's
+// job so batches can coalesce it.
+func (q *CQ) insertLocked(s *cqShard, c Completion) {
 	if int(q.size.Load()) >= q.depth && s.n > 0 {
 		// Overflow: the whole queue is at depth — drop this shard's
 		// oldest entry, loudly.  (When the full entries all sit in
@@ -182,11 +227,6 @@ func (q *CQ) push(c Completion) {
 	s.buf[(s.head+s.n)%len(s.buf)] = c
 	s.n++
 	q.size.Add(1)
-	s.mu.Unlock()
-	select {
-	case q.notify <- struct{}{}:
-	default:
-	}
 }
 
 // pop removes the oldest completion of one shard.
@@ -205,9 +245,15 @@ func (s *cqShard) pop(q *CQ) (Completion, bool) {
 	return c, true
 }
 
-// Poll removes the oldest completion without blocking.
+// Poll removes the oldest completion without blocking.  It is
+// consistent with Len: as long as entries remain queued (Len() > 0) a
+// full scan that finds nothing rescans instead of reporting empty —
+// a racing push may land in a shard behind the scan front, and before
+// this loop Poll could return ErrCQEmpty while Len() stayed positive.
+// Each empty scan means a racing consumer won an entry, so the loop
+// makes system-wide progress and exits when the queue is truly drained.
 func (q *CQ) Poll() (Completion, error) {
-	if q.size.Load() > 0 {
+	for q.size.Load() > 0 {
 		start := int(q.rr.Add(1))
 		for i := 0; i < len(q.shards); i++ {
 			if c, ok := q.shards[(start+i)%len(q.shards)].pop(q); ok {
@@ -219,6 +265,60 @@ func (q *CQ) Poll() (Completion, error) {
 		return Completion{}, ErrCQClosed
 	}
 	return Completion{}, ErrCQEmpty
+}
+
+// PollBatch drains up to len(buf) completions into buf and returns how
+// many it moved, taking each shard's lock once per scan instead of once
+// per entry.  It never blocks: a zero count comes with ErrCQEmpty (or
+// ErrCQClosed once the queue is closed and drained).  Like Poll it
+// rescans while Len() > 0 so a concurrent push cannot make it report
+// empty against a non-empty queue.
+func (q *CQ) PollBatch(buf []Completion) (int, error) {
+	if len(buf) == 0 {
+		return 0, nil
+	}
+	n := 0
+	for n < len(buf) && q.size.Load() > 0 {
+		start := int(q.rr.Add(1))
+		got := 0
+		for i := 0; i < len(q.shards) && n < len(buf); i++ {
+			k := q.shards[(start+i)%len(q.shards)].popMany(q, buf[n:])
+			got += k
+			n += k
+		}
+		if got == 0 && n > 0 {
+			// Racing consumers drained the remainder; ship what we have.
+			break
+		}
+	}
+	if n > 0 {
+		return n, nil
+	}
+	if q.closed.Load() {
+		return 0, ErrCQClosed
+	}
+	return 0, ErrCQEmpty
+}
+
+// popMany removes up to len(buf) of the shard's oldest completions
+// under a single lock acquisition.
+func (s *cqShard) popMany(q *CQ, buf []Completion) int {
+	s.mu.Lock()
+	k := s.n
+	if k > len(buf) {
+		k = len(buf)
+	}
+	for i := 0; i < k; i++ {
+		buf[i] = s.buf[s.head]
+		s.buf[s.head] = Completion{}
+		s.head = (s.head + 1) % len(s.buf)
+	}
+	if k > 0 {
+		s.n -= k
+		q.size.Add(int64(-k))
+	}
+	s.mu.Unlock()
+	return k
 }
 
 // Wait blocks until a completion is available (VipCQWait) or the queue
@@ -249,12 +349,19 @@ func (q *CQ) WaitCtx(ctx context.Context) (Completion, error) {
 		}
 		select {
 		case <-q.notify:
+			q.wakeups.Add(1)
 		case <-q.closedCh:
 		case <-ctx.Done():
 			return Completion{}, ctx.Err()
 		}
 	}
 }
+
+// Wakeups reports how many times a waiter actually parked on the queue
+// and was woken by a notify — the wakeups/op numerator of E24.  Entries
+// consumed by polling (Poll/PollBatch, or WaitCtx's first try) cost no
+// wakeup, which is exactly what completion coalescing buys.
+func (q *CQ) Wakeups() uint64 { return q.wakeups.Load() }
 
 // Len reports the number of queued completions.
 func (q *CQ) Len() int {

@@ -1,6 +1,8 @@
 package via
 
 import (
+	"errors"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -42,6 +44,7 @@ type CQMux struct {
 	selfDrains atomic.Uint64 // WaitDesc drained its own completion
 	bypassed   atomic.Uint64 // WaitDesc gave up on the CQ (lost entry)
 	evicted    atomic.Uint64 // pending entries evicted by the cap
+	parks      atomic.Uint64 // poller exhausted its spin budget and blocked
 
 	done chan struct{}
 }
@@ -61,6 +64,11 @@ type CQMuxStats struct {
 	Bypassed uint64
 	// Evicted counts parked completions discarded by the pending cap.
 	Evicted uint64
+	// PollerParks counts the times the poller ran out of work, spun its
+	// budget dry, and parked on the CQ's notify channel.  Drained minus
+	// parks approximates completions consumed without any wakeup — the
+	// spin-then-park win at high rank counts.
+	PollerParks uint64
 	// Pending is the current parked-completion count.
 	Pending int
 	// VIs is the number of distinct VIs whose completions passed
@@ -94,17 +102,54 @@ func NewCQMux(depth int) *CQMux {
 // (CreateVIWithCQ / vipl.CreateViCQ).
 func (m *CQMux) CQ() *CQ { return m.cq }
 
-// poll is the single poller: it blocks on the shared CQ and routes
-// every completion until the queue closes.
+// muxPollBatch is the poller's drain granularity: up to this many
+// completions come off the CQ per PollBatch and are routed under one
+// mux lock acquisition.  muxSpinBudget is how many empty polls the
+// poller tolerates (yielding between them) before parking on the CQ's
+// notify channel — the adaptive spin-then-park window that keeps a busy
+// thousand-VI world from paying a wakeup per completion while an idle
+// mux still sleeps.
+const (
+	muxPollBatch  = 64
+	muxSpinBudget = 128
+)
+
+// poll is the single poller: it drains the shared CQ in batches,
+// spinning briefly when the queue runs dry and parking only once the
+// spin budget is exhausted, until the queue closes.
 func (m *CQMux) poll() {
 	defer close(m.done)
+	buf := make([]Completion, muxPollBatch)
+	spins := 0
 	for {
-		c, err := m.cq.Wait()
-		if err != nil {
+		n, err := m.cq.PollBatch(buf)
+		if n > 0 {
+			m.drained.Add(uint64(n))
+			m.mu.Lock()
+			for _, c := range buf[:n] {
+				m.routeLocked(c)
+			}
+			m.mu.Unlock()
+			clear(buf[:n])
+			spins = 0
+			continue
+		}
+		if errors.Is(err, ErrCQClosed) {
+			return
+		}
+		if spins < muxSpinBudget {
+			spins++
+			runtime.Gosched()
+			continue
+		}
+		m.parks.Add(1)
+		c, werr := m.cq.Wait()
+		if werr != nil {
 			return
 		}
 		m.drained.Add(1)
 		m.route(c)
+		spins = 0
 	}
 }
 
@@ -146,6 +191,21 @@ func (m *CQMux) routeLocked(c Completion) {
 	}
 	m.pending[c.Desc] = c
 	m.fifo = append(m.fifo, c.Desc)
+	if len(m.fifo) > 2*len(m.pending)+64 {
+		// Most fifo entries are tombstones (their pending entry was
+		// consumed by WaitDesc, delivery, or Forget).  Compact in place
+		// so the order array stays O(pending) instead of growing with
+		// every parked completion for the life of the mux.
+		old := m.fifo
+		kept := old[:0]
+		for _, pd := range old {
+			if _, ok := m.pending[pd]; ok {
+				kept = append(kept, pd)
+			}
+		}
+		clear(old[len(kept):])
+		m.fifo = kept
+	}
 }
 
 // WaitDesc blocks until the descriptor completes and its completion has
@@ -230,13 +290,14 @@ func (m *CQMux) Stats() CQMuxStats {
 	pend, vis := len(m.pending), len(m.vis)
 	m.mu.Unlock()
 	return CQMuxStats{
-		Drained:    m.drained.Load(),
-		Delivered:  m.delivered.Load(),
-		SelfDrains: m.selfDrains.Load(),
-		Bypassed:   m.bypassed.Load(),
-		Evicted:    m.evicted.Load(),
-		Pending:    pend,
-		VIs:        vis,
+		Drained:     m.drained.Load(),
+		Delivered:   m.delivered.Load(),
+		SelfDrains:  m.selfDrains.Load(),
+		Bypassed:    m.bypassed.Load(),
+		Evicted:     m.evicted.Load(),
+		PollerParks: m.parks.Load(),
+		Pending:     pend,
+		VIs:         vis,
 	}
 }
 

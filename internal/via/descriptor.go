@@ -139,6 +139,18 @@ type RemoteSegment struct {
 // carry inline (the VIA spec allows four).
 const ImmediateLen = 4
 
+// MaxInlineData is the hardware bound on inline payload: the descriptor
+// image the NIC fetches is one cache-line-aligned 256-byte block beyond
+// the header, so a payload up to this size rides inside the descriptor
+// itself — no TPT translation, no gather DMA, no staging buffer.  The
+// per-NIC InlineMax attribute (SetInlineMax) may lower the accepted
+// size but never exceeds this bound.
+const MaxInlineData = 256
+
+// ErrInlineTooLarge reports an inline payload exceeding the NIC's
+// InlineMax (or the MaxInlineData hardware bound).
+var ErrInlineTooLarge = errors.New("via: inline payload exceeds InlineMax")
+
 // Descriptor is one work request.  The process builds it in (conceptually
 // registered) memory, posts it to a VI work queue and rings the doorbell;
 // the NIC fills Status and Transferred on completion.
@@ -154,6 +166,15 @@ type Descriptor struct {
 	Immediate [ImmediateLen]byte
 	// HasImmediate marks the immediate data as meaningful.
 	HasImmediate bool
+
+	// inline is the inline-payload image: a send built with SetInline
+	// carries its whole payload here instead of in registered segments,
+	// and an inline delivery lands the payload here on the matched
+	// receive descriptor.  inlineLen is the valid byte count (0 = not
+	// inline).  The array lives in the descriptor so a reused descriptor
+	// never allocates for inline traffic.
+	inline    [MaxInlineData]byte
+	inlineLen int
 
 	// Status is the completion result, StatusPending until then.
 	Status Status
@@ -184,13 +205,54 @@ func NewDescriptor(op Op, segs ...Segment) *Descriptor {
 	return &Descriptor{Op: op, Segs: segs}
 }
 
-// TotalLength sums the segment lengths.
+// TotalLength sums the segment lengths; for an inline descriptor it is
+// the inline payload length (inline sends carry no segments).
 func (d *Descriptor) TotalLength() int {
+	if d.inlineLen > 0 {
+		return d.inlineLen
+	}
 	n := 0
 	for _, s := range d.Segs {
 		n += s.Length
 	}
 	return n
+}
+
+// SetInline copies p into the descriptor's inline image, turning the
+// descriptor into an inline send: the payload travels inside the
+// descriptor, skipping TPT translation and the gather DMA entirely.
+// The descriptor must carry no segments (the inline image replaces
+// them).  Payloads beyond MaxInlineData are refused; the posting NIC
+// additionally enforces its configured InlineMax.
+func (d *Descriptor) SetInline(p []byte) error {
+	if len(p) > MaxInlineData {
+		return fmt.Errorf("%w: %d > %d", ErrInlineTooLarge, len(p), MaxInlineData)
+	}
+	if len(d.Segs) > 0 {
+		return errors.New("via: SetInline on a descriptor with segments")
+	}
+	d.inlineLen = copy(d.inline[:], p)
+	return nil
+}
+
+// Inline returns the valid inline payload (nil when the descriptor is
+// not inline).  On a completed receive descriptor matched by an inline
+// send it is the delivered payload; the slice aliases the descriptor
+// image and is valid until the next Reset or SetInline.
+func (d *Descriptor) Inline() []byte {
+	if d.inlineLen == 0 {
+		return nil
+	}
+	return d.inline[:d.inlineLen]
+}
+
+// IsInline reports whether the descriptor carries an inline payload.
+func (d *Descriptor) IsInline() bool { return d.inlineLen > 0 }
+
+// setInlineRecv is the delivery half: the NIC writes an inline send's
+// payload straight into the matched receive descriptor's image.
+func (d *Descriptor) setInlineRecv(p []byte) {
+	d.inlineLen = copy(d.inline[:], p)
 }
 
 // complete finalizes the descriptor and reports whether this call won
@@ -249,5 +311,6 @@ func (d *Descriptor) Reset() {
 	d.done = nil
 	d.span = 0
 	d.postSim = 0
+	d.inlineLen = 0
 	d.mu.Unlock()
 }

@@ -41,6 +41,12 @@ type Stats struct {
 	RecvUnderflows uint64 // sends that found no receive descriptor posted
 	ImmediateOnly  uint64 // descriptors served from immediate data alone
 
+	// Small-message fast path accounting (E24's scoreboard).
+	InlineSends    uint64 // sends whose payload rode inside the descriptor
+	Doorbells      uint64 // doorbells actually rung (PIO writes)
+	DoorbellsSaved uint64 // posts whose doorbell was coalesced away
+	BatchPosts     uint64 // descriptors posted through batch/coalesced doorbells
+
 	// Fault/recovery accounting (the chaos harness's scoreboard).
 	Faults             uint64 // data-path faults that hit a VI (injected or organic)
 	VIErrors           uint64 // VI transitions into the error state
@@ -70,6 +76,11 @@ type nicCounters struct {
 	tagViolations  atomic.Uint64
 	recvUnderflows atomic.Uint64
 	immediateOnly  atomic.Uint64
+
+	inlineSends    atomic.Uint64
+	doorbells      atomic.Uint64
+	doorbellsSaved atomic.Uint64
+	batchPosts     atomic.Uint64
 
 	faults      atomic.Uint64
 	viErrors    atomic.Uint64
@@ -102,6 +113,13 @@ type NIC struct {
 	// nw is the fabric the NIC is attached to (set by Network.Attach),
 	// consulted for link partitions.
 	nw atomic.Pointer[Network]
+
+	// inlineMax is the accepted inline-payload bound (0..MaxInlineData,
+	// default MaxInlineData); dbCoalesce is the doorbell-coalescing
+	// window (0 = every post rings; see SetDoorbellCoalesce).  Both are
+	// atomic so posts read them lock-free.
+	inlineMax  atomic.Int32
+	dbCoalesce atomic.Int32
 
 	// ioFaultHandler is the host-side IO-page-fault upcall for nopin
 	// regions (installed by the kernel agent); ioFaultPolicy selects
@@ -150,13 +168,53 @@ func NewNIC(name string, mem *phys.Memory, meter *simtime.Meter, tptSlots int) *
 	if meter == nil {
 		meter = &simtime.Meter{}
 	}
-	return &NIC{
+	n := &NIC{
 		name:  name,
 		mem:   mem,
 		meter: meter,
 		tpt:   newTPT(tptSlots),
 		vis:   make(map[int]*VI),
 	}
+	n.inlineMax.Store(MaxInlineData)
+	return n
+}
+
+// InlineMax reports the NIC's accepted inline-payload bound.
+func (n *NIC) InlineMax() int { return int(n.inlineMax.Load()) }
+
+// SetInlineMax adjusts the accepted inline-payload bound.  Values are
+// clamped to [0, MaxInlineData]; 0 refuses inline sends entirely.
+// Negative values restore the default (MaxInlineData).
+func (n *NIC) SetInlineMax(max int) {
+	switch {
+	case max < 0 || max > MaxInlineData:
+		max = MaxInlineData
+	}
+	n.inlineMax.Store(int32(max))
+}
+
+// DoorbellCoalesce reports the doorbell-coalescing window (0 or 1 =
+// disabled).
+func (n *NIC) DoorbellCoalesce() int { return int(n.dbCoalesce.Load()) }
+
+// SetDoorbellCoalesce sets the doorbell-coalescing window: in engine
+// mode, up to `window` posts on one VI share a single doorbell ring and
+// lane wakeup (see dispatchCoalesced).  Values <= 1 disable coalescing;
+// synchronous (engine-off) NICs ignore the setting.  Completion-order
+// guarantees are unchanged — only the wakeup count drops.
+func (n *NIC) SetDoorbellCoalesce(window int) {
+	if window < 0 {
+		window = 0
+	}
+	n.dbCoalesce.Store(int32(window))
+}
+
+// ringDoorbell charges one doorbell MMIO and counts it: every post path
+// that actually wakes the card goes through here, so Stats.Doorbells is
+// the measured doorbells/op denominator of E24.
+func (n *NIC) ringDoorbell() {
+	n.meter.Charge(n.meter.Costs.Doorbell)
+	n.ctr.doorbells.Add(1)
 }
 
 // Name returns the NIC's name.
@@ -177,6 +235,11 @@ func (n *NIC) Stats() Stats {
 		TagViolations:  n.ctr.tagViolations.Load(),
 		RecvUnderflows: n.ctr.recvUnderflows.Load(),
 		ImmediateOnly:  n.ctr.immediateOnly.Load(),
+
+		InlineSends:    n.ctr.inlineSends.Load(),
+		Doorbells:      n.ctr.doorbells.Load(),
+		DoorbellsSaved: n.ctr.doorbellsSaved.Load(),
+		BatchPosts:     n.ctr.batchPosts.Load(),
 
 		Faults:             n.ctr.faults.Load(),
 		VIErrors:           n.ctr.viErrors.Load(),
@@ -619,6 +682,10 @@ func (n *NIC) process(v *VI, d *Descriptor) {
 	}
 	switch d.Op {
 	case OpSend:
+		if d.IsInline() {
+			n.processSendInline(v, peer, d)
+			return
+		}
 		n.processSend(v, peer, d)
 	case OpRDMAWrite:
 		n.processRDMAWrite(v, peer, d)
@@ -815,6 +882,62 @@ func (n *NIC) processSend(v, peer *VI, d *Descriptor) {
 	v.completeSend(d, StatusSuccess, len(payload))
 	n.ctr.sends.Add(1)
 	n.ctr.bytesTX.Add(uint64(len(payload)))
+	pn.ctr.recvs.Add(1)
+	pn.ctr.bytesRX.Add(uint64(len(payload)))
+}
+
+// processSendInline is the small-message fast path: the payload already
+// sits in the descriptor image (PIO-written at post time), so there is
+// no TPT translation, no gather DMA, no staging buffer and no scatter
+// pass — the engine streams the image to the wire and the receiving NIC
+// writes it back into the matched receive descriptor's image, where the
+// consumer reads it without touching registered memory.
+func (n *NIC) processSendInline(v, peer *VI, d *Descriptor) {
+	sc := n.stageStart()
+	payload := d.Inline()
+	if err := n.linkCheck(peer); err != nil {
+		n.faultSend(v, d, err)
+		return
+	}
+	// No DMA startup and no per-byte DMA: the payload was charged as PIO
+	// when the descriptor was built.  Only the wire crossing remains.
+	n.meter.Charge(n.meter.Costs.WireLatency)
+	sc.mark(trace.KindWire, len(payload))
+
+	rd := peer.popRecv()
+	if rd == nil {
+		peer.nic.ctr.recvUnderflows.Add(1)
+		n.ctr.faults.Add(1)
+		v.completeSend(d, StatusConnectionError, 0)
+		v.enterError(ErrRecvUnderflow)
+		return
+	}
+	// The posted receive must be able to hold the message: its buffer
+	// length for a scatter-backed recv, the inline image for a bare one.
+	limit := rd.TotalLength()
+	if len(rd.Segs) == 0 {
+		limit = MaxInlineData
+	}
+	if len(payload) > limit {
+		n.ctr.faults.Add(1)
+		peer.completeRecv(rd, StatusLengthError, 0)
+		v.completeSend(d, StatusLengthError, 0)
+		v.enterError(ErrLengthMismatch)
+		return
+	}
+	rd.setInlineRecv(payload)
+	rd.Immediate = d.Immediate
+	rd.HasImmediate = d.HasImmediate
+	peer.completeRecv(rd, StatusSuccess, len(payload))
+	if err := n.completionCheck(v); err != nil {
+		n.faultSend(v, d, err)
+		return
+	}
+	v.completeSend(d, StatusSuccess, len(payload))
+	n.ctr.sends.Add(1)
+	n.ctr.inlineSends.Add(1)
+	n.ctr.bytesTX.Add(uint64(len(payload)))
+	pn := peer.nic
 	pn.ctr.recvs.Add(1)
 	pn.ctr.bytesRX.Add(uint64(len(payload)))
 }

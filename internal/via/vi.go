@@ -100,6 +100,16 @@ type VI struct {
 	// sendsInFlight is informational: descriptors posted but not complete.
 	sendsInFlight int
 
+	// Doorbell coalescing (engine mode, opt-in via SetDoorbellCoalesce):
+	// posts append to dbPending; only the post that finds the list
+	// disarmed rings the doorbell and enqueues a lane token, so a burst
+	// of posts costs one doorbell and one lane wakeup.  dbFree is the
+	// drained batch's backing array, recycled so steady-state coalescing
+	// never allocates.  All three are guarded by mu.
+	dbPending []*Descriptor
+	dbFree    []*Descriptor
+	dbArmed   bool
+
 	// Optional completion queues (set by CreateVIWithCQ).
 	sendCQ *CQ
 	recvCQ *CQ
@@ -149,6 +159,51 @@ func (v *VI) completeRecv(d *Descriptor, st Status, n int) {
 	v.recvCQ.push(Completion{VI: v, Desc: d, Recv: true})
 }
 
+// completeSendBatch finalizes a run of send descriptors with the same
+// status, costing one CQ lock pass and one notify instead of one per
+// descriptor (the flush paths complete whole batches at once).
+func (v *VI) completeSendBatch(ds []*Descriptor, st Status) {
+	if len(ds) == 0 {
+		return
+	}
+	if v.sendCQ == nil {
+		for _, d := range ds {
+			v.completeSend(d, st, 0)
+		}
+		return
+	}
+	cs := make([]Completion, len(ds))
+	for i, d := range ds {
+		if d.complete(st, 0) {
+			v.observeComplete(d, trace.KindDescSend, st, 0, false)
+		}
+		cs[i] = Completion{VI: v, Desc: d}
+	}
+	v.sendCQ.pushBatch(cs)
+}
+
+// completeRecvBatch is completeSendBatch for the receive queue (VI
+// error and reset flush every posted receive in one go).
+func (v *VI) completeRecvBatch(ds []*Descriptor, st Status) {
+	if len(ds) == 0 {
+		return
+	}
+	if v.recvCQ == nil {
+		for _, d := range ds {
+			v.completeRecv(d, st, 0)
+		}
+		return
+	}
+	cs := make([]Completion, len(ds))
+	for i, d := range ds {
+		if d.complete(st, 0) {
+			v.observeComplete(d, trace.KindDescRecv, st, 0, true)
+		}
+		cs[i] = Completion{VI: v, Desc: d, Recv: true}
+	}
+	v.recvCQ.pushBatch(cs)
+}
+
 // observeComplete closes a descriptor's lifecycle span and records its
 // post-to-complete virtual latency.  Only the winning completion calls
 // it, so every posted span ends exactly once.
@@ -192,7 +247,7 @@ func (v *VI) PostRecv(d *Descriptor) error {
 	if d.Op != OpRecv {
 		return fmt.Errorf("via: PostRecv with %v descriptor", d.Op)
 	}
-	v.nic.meter.Charge(v.nic.meter.Costs.Doorbell)
+	v.nic.ringDoorbell()
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	switch v.state {
@@ -201,6 +256,48 @@ func (v *VI) PostRecv(d *Descriptor) error {
 	case VIIdle:
 		return ErrNotConnected
 	}
+	v.pushRecvLocked(d, v.nic.obs.Load())
+	return nil
+}
+
+// PostRecvBatch posts every descriptor in ds on the receive queue with a
+// single doorbell ring: the queue writes are still one per descriptor,
+// but the NIC is woken once for the whole batch, which is what the msg
+// layer's ring repost and the collective loops want.  Validation is
+// all-or-nothing: a bad descriptor fails the call before any descriptor
+// is queued.  Descriptors are queued in slice order.
+func (v *VI) PostRecvBatch(ds []*Descriptor) error {
+	if len(ds) == 0 {
+		return nil
+	}
+	for _, d := range ds {
+		if d.Op != OpRecv {
+			return fmt.Errorf("via: PostRecvBatch with %v descriptor", d.Op)
+		}
+	}
+	v.nic.ringDoorbell()
+	v.nic.ctr.batchPosts.Add(1)
+	if len(ds) > 1 {
+		v.nic.ctr.doorbellsSaved.Add(uint64(len(ds) - 1))
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	switch v.state {
+	case VIError:
+		return fmt.Errorf("%w (cause: %v)", ErrVIErrorState, v.errCause)
+	case VIIdle:
+		return ErrNotConnected
+	}
+	obs := v.nic.obs.Load()
+	for _, d := range ds {
+		v.pushRecvLocked(d, obs)
+	}
+	return nil
+}
+
+// pushRecvLocked appends one receive descriptor to the queue (mu held),
+// compacting the popped prefix before the array would grow.
+func (v *VI) pushRecvLocked(d *Descriptor, obs *nicObs) {
 	if v.recvHead > 0 && len(v.recvQ) == cap(v.recvQ) {
 		// Reclaim the popped prefix before growing the array.
 		n := copy(v.recvQ, v.recvQ[v.recvHead:])
@@ -209,11 +306,10 @@ func (v *VI) PostRecv(d *Descriptor) error {
 		v.recvHead = 0
 	}
 	v.recvQ = append(v.recvQ, d)
-	if obs := v.nic.obs.Load(); obs != nil {
+	if obs != nil {
 		d.span = obs.trc.Begin(trace.KindDescRecv, v.uid, uint64(d.TotalLength()))
 		d.postSim = v.nic.meter.Now()
 	}
-	return nil
 }
 
 // PostSend places a send or RDMA descriptor on the send queue and rings
@@ -224,15 +320,9 @@ func (v *VI) PostRecv(d *Descriptor) error {
 // through the descriptor (poll Status, Wait, or a CQ), as on real
 // hardware; PostSend itself only fails for posting errors.
 func (v *VI) PostSend(d *Descriptor) error {
-	switch d.Op {
-	case OpSend, OpRDMAWrite, OpRDMARead:
-	default:
-		return fmt.Errorf("via: PostSend with %v descriptor", d.Op)
+	if err := v.checkSend(d); err != nil {
+		return err
 	}
-	if n := d.TotalLength(); n > v.MaxTransferSize() {
-		return fmt.Errorf("%w: %d > %d", ErrTransferTooLarge, n, v.MaxTransferSize())
-	}
-	v.nic.meter.Charge(v.nic.meter.Costs.Doorbell)
 	v.mu.Lock()
 	if v.state != VIConnected {
 		st, cause := v.state, v.errCause
@@ -245,6 +335,7 @@ func (v *VI) PostSend(d *Descriptor) error {
 	v.sendsInFlight++
 	v.mu.Unlock()
 
+	v.chargeBuild(d)
 	if obs := v.nic.obs.Load(); obs != nil {
 		d.span = obs.trc.Begin(trace.KindDescSend, v.uid, uint64(d.TotalLength()))
 		d.postSim = v.nic.meter.Now()
@@ -255,6 +346,83 @@ func (v *VI) PostSend(d *Descriptor) error {
 	v.sendsInFlight--
 	v.mu.Unlock()
 	return nil
+}
+
+// PostSendBatch posts every descriptor in ds with a single doorbell
+// ring and — in engine mode — a single lane enqueue, so a burst of N
+// small sends costs one wakeup instead of N.  Per-VI processing order
+// is slice order, exactly as N PostSend calls would give.  Validation
+// is all-or-nothing: any bad descriptor fails the call before anything
+// is posted.  The NIC owns ds (slice and descriptors) until every
+// descriptor in the batch reaches a terminal status.
+func (v *VI) PostSendBatch(ds []*Descriptor) error {
+	if len(ds) == 0 {
+		return nil
+	}
+	for _, d := range ds {
+		if err := v.checkSend(d); err != nil {
+			return err
+		}
+	}
+	v.mu.Lock()
+	if v.state != VIConnected {
+		st, cause := v.state, v.errCause
+		v.mu.Unlock()
+		if st == VIError {
+			return fmt.Errorf("%w (cause: %v)", ErrVIErrorState, cause)
+		}
+		return ErrNotConnected
+	}
+	v.sendsInFlight += len(ds)
+	v.mu.Unlock()
+
+	obs := v.nic.obs.Load()
+	for _, d := range ds {
+		v.chargeBuild(d)
+		if obs != nil {
+			d.span = obs.trc.Begin(trace.KindDescSend, v.uid, uint64(d.TotalLength()))
+			d.postSim = v.nic.meter.Now()
+		}
+	}
+	v.nic.dispatchBatch(v, ds)
+
+	v.mu.Lock()
+	v.sendsInFlight -= len(ds)
+	v.mu.Unlock()
+	return nil
+}
+
+// checkSend validates a send-side descriptor at post time: operation,
+// inline rules (OpSend only, within the NIC's InlineMax), and the
+// MaxTransferSize attribute.
+func (v *VI) checkSend(d *Descriptor) error {
+	switch d.Op {
+	case OpSend, OpRDMAWrite, OpRDMARead:
+	default:
+		return fmt.Errorf("via: PostSend with %v descriptor", d.Op)
+	}
+	if d.IsInline() {
+		if d.Op != OpSend {
+			return fmt.Errorf("via: inline payload on %v descriptor", d.Op)
+		}
+		if max := v.nic.InlineMax(); d.inlineLen > max {
+			return fmt.Errorf("%w: %d > %d", ErrInlineTooLarge, d.inlineLen, max)
+		}
+	}
+	if n := d.TotalLength(); n > v.MaxTransferSize() {
+		return fmt.Errorf("%w: %d > %d", ErrTransferTooLarge, n, v.MaxTransferSize())
+	}
+	return nil
+}
+
+// chargeBuild accounts for building the descriptor image the NIC will
+// fetch.  Only inline sends pay here: the CPU writes the payload into
+// the descriptor with programmed I/O, which is the price of skipping
+// the gather DMA later.
+func (v *VI) chargeBuild(d *Descriptor) {
+	if d.IsInline() {
+		v.nic.meter.ChargeN(v.nic.meter.Costs.PIOPerByte, d.inlineLen)
+	}
 }
 
 // RecvQueueLen reports how many receive descriptors are posted.
@@ -315,9 +483,7 @@ func (v *VI) enterError(cause error) {
 	if n := len(pending); n > 0 {
 		v.nic.ctr.descFlushed.Add(uint64(n))
 	}
-	for _, d := range pending {
-		v.completeRecv(d, StatusCancelled, 0)
-	}
+	v.completeRecvBatch(pending, StatusCancelled)
 	if peer != nil {
 		// Recursion terminates: the peer's peer is v, already VIError.
 		peer.enterError(cause)
@@ -349,9 +515,7 @@ func (v *VI) Reset() error {
 	if n := len(pending); n > 0 {
 		v.nic.ctr.descFlushed.Add(uint64(n))
 	}
-	for _, d := range pending {
-		v.completeRecv(d, StatusCancelled, 0)
-	}
+	v.completeRecvBatch(pending, StatusCancelled)
 	v.nic.ctr.recoveries.Add(1)
 	if obs := v.nic.obs.Load(); obs != nil {
 		obs.viResets.Inc()
